@@ -1,0 +1,64 @@
+// Command skysr-bench regenerates every table and figure of the paper's
+// evaluation (§7–§8) on synthetic datasets. The output is the source
+// material of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	skysr-bench                     # laptop-sized defaults
+//	skysr-bench -scale 1 -queries 100 -sizes 2,3,4,5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"skysr/internal/bench"
+)
+
+func main() {
+	cfg := bench.DefaultConfig()
+	scale := flag.Float64("scale", cfg.Scale, "dataset scale (1.0 ≈ 1:100 of the paper)")
+	queries := flag.Int("queries", cfg.Queries, "queries per measurement point (paper: 100)")
+	seed := flag.Int64("seed", cfg.Seed, "generation seed")
+	sizes := flag.String("sizes", "2,3,4,5", "comma-separated |Sq| values")
+	datasets := flag.String("datasets", "tokyo,nyc,cal", "comma-separated dataset presets")
+	budget := flag.Int64("budget", cfg.Budget, "naive-baseline work budget per query (0 = unlimited)")
+	verify := flag.Bool("verify", false, "cross-check all algorithms return identical skylines")
+	csvDir := flag.String("csv", "", "directory for machine-readable CSV exports (optional)")
+	flag.Parse()
+
+	cfg.Scale = *scale
+	cfg.Queries = *queries
+	cfg.Seed = *seed
+	cfg.Budget = *budget
+	cfg.Verify = *verify
+	cfg.Datasets = splitList(*datasets)
+	cfg.SeqSizes = nil
+	for _, s := range splitList(*sizes) {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "skysr-bench: bad size %q\n", s)
+			os.Exit(2)
+		}
+		cfg.SeqSizes = append(cfg.SeqSizes, n)
+	}
+
+	h := bench.New(cfg)
+	if err := h.AllWithCSV(os.Stdout, *csvDir); err != nil {
+		fmt.Fprintf(os.Stderr, "skysr-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

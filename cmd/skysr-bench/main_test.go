@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestSplitList(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"a,b,c", []string{"a", "b", "c"}},
+		{" tokyo , nyc ", []string{"tokyo", "nyc"}},
+		{"", nil},
+		{",,", nil},
+		{"solo", []string{"solo"}},
+	}
+	for _, tt := range tests {
+		got := splitList(tt.in)
+		if len(got) != len(tt.want) {
+			t.Errorf("splitList(%q) = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("splitList(%q) = %v, want %v", tt.in, got, tt.want)
+				break
+			}
+		}
+	}
+}

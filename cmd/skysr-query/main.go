@@ -1,0 +1,98 @@
+// Command skysr-query answers one SkySR query from the command line.
+//
+// Usage:
+//
+//	skysr-query -data tokyo.skysr -start 17 \
+//	    -via "Sushi Restaurant,Art Museum,Gift Shop" [-alg BSSR] [-dest 99] \
+//	    [-unordered] [-expand]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"skysr"
+)
+
+func main() {
+	data := flag.String("data", "", "dataset file written by skysr-gen (required)")
+	start := flag.Int("start", 0, "start vertex id")
+	via := flag.String("via", "", "comma-separated category sequence (required)")
+	algName := flag.String("alg", "BSSR", "algorithm: BSSR, BSSRNoOpt, Dij or PNE")
+	dest := flag.Int("dest", -1, "destination vertex id (-1 for none)")
+	unordered := flag.Bool("unordered", false, "satisfy the categories in any order (§6)")
+	expand := flag.Bool("expand", false, "print the full vertex path of each route")
+	stats := flag.Bool("stats", false, "print BSSR instrumentation counters")
+	flag.Parse()
+
+	if *data == "" || *via == "" {
+		fmt.Fprintln(os.Stderr, "skysr-query: -data and -via are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	eng, err := skysr.Open(*data)
+	if err != nil {
+		fail(err)
+	}
+	alg, err := parseAlgorithm(*algName)
+	if err != nil {
+		fail(err)
+	}
+	reqs := parseVia(*via)
+	q := skysr.Query{Start: int32(*start), Via: reqs, Unordered: *unordered}
+	if *dest >= 0 {
+		q.Destination = int32(*dest)
+		q.HasDestination = true
+	}
+	ans, err := eng.SearchWith(q, skysr.SearchOptions{Algorithm: alg, ExpandPaths: *expand})
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("%s on %s: %d skyline route(s) in %s\n", ans.Algorithm, eng.Name(), len(ans.Routes), ans.Elapsed)
+	for i, r := range ans.Routes {
+		fmt.Printf("%2d. %s\n", i+1, r)
+		if *expand && len(r.Path) > 0 {
+			fmt.Printf("    path: %v\n", r.Path)
+		}
+	}
+	if *stats && ans.Stats != nil {
+		s := ans.Stats
+		fmt.Printf("stats: mDijkstra runs=%d cacheHits=%d settled=%d initRoutes=%d pruned(threshold=%d bounds=%d)\n",
+			s.MDijkstraRuns, s.CacheHits, s.SettledVertices, s.InitRoutes, s.PrunedThreshold, s.PrunedByBounds)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "skysr-query: %v\n", err)
+	os.Exit(1)
+}
+
+// parseAlgorithm maps a CLI name to an Algorithm.
+func parseAlgorithm(name string) (skysr.Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "bssr":
+		return skysr.BSSR, nil
+	case "bssrnoopt":
+		return skysr.BSSRNoOpt, nil
+	case "dij":
+		return skysr.NaiveDijkstra, nil
+	case "pne":
+		return skysr.NaivePNE, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (want BSSR, BSSRNoOpt, Dij or PNE)", name)
+	}
+}
+
+// parseVia splits a comma-separated category list into requirements.
+func parseVia(via string) []skysr.Requirement {
+	var reqs []skysr.Requirement
+	for _, name := range strings.Split(via, ",") {
+		if n := strings.TrimSpace(name); n != "" {
+			reqs = append(reqs, skysr.Category(n))
+		}
+	}
+	return reqs
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+
+	"skysr"
+)
+
+func TestParseAlgorithm(t *testing.T) {
+	tests := map[string]skysr.Algorithm{
+		"BSSR": skysr.BSSR, "bssr": skysr.BSSR,
+		"BSSRNoOpt": skysr.BSSRNoOpt, "bssrnoopt": skysr.BSSRNoOpt,
+		"Dij": skysr.NaiveDijkstra, "dij": skysr.NaiveDijkstra,
+		"PNE": skysr.NaivePNE, "pne": skysr.NaivePNE,
+	}
+	for name, want := range tests {
+		got, err := parseAlgorithm(name)
+		if err != nil || got != want {
+			t.Errorf("parseAlgorithm(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseAlgorithm("quantum"); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestParseVia(t *testing.T) {
+	reqs := parseVia("Sushi Restaurant, Gift Shop ,,  Bar")
+	if len(reqs) != 3 {
+		t.Fatalf("got %d requirements, want 3", len(reqs))
+	}
+	if len(parseVia("")) != 0 {
+		t.Error("empty via should produce no requirements")
+	}
+}
+
+// TestEndToEndThroughCLIHelpers drives the same flow main performs, minus
+// flag parsing: save a dataset, reopen it, query it with every algorithm.
+func TestEndToEndThroughCLIHelpers(t *testing.T) {
+	eng, vq, cats := skysr.PaperExample()
+	path := t.TempDir() + "/paper.skysr"
+	if err := eng.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := skysr.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	via := parseVia(cats[0] + "," + cats[1] + "," + cats[2])
+	for _, name := range []string{"BSSR", "BSSRNoOpt", "Dij", "PNE"} {
+		alg, err := parseAlgorithm(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans, err := loaded.SearchWith(skysr.Query{Start: vq, Via: via},
+			skysr.SearchOptions{Algorithm: alg, ExpandPaths: alg == skysr.BSSR})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(ans.Routes) != 2 {
+			t.Fatalf("%s: routes = %d, want 2", name, len(ans.Routes))
+		}
+	}
+}

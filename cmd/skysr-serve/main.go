@@ -1,0 +1,226 @@
+// Command skysr-serve is the prototype SkySR query service of §8: an HTTP
+// server that answers route queries over a dataset and collects the
+// three-question user survey whose aggregation is Figure 9.
+//
+// Usage:
+//
+//	skysr-serve -data tokyo.skysr -addr :8080
+//	skysr-serve -preset tokyo -scale 0.25      # generate in memory
+//
+// Endpoints:
+//
+//	GET  /                 HTML page with a query form
+//	GET  /api/categories   leaf categories as JSON
+//	GET  /api/route?start=17&via=Sushi+Restaurant,Gift+Shop&dest=3&unordered=1
+//	POST /api/survey       {"question":"Q1","option":2}
+//	GET  /api/survey       current answer ratios (Figure 9 data)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"html/template"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"skysr"
+	"skysr/internal/bench"
+)
+
+type server struct {
+	eng *skysr.Engine
+
+	mu     sync.Mutex
+	survey *bench.Survey
+}
+
+func main() {
+	data := flag.String("data", "", "dataset file (mutually exclusive with -preset)")
+	preset := flag.String("preset", "", "generate a preset dataset in memory: tokyo, nyc or cal")
+	scale := flag.Float64("scale", 0.25, "scale for -preset")
+	seed := flag.Int64("seed", 42, "seed for -preset")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	var eng *skysr.Engine
+	var err error
+	switch {
+	case *data != "" && *preset != "":
+		fmt.Fprintln(os.Stderr, "skysr-serve: use either -data or -preset")
+		os.Exit(2)
+	case *data != "":
+		eng, err = skysr.Open(*data)
+	case *preset != "":
+		eng, err = skysr.Generate(*preset, *scale, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "skysr-serve: -data or -preset is required")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skysr-serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	s := &server{eng: eng, survey: bench.NewSurvey(bench.PaperQuestions())}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	mux.HandleFunc("GET /api/categories", s.handleCategories)
+	mux.HandleFunc("GET /api/route", s.handleRoute)
+	mux.HandleFunc("POST /api/survey", s.handleSurveyPost)
+	mux.HandleFunc("GET /api/survey", s.handleSurveyGet)
+
+	log.Printf("skysr-serve: %s on %s", eng.Stats(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!doctype html>
+<html><head><title>SkySR route suggestion</title></head>
+<body>
+<h1>SkySR route suggestion — {{.Name}}</h1>
+<p>{{.Stats}}</p>
+<form action="/api/route" method="GET">
+  start vertex: <input name="start" value="0" size="6">
+  categories (comma-separated): <input name="via" size="60"
+    placeholder="Sushi Restaurant, Art Museum, Gift Shop">
+  <input type="submit" value="Find skyline routes">
+</form>
+<p>Leaf categories: {{range .Leaves}}<code>{{.}}</code> {{end}}</p>
+</body></html>`))
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	err := indexTmpl.Execute(w, struct {
+		Name   string
+		Stats  string
+		Leaves []string
+	}{s.eng.Name(), s.eng.Stats(), s.eng.LeafCategories()})
+	if err != nil {
+		log.Printf("index render: %v", err)
+	}
+}
+
+func (s *server) handleCategories(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"all":    s.eng.Categories(),
+		"leaves": s.eng.LeafCategories(),
+	})
+}
+
+type routeResponse struct {
+	Algorithm string      `json:"algorithm"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+	Routes    []routeJSON `json:"routes"`
+}
+
+type routeJSON struct {
+	PoIs     []string  `json:"pois"`
+	Length   float64   `json:"length"`
+	Semantic float64   `json:"semantic"`
+	Path     []int32   `json:"path,omitempty"`
+	Lons     []float64 `json:"lons,omitempty"`
+	Lats     []float64 `json:"lats,omitempty"`
+}
+
+func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	qv := r.URL.Query()
+	start, err := strconv.Atoi(qv.Get("start"))
+	if err != nil || start < 0 || start >= s.eng.NumVertices() {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad start vertex"})
+		return
+	}
+	viaRaw := qv.Get("via")
+	if strings.TrimSpace(viaRaw) == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "via is required"})
+		return
+	}
+	var via []skysr.Requirement
+	for _, name := range strings.Split(viaRaw, ",") {
+		via = append(via, skysr.Category(strings.TrimSpace(name)))
+	}
+	q := skysr.Query{Start: int32(start), Via: via}
+	if destRaw := qv.Get("dest"); destRaw != "" {
+		dest, err := strconv.Atoi(destRaw)
+		if err != nil || dest < 0 || dest >= s.eng.NumVertices() {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad dest vertex"})
+			return
+		}
+		q.Destination = int32(dest)
+		q.HasDestination = true
+	}
+	if qv.Get("unordered") == "1" {
+		q.Unordered = true
+	}
+	expand := qv.Get("expand") == "1"
+	ans, err := s.eng.SearchWith(q, skysr.SearchOptions{ExpandPaths: expand})
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	resp := routeResponse{Algorithm: ans.Algorithm.String(), ElapsedMS: float64(ans.Elapsed.Microseconds()) / 1000}
+	for _, rt := range ans.Routes {
+		rj := routeJSON{PoIs: rt.PoINames, Length: rt.LengthScore, Semantic: rt.SemanticScore, Path: rt.Path}
+		for _, p := range rt.PoIs {
+			lon, lat := s.eng.Position(p)
+			rj.Lons = append(rj.Lons, lon)
+			rj.Lats = append(rj.Lats, lat)
+		}
+		resp.Routes = append(resp.Routes, rj)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type surveyPost struct {
+	Question string `json:"question"`
+	Option   int    `json:"option"`
+}
+
+func (s *server) handleSurveyPost(w http.ResponseWriter, r *http.Request) {
+	var body surveyPost
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON"})
+		return
+	}
+	s.mu.Lock()
+	err := s.survey.Record(bench.SurveyResponse{QuestionID: body.Question, Option: body.Option})
+	s.mu.Unlock()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "recorded"})
+}
+
+func (s *server) handleSurveyGet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[string]any{}
+	for _, q := range bench.PaperQuestions() {
+		n := s.survey.Respondents(q.ID)
+		entry := map[string]any{"text": q.Text, "respondents": n}
+		if n > 0 {
+			ratios, err := s.survey.Ratios(q.ID)
+			if err == nil {
+				entry["ratios"] = map[string]float64{
+					q.Options[0]: ratios[0],
+					q.Options[1]: ratios[1],
+					q.Options[2]: ratios[2],
+				}
+			}
+		}
+		out[q.ID] = entry
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"skysr"
+	"skysr/internal/bench"
+)
+
+func testServer(t *testing.T) (*server, *http.ServeMux) {
+	t.Helper()
+	eng, _, _ := skysr.PaperExample()
+	s := &server{eng: eng, survey: bench.NewSurvey(bench.PaperQuestions())}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	mux.HandleFunc("GET /api/categories", s.handleCategories)
+	mux.HandleFunc("GET /api/route", s.handleRoute)
+	mux.HandleFunc("POST /api/survey", s.handleSurveyPost)
+	mux.HandleFunc("GET /api/survey", s.handleSurveyGet)
+	return s, mux
+}
+
+func TestIndexPage(t *testing.T) {
+	_, mux := testServer(t)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "SkySR") || !strings.Contains(body, "Gift Shop") {
+		t.Errorf("index page missing content: %q", body[:min(200, len(body))])
+	}
+}
+
+func TestCategoriesEndpoint(t *testing.T) {
+	_, mux := testServer(t)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/categories", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var out map[string][]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out["all"]) != 7 {
+		t.Errorf("all categories = %d, want 7 (paper example forest)", len(out["all"]))
+	}
+	if len(out["leaves"]) == 0 {
+		t.Error("no leaves returned")
+	}
+}
+
+func TestRouteEndpoint(t *testing.T) {
+	_, mux := testServer(t)
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET",
+		"/api/route?start=0&via=Asian+Restaurant,Arts+%26+Entertainment,Gift+Shop&expand=1", nil)
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var out routeResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Algorithm != "BSSR" {
+		t.Errorf("algorithm = %q", out.Algorithm)
+	}
+	if len(out.Routes) != 2 {
+		t.Fatalf("routes = %d, want 2 (Table 4)", len(out.Routes))
+	}
+	// Sorted by length: 10.5 then 13.
+	if out.Routes[0].Length != 10.5 || out.Routes[1].Length != 13 {
+		t.Errorf("lengths = %v, %v", out.Routes[0].Length, out.Routes[1].Length)
+	}
+	if len(out.Routes[0].Path) == 0 {
+		t.Error("expand=1 should include paths")
+	}
+	if len(out.Routes[0].Lons) != len(out.Routes[0].PoIs) {
+		t.Error("positions missing")
+	}
+}
+
+func TestRouteEndpointWithDestination(t *testing.T) {
+	_, mux := testServer(t)
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET",
+		"/api/route?start=0&dest=0&via=Asian+Restaurant,Arts+%26+Entertainment,Gift+Shop", nil)
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var out routeResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Routes) == 0 {
+		t.Fatal("no routes with destination")
+	}
+}
+
+func TestRouteEndpointErrors(t *testing.T) {
+	_, mux := testServer(t)
+	cases := map[string]string{
+		"bad start":        "/api/route?start=xx&via=Gift+Shop",
+		"start range":      "/api/route?start=9999&via=Gift+Shop",
+		"missing via":      "/api/route?start=0",
+		"unknown category": "/api/route?start=0&via=Nonexistent",
+		"bad dest":         "/api/route?start=0&via=Gift+Shop&dest=zz",
+	}
+	for name, url := range cases {
+		t.Run(name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			mux.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+			if rec.Code != http.StatusBadRequest {
+				t.Errorf("status = %d, want 400", rec.Code)
+			}
+		})
+	}
+}
+
+func TestSurveyEndpoints(t *testing.T) {
+	_, mux := testServer(t)
+
+	// Empty survey renders with zero respondents.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/survey", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+
+	// Record two responses.
+	for _, body := range []string{
+		`{"question":"Q1","option":1}`,
+		`{"question":"Q1","option":2}`,
+	} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("POST", "/api/survey", strings.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("POST status = %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+
+	// Bad posts fail.
+	for _, body := range []string{`{"question":"Q1","option":7}`, `{"question":"QX","option":1}`, `notjson`} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("POST", "/api/survey", strings.NewReader(body)))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("POST %q status = %d, want 400", body, rec.Code)
+		}
+	}
+
+	// Ratios reflect the two recorded answers.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/survey", nil))
+	var out map[string]struct {
+		Respondents int                `json:"respondents"`
+		Ratios      map[string]float64 `json:"ratios"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["Q1"].Respondents != 2 {
+		t.Errorf("Q1 respondents = %d, want 2", out["Q1"].Respondents)
+	}
+	if out["Q1"].Ratios["I love it"] != 0.5 {
+		t.Errorf("Q1 ratios = %v", out["Q1"].Ratios)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,88 @@
+// Flexible requirements: the §6 "complex category requirement" and
+// "PoI with multiple categories" extensions. The first stop may be an
+// American OR Mexican restaurant but NOT a Taco Place (the paper's own
+// example of disjunction + negation); the second stop must be a place that
+// is both a Cafe AND a Bakery — satisfiable only by a multi-category PoI.
+//
+// Run with: go run ./examples/flexquery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"skysr"
+)
+
+func main() {
+	nb := skysr.NewFoursquareNetworkBuilder("FlexTown")
+
+	start := nb.AddVertex(0, 0)
+	v1 := nb.AddVertex(0.002, 0)
+	v2 := nb.AddVertex(0.004, 0)
+	v3 := nb.AddVertex(0.006, 0)
+	must(nb.AddRoad(start, v1, 200))
+	must(nb.AddRoad(v1, v2, 200))
+	must(nb.AddRoad(v2, v3, 200))
+
+	// Closest would-be match is a Taco Place — excluded by the query.
+	taco, err := nb.AddPoI(0.0021, 0, "Taco Place")
+	must(err)
+	must(nb.AddRoad(v1, taco, 10))
+	// A Burrito Place (Mexican subtree, semantic match) a bit farther.
+	burrito, err := nb.AddPoI(0.0041, 0, "Burrito Place")
+	must(err)
+	must(nb.AddRoad(v2, burrito, 20))
+	// An exact Mexican Restaurant, farther still — the perfect match.
+	mexican, err := nb.AddPoI(0.0061, 0, "Mexican Restaurant")
+	must(err)
+	must(nb.AddRoad(v3, mexican, 30))
+
+	// A combined cafe-bakery (multi-category PoI) and a plain tea room.
+	cafeBakery, err := nb.AddPoI(0.0042, 0, "Cafe", "Bakery")
+	must(err)
+	must(nb.AddRoad(v2, cafeBakery, 15))
+	plainCafe, err := nb.AddPoI(0.0022, 0, "Tea Room")
+	must(err)
+	must(nb.AddRoad(v1, plainCafe, 5))
+
+	eng, err := nb.Build()
+	must(err)
+
+	query := skysr.Query{
+		Start: start,
+		Via: []skysr.Requirement{
+			skysr.Excluding(
+				skysr.AnyOf(
+					skysr.Category("American Restaurant"),
+					skysr.Category("Mexican Restaurant"),
+				),
+				"Taco Place",
+			),
+			skysr.AllOf(
+				skysr.Category("Cafe"),
+				skysr.Category("Bakery"),
+			),
+		},
+	}
+	ans, err := eng.Search(query)
+	must(err)
+
+	fmt.Println("query: (American or Mexican, not Taco Place) → (Cafe and Bakery)")
+	for _, r := range ans.Routes {
+		perfect := ""
+		if r.SemanticScore == 0 {
+			perfect = "   ← perfect match"
+		}
+		fmt.Printf("  %s%s\n", r, perfect)
+	}
+	fmt.Println("\nthe Taco Place next door never appears at position 1 (negation), and")
+	fmt.Println("only the dual-category cafe-bakery satisfies the conjunction perfectly;")
+	fmt.Println("the looser Food-tree alternatives remain as shorter skyline options.")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

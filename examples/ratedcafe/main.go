@@ -1,0 +1,75 @@
+// Rated cafés: the §9 future-work extension implemented by this library —
+// PoI ratings as a third skyline criterion. The nearest café has two
+// stars; the one across town has five. The plain SkySR query never shows
+// the distant café (same category, same semantic score, longer walk); the
+// three-criteria query surfaces it as a Pareto-optimal alternative.
+//
+// Run with: go run ./examples/ratedcafe
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"skysr"
+)
+
+func main() {
+	tb := skysr.NewTaxonomyBuilder().
+		Root("Food").
+		Child("Food", "Cafe").
+		Child("Food", "Bakery").
+		Root("Shop & Service").
+		Child("Shop & Service", "Bookstore")
+	nb := skysr.NewNetworkBuilder("RatedTown", tb)
+
+	start := nb.AddVertex(0, 0)
+	a := nb.AddVertex(0.002, 0)
+	b := nb.AddVertex(0.004, 0)
+	must(nb.AddRoad(start, a, 200))
+	must(nb.AddRoad(a, b, 200))
+
+	// Cafés: near with a poor rating, far with a great one.
+	nearCafe, err := nb.AddPoI(0.0021, 0, "Cafe")
+	must(err)
+	must(nb.AddRoad(a, nearCafe, 10))
+	must(nb.SetRating(nearCafe, 2.0))
+	farCafe, err := nb.AddPoI(0.0041, 0, "Cafe")
+	must(err)
+	must(nb.AddRoad(b, farCafe, 10))
+	must(nb.SetRating(farCafe, 5.0))
+
+	// A bookstore for the second stop, nicely in between.
+	books, err := nb.AddPoI(0.0022, 0.0001, "Bookstore")
+	must(err)
+	must(nb.AddRoad(a, books, 20))
+	must(nb.SetRating(books, 4.0))
+
+	eng, err := nb.Build()
+	must(err)
+
+	via := []skysr.Requirement{skysr.Category("Cafe"), skysr.Category("Bookstore")}
+
+	plain, err := eng.Search(skysr.Query{Start: start, Via: via})
+	must(err)
+	fmt.Println("two criteria (length, semantic):")
+	for _, r := range plain.Routes {
+		fmt.Printf("  %s\n", r)
+	}
+
+	rated, err := eng.Search(skysr.Query{Start: start, Via: via, IncludeRatings: true})
+	must(err)
+	fmt.Println("three criteria (length, semantic, rating):")
+	for _, r := range rated.Routes {
+		fmt.Printf("  %s\n", r)
+	}
+
+	fmt.Println("\nthe five-star café only appears once ratings join the skyline —")
+	fmt.Println("the paper's §9 'many attributes of a PoI (e.g., ratings)' extension.")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

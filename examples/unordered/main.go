@@ -1,0 +1,83 @@
+// Unordered errands: the §6 "skyline trip planning query" without category
+// order. Three errands — pharmacy, grocery store, bookstore — lie around
+// the start in an order that makes the literal visiting order wasteful;
+// the unordered query finds the better permutation while keeping the
+// skyline semantics.
+//
+// Run with: go run ./examples/unordered
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"skysr"
+)
+
+func main() {
+	nb := skysr.NewFoursquareNetworkBuilder("Errands")
+
+	// West -- start -- east layout: the pharmacy is a short hop west, the
+	// grocery and bookstore lie successively east, so the literal order
+	// ⟨grocery, pharmacy, bookstore⟩ zigzags across town.
+	start := nb.AddVertex(0, 0)
+	west := nb.AddVertex(-0.001, 0)
+	east1 := nb.AddVertex(0.005, 0)
+	east2 := nb.AddVertex(0.01, 0)
+	must(nb.AddRoad(start, west, 100))
+	must(nb.AddRoad(start, east1, 500))
+	must(nb.AddRoad(east1, east2, 500))
+
+	pharmacy, err := nb.AddPoI(-0.0011, 0, "Pharmacy")
+	must(err)
+	must(nb.AddRoad(west, pharmacy, 10))
+	grocery, err := nb.AddPoI(0.0051, 0, "Grocery Store")
+	must(err)
+	must(nb.AddRoad(east1, grocery, 10))
+	books, err := nb.AddPoI(0.0101, 0, "Bookstore")
+	must(err)
+	must(nb.AddRoad(east2, books, 10))
+
+	eng, err := nb.Build()
+	must(err)
+
+	via := []skysr.Requirement{
+		skysr.Category("Grocery Store"),
+		skysr.Category("Pharmacy"),
+		skysr.Category("Bookstore"),
+	}
+
+	ordered, err := eng.Search(skysr.Query{Start: start, Via: via})
+	must(err)
+	unordered, err := eng.Search(skysr.Query{Start: start, Via: via, Unordered: true})
+	must(err)
+
+	fmt.Println("ordered ⟨Grocery, Pharmacy, Bookstore⟩:")
+	for _, r := range ordered.Routes {
+		fmt.Printf("  %s\n", r)
+	}
+	fmt.Println("unordered {Grocery, Pharmacy, Bookstore}:")
+	for _, r := range unordered.Routes {
+		fmt.Printf("  %s\n", r)
+	}
+	// Compare the perfectly matching (semantic = 0) routes: the ordered
+	// skyline may also contain a shorter "swap the roles" route where the
+	// pharmacy semantically stands in for the grocery and vice versa.
+	saved := perfectLength(ordered) - perfectLength(unordered)
+	fmt.Printf("\nfreeing the order saves %.0f distance units on the perfectly matching route\n", saved)
+}
+
+func perfectLength(a *skysr.Answer) float64 {
+	for _, r := range a.Routes {
+		if r.SemanticScore == 0 {
+			return r.LengthScore
+		}
+	}
+	return 0
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

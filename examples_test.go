@@ -1,0 +1,57 @@
+package skysr
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program and checks the key fact
+// each one documents, so the examples cannot silently rot. Skipped in
+// -short mode (each run compiles a binary).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are skipped in -short mode")
+	}
+	cases := map[string][]string{
+		"quickstart": {
+			"2 skyline sequenced routes",
+			"length 10.5", // Table 4: ⟨p6,p9,p8⟩
+			"length 13.0", // Table 4: ⟨p10,p12,p13⟩
+		},
+		"nyctrip": {
+			"Cupcake Shop",
+			"semantic 0.000", // the exact-match route is present
+		},
+		"tokyonight": {
+			"Beer Garden",
+			"Sake Bar",
+		},
+		"unordered": {
+			"saves 1000 distance units",
+		},
+		"flexquery": {
+			"perfect match",
+		},
+		"ratedcafe": {
+			"rating penalty 0.100", // the five-star café's route
+		},
+	}
+	for name, wants := range cases {
+		name, wants := name, wants
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			cmd.Dir = "."
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			for _, want := range wants {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("example %s output missing %q:\n%s", name, want, out)
+				}
+			}
+		})
+	}
+}

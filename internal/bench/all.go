@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"io"
+	"time"
+)
+
+// All runs the complete experiment suite in the paper's order and renders
+// every table and figure to w. It is what cmd/skysr-bench executes;
+// pass a non-empty csvDir to additionally export machine-readable CSVs.
+func (h *Harness) All(w io.Writer) error { return h.AllWithCSV(w, "") }
+
+// AllWithCSV is All with an optional CSV export directory.
+func (h *Harness) AllWithCSV(w io.Writer, csvDir string) error {
+	began := time.Now()
+	writeln(w, "SkySR experiment suite — scale %.2f, %d queries/point, seed %d, budget %d",
+		h.cfg.Scale, h.cfg.Queries, h.cfg.Seed, h.cfg.Budget)
+	writeln(w, "")
+	res, err := h.RunAll()
+	if err != nil {
+		return err
+	}
+	if err := RenderAll(w, res); err != nil {
+		return err
+	}
+	if csvDir != "" {
+		if err := WriteCSVDir(csvDir, res); err != nil {
+			return err
+		}
+		writeln(w, "")
+		writeln(w, "CSV files written to %s", csvDir)
+	}
+	writeln(w, "")
+	writeln(w, "suite completed in %s", time.Since(began).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,600 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"skysr/internal/core"
+	"skysr/internal/osr"
+	"skysr/internal/stats"
+)
+
+// ---------------------------------------------------------------- Table 5
+
+// Table5Row is one dataset summary row.
+type Table5Row struct {
+	Dataset    string
+	Vertices   int
+	PoIs       int
+	Edges      int
+	Categories int
+	Trees      int
+	BuildTime  time.Duration
+}
+
+// Table5 regenerates the dataset summary (paper Table 5).
+func (h *Harness) Table5() ([]Table5Row, error) {
+	var rows []Table5Row
+	for _, name := range h.cfg.Datasets {
+		began := time.Now()
+		d, err := h.Dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		st := d.Stats()
+		rows = append(rows, Table5Row{
+			Dataset:    st.Name,
+			Vertices:   st.RoadVertices,
+			PoIs:       st.PoIVertices,
+			Edges:      st.Edges,
+			Categories: st.Categories,
+			Trees:      st.Trees,
+			BuildTime:  time.Since(began),
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable5 writes the rows as a text table.
+func RenderTable5(w io.Writer, rows []Table5Row) {
+	writeln(w, "Table 5: dataset summary (synthetic, scale-reduced)")
+	writeln(w, "%-8s %10s %10s %10s %12s %6s", "Dataset", "|V|", "|P|", "|E|", "categories", "trees")
+	for _, r := range rows {
+		writeln(w, "%-8s %10d %10d %10d %12d %6d", r.Dataset, r.Vertices, r.PoIs, r.Edges, r.Categories, r.Trees)
+	}
+}
+
+// ---------------------------------------------------------------- Figure 3
+
+// Figure3Cell is one bar of Figure 3: response time of one algorithm on
+// one dataset at one |Sq|, summarized over the workload.
+type Figure3Cell struct {
+	Dataset    string
+	Algorithm  Algorithm
+	SeqSize    int
+	MeanTime   time.Duration
+	MedianTime time.Duration
+	P95Time    time.Duration
+	DNF        bool // budget exceeded on at least one query
+	Mismatch   bool // Verify found a skyline differing from BSSR's
+}
+
+// Figure3 regenerates the response-time comparison (paper Figure 3):
+// BSSR, BSSR w/o Opt, PNE and Dij across datasets and sequence sizes.
+func (h *Harness) Figure3() ([]Figure3Cell, error) {
+	var cells []Figure3Cell
+	for _, name := range h.cfg.Datasets {
+		d, err := h.Dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, size := range h.cfg.SeqSizes {
+			qs, err := h.Workload(name, size)
+			if err != nil {
+				return nil, err
+			}
+			// BSSR results per query for the Verify cross-check.
+			baseline := make([]*core.Result, len(qs))
+			for _, alg := range Algorithms() {
+				cell := Figure3Cell{Dataset: name, Algorithm: alg, SeqSize: size}
+				times := make([]float64, 0, len(qs))
+				for qi, q := range qs {
+					switch alg {
+					case AlgBSSR, AlgBSSRNoOpt:
+						opts := core.DefaultOptions()
+						if alg == AlgBSSRNoOpt {
+							opts = core.WithoutOptimizations()
+						}
+						began := time.Now()
+						res, err := runBSSR(d, q, opts)
+						if err != nil {
+							return nil, err
+						}
+						times = append(times, float64(time.Since(began)))
+						if alg == AlgBSSR {
+							baseline[qi] = res
+						} else if h.cfg.Verify && baseline[qi] != nil {
+							if !sameSkylines(res.Routes, baseline[qi].Routes) {
+								cell.Mismatch = true
+							}
+						}
+					case AlgPNE, AlgDij:
+						engine := osr.EnginePNE
+						if alg == AlgDij {
+							engine = osr.EngineDijkstra
+						}
+						sky, elapsed, _, dnf, err := runNaive(d, q, engine, h.cfg.Budget)
+						if err != nil {
+							return nil, err
+						}
+						times = append(times, float64(elapsed))
+						if dnf {
+							cell.DNF = true
+						} else if h.cfg.Verify && baseline[qi] != nil {
+							if !sameSkylines(sky.Routes(), baseline[qi].Routes) {
+								cell.Mismatch = true
+							}
+						}
+					}
+				}
+				sum := stats.Summarize(times)
+				cell.MeanTime = time.Duration(sum.Mean)
+				cell.MedianTime = time.Duration(sum.Median)
+				cell.P95Time = time.Duration(sum.P95)
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells, nil
+}
+
+// RenderFigure3 writes the cells grouped per dataset, like the paper's
+// three subplots.
+func RenderFigure3(w io.Writer, cells []Figure3Cell) {
+	writeln(w, "Figure 3: mean response time per query (DNF = work budget exceeded)")
+	byDataset := map[string][]Figure3Cell{}
+	var order []string
+	for _, c := range cells {
+		if _, ok := byDataset[c.Dataset]; !ok {
+			order = append(order, c.Dataset)
+		}
+		byDataset[c.Dataset] = append(byDataset[c.Dataset], c)
+	}
+	for _, name := range order {
+		writeln(w, "  (%s)", name)
+		writeln(w, "  %-14s %14s %14s %14s %14s", "|Sq|", "2", "3", "4", "5")
+		for _, alg := range Algorithms() {
+			row := fmt.Sprintf("  %-14s", alg)
+			for _, size := range []int{2, 3, 4, 5} {
+				var cell *Figure3Cell
+				for i := range byDataset[name] {
+					c := &byDataset[name][i]
+					if c.Algorithm == alg && c.SeqSize == size {
+						cell = c
+					}
+				}
+				switch {
+				case cell == nil:
+					row += fmt.Sprintf(" %14s", "-")
+				case cell.DNF:
+					row += fmt.Sprintf(" %14s", "DNF")
+				default:
+					row += fmt.Sprintf(" %14s", cell.MeanTime.Round(time.Microsecond))
+				}
+			}
+			writeln(w, "%s", row)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- Table 6
+
+// Table6Row is the estimated peak resident memory of one algorithm on one
+// dataset at |Sq| = 4.
+type Table6Row struct {
+	Dataset   string
+	Algorithm Algorithm
+	Bytes     int64
+	DNF       bool
+}
+
+// Table6 regenerates the RSS comparison (paper Table 6): dataset footprint
+// plus each algorithm's peak working memory at |Sq| = 4.
+func (h *Harness) Table6() ([]Table6Row, error) {
+	const size = 4
+	var rows []Table6Row
+	for _, name := range h.cfg.Datasets {
+		d, err := h.Dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		qs, err := h.Workload(name, size)
+		if err != nil {
+			return nil, err
+		}
+		base := d.MemoryFootprintBytes()
+		for _, alg := range Algorithms() {
+			row := Table6Row{Dataset: name, Algorithm: alg}
+			var peak int64
+			for _, q := range qs {
+				switch alg {
+				case AlgBSSR, AlgBSSRNoOpt:
+					opts := core.DefaultOptions()
+					if alg == AlgBSSRNoOpt {
+						opts = core.WithoutOptimizations()
+					}
+					res, err := runBSSR(d, q, opts)
+					if err != nil {
+						return nil, err
+					}
+					if b := res.Stats.PeakMemoryBytes(d.Graph.NumVertices()); b > peak {
+						peak = b
+					}
+				case AlgPNE, AlgDij:
+					engine := osr.EnginePNE
+					if alg == AlgDij {
+						engine = osr.EngineDijkstra
+					}
+					_, _, bytes, dnf, err := runNaive(d, q, engine, h.cfg.Budget)
+					if err != nil {
+						return nil, err
+					}
+					if dnf {
+						row.DNF = true
+					}
+					if bytes > peak {
+						peak = bytes
+					}
+				}
+			}
+			row.Bytes = base + peak
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable6 writes the memory comparison.
+func RenderTable6(w io.Writer, rows []Table6Row) {
+	writeln(w, "Table 6: estimated peak resident memory, |Sq| = 4")
+	writeln(w, "%-8s %14s %16s %14s %14s", "Dataset", "BSSR", "BSSR w/o Opt", "PNE", "Dij")
+	byDS := map[string]map[Algorithm]Table6Row{}
+	var order []string
+	for _, r := range rows {
+		if _, ok := byDS[r.Dataset]; !ok {
+			byDS[r.Dataset] = map[Algorithm]Table6Row{}
+			order = append(order, r.Dataset)
+		}
+		byDS[r.Dataset][r.Algorithm] = r
+	}
+	for _, name := range order {
+		line := fmt.Sprintf("%-8s", name)
+		for _, alg := range Algorithms() {
+			r := byDS[name][alg]
+			cell := humanBytes(r.Bytes)
+			if r.DNF {
+				cell += "*"
+			}
+			line += fmt.Sprintf(" %14s", cell)
+		}
+		writeln(w, "%s", line)
+	}
+	writeln(w, "  (* = at least one query hit the work budget; peak at abort)")
+}
+
+func humanBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// ---------------------------------------------------------------- Table 7
+
+// Table7Row reports the initial-search effect for one dataset and |Sq|.
+type Table7Row struct {
+	Dataset string
+	SeqSize int
+	// WeightSumWith is the first modified Dijkstra's explored radius with
+	// NNinit seeding (the paper's "weight sum" search-space proxy).
+	WeightSumWith float64
+	// WeightSumWithout is the same radius without the initial search (the
+	// paper's "Existing" row, constant in |Sq|).
+	WeightSumWithout float64
+	// InitTime is NNinit's mean response time.
+	InitTime time.Duration
+	// InitRoutes is the mean number of seed routes NNinit found.
+	InitRoutes float64
+	// Ratio is the paper's ratio of the best-semantic seed's length to the
+	// s=0 seed's length.
+	Ratio float64
+}
+
+// Table7 regenerates the initial-search evaluation (paper Table 7).
+func (h *Harness) Table7() ([]Table7Row, error) {
+	var rows []Table7Row
+	for _, name := range h.cfg.Datasets {
+		d, err := h.Dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, size := range h.cfg.SeqSizes {
+			qs, err := h.Workload(name, size)
+			if err != nil {
+				return nil, err
+			}
+			row := Table7Row{Dataset: name, SeqSize: size}
+			var ratioN int
+			for _, q := range qs {
+				with, err := runBSSR(d, q, core.DefaultOptions())
+				if err != nil {
+					return nil, err
+				}
+				opts := core.DefaultOptions()
+				opts.InitialSearch = false
+				opts.LowerBounds = false // bounds need the init threshold
+				without, err := runBSSR(d, q, opts)
+				if err != nil {
+					return nil, err
+				}
+				row.WeightSumWith += with.Stats.FirstMDijkstraRadius
+				row.WeightSumWithout += without.Stats.FirstMDijkstraRadius
+				row.InitTime += with.Stats.InitTime
+				row.InitRoutes += float64(with.Stats.InitRoutes)
+				if with.Stats.InitRatio > 0 {
+					row.Ratio += with.Stats.InitRatio
+					ratioN++
+				}
+			}
+			n := float64(len(qs))
+			row.WeightSumWith /= n
+			row.WeightSumWithout /= n
+			row.InitTime /= time.Duration(len(qs))
+			row.InitRoutes /= n
+			if ratioN > 0 {
+				row.Ratio /= float64(ratioN)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable7 writes the initial-search table.
+func RenderTable7(w io.Writer, rows []Table7Row) {
+	writeln(w, "Table 7: effect of the initial search (NNinit)")
+	writeln(w, "%-8s %5s %14s %17s %12s %10s %8s", "Dataset", "|Sq|", "weight sum", "w/o init search", "init time", "# routes", "ratio")
+	for _, r := range rows {
+		writeln(w, "%-8s %5d %14.4f %17.4f %12s %10.2f %8.2f",
+			r.Dataset, r.SeqSize, r.WeightSumWith, r.WeightSumWithout,
+			r.InitTime.Round(time.Microsecond), r.InitRoutes, r.Ratio)
+	}
+}
+
+// ---------------------------------------------------------------- Table 8
+
+// Table8Row reports visited vertices for the two queue orders.
+type Table8Row struct {
+	Dataset  string
+	SeqSize  int
+	Proposed int64
+	Distance int64
+}
+
+// Table8 regenerates the priority-queue evaluation (paper Table 8): total
+// vertices visited with the proposed order vs the distance-based order.
+func (h *Harness) Table8() ([]Table8Row, error) {
+	var rows []Table8Row
+	for _, name := range h.cfg.Datasets {
+		d, err := h.Dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, size := range h.cfg.SeqSizes {
+			qs, err := h.Workload(name, size)
+			if err != nil {
+				return nil, err
+			}
+			row := Table8Row{Dataset: name, SeqSize: size}
+			for _, q := range qs {
+				prop, err := runBSSR(d, q, core.DefaultOptions())
+				if err != nil {
+					return nil, err
+				}
+				opts := core.DefaultOptions()
+				opts.ProposedQueue = false
+				dist, err := runBSSR(d, q, opts)
+				if err != nil {
+					return nil, err
+				}
+				row.Proposed += prop.Stats.SettledVertices
+				row.Distance += dist.Stats.SettledVertices
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable8 writes the queue comparison.
+func RenderTable8(w io.Writer, rows []Table8Row) {
+	writeln(w, "Table 8: total vertices visited by queue ordering")
+	writeln(w, "%-8s %5s %14s %16s", "Dataset", "|Sq|", "proposed", "distance-based")
+	for _, r := range rows {
+		writeln(w, "%-8s %5d %14d %16d", r.Dataset, r.SeqSize, r.Proposed, r.Distance)
+	}
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+// Figure4Row reports the lower-bound tightness ratios for one dataset.
+type Figure4Row struct {
+	Dataset string
+	SeqSize int
+	// SemanticRatio is Σls divided by the initial-search weight sum.
+	SemanticRatio float64
+	// PerfectRatio is Σlp divided by the initial-search weight sum.
+	PerfectRatio float64
+}
+
+// Figure4 regenerates the minimum-possible-distance evaluation (paper
+// Figure 4) at the largest configured |Sq|.
+func (h *Harness) Figure4() ([]Figure4Row, error) {
+	size := h.cfg.SeqSizes[len(h.cfg.SeqSizes)-1]
+	var rows []Figure4Row
+	for _, name := range h.cfg.Datasets {
+		d, err := h.Dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		qs, err := h.Workload(name, size)
+		if err != nil {
+			return nil, err
+		}
+		row := Figure4Row{Dataset: name, SeqSize: size}
+		n := 0
+		for _, q := range qs {
+			res, err := runBSSR(d, q, core.DefaultOptions())
+			if err != nil {
+				return nil, err
+			}
+			st := res.Stats
+			if math.IsInf(st.InitPerfectL, 1) || st.InitPerfectL == 0 {
+				continue
+			}
+			sem, perf := st.SemanticBound, st.PerfectBound
+			if math.IsInf(sem, 1) {
+				sem = st.InitPerfectL // the bound prunes everything: ratio 1
+			}
+			if math.IsInf(perf, 1) {
+				perf = st.InitPerfectL
+			}
+			row.SemanticRatio += sem / st.InitPerfectL
+			row.PerfectRatio += perf / st.InitPerfectL
+			n++
+		}
+		if n > 0 {
+			row.SemanticRatio /= float64(n)
+			row.PerfectRatio /= float64(n)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFigure4 writes the bound ratios.
+func RenderFigure4(w io.Writer, rows []Figure4Row) {
+	if len(rows) == 0 {
+		return
+	}
+	writeln(w, "Figure 4: possible minimum distances / initial weight sum (|Sq| = %d)", rows[0].SeqSize)
+	writeln(w, "%-8s %16s %16s", "Dataset", "semantic-match", "perfect-match")
+	for _, r := range rows {
+		writeln(w, "%-8s %16.4f %16.4f", r.Dataset, r.SemanticRatio, r.PerfectRatio)
+	}
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+// Figure5Row reports modified-Dijkstra executions with and without the
+// on-the-fly cache.
+type Figure5Row struct {
+	Dataset      string
+	SeqSize      int
+	WithCache    float64 // mean executions per query
+	WithoutCache float64
+}
+
+// Figure5 regenerates the caching evaluation (paper Figure 5).
+func (h *Harness) Figure5() ([]Figure5Row, error) {
+	var rows []Figure5Row
+	for _, name := range h.cfg.Datasets {
+		d, err := h.Dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, size := range h.cfg.SeqSizes {
+			qs, err := h.Workload(name, size)
+			if err != nil {
+				return nil, err
+			}
+			row := Figure5Row{Dataset: name, SeqSize: size}
+			for _, q := range qs {
+				with, err := runBSSR(d, q, core.DefaultOptions())
+				if err != nil {
+					return nil, err
+				}
+				opts := core.DefaultOptions()
+				opts.Caching = false
+				without, err := runBSSR(d, q, opts)
+				if err != nil {
+					return nil, err
+				}
+				row.WithCache += float64(with.Stats.MDijkstraRuns)
+				row.WithoutCache += float64(without.Stats.MDijkstraRuns)
+			}
+			n := float64(len(qs))
+			row.WithCache /= n
+			row.WithoutCache /= n
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderFigure5 writes the caching comparison.
+func RenderFigure5(w io.Writer, rows []Figure5Row) {
+	writeln(w, "Figure 5: modified-Dijkstra executions per query")
+	writeln(w, "%-8s %5s %12s %12s", "Dataset", "|Sq|", "with cache", "w/o cache")
+	for _, r := range rows {
+		writeln(w, "%-8s %5d %12.1f %12.1f", r.Dataset, r.SeqSize, r.WithCache, r.WithoutCache)
+	}
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+// Figure6Row reports the skyline cardinality.
+type Figure6Row struct {
+	Dataset string
+	SeqSize int
+	Mean    float64
+	Max     int
+}
+
+// Figure6 regenerates the number-of-SkySRs evaluation (paper Figure 6).
+func (h *Harness) Figure6() ([]Figure6Row, error) {
+	var rows []Figure6Row
+	for _, name := range h.cfg.Datasets {
+		d, err := h.Dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, size := range h.cfg.SeqSizes {
+			qs, err := h.Workload(name, size)
+			if err != nil {
+				return nil, err
+			}
+			row := Figure6Row{Dataset: name, SeqSize: size}
+			for _, q := range qs {
+				res, err := runBSSR(d, q, core.DefaultOptions())
+				if err != nil {
+					return nil, err
+				}
+				row.Mean += float64(len(res.Routes))
+				if len(res.Routes) > row.Max {
+					row.Max = len(res.Routes)
+				}
+			}
+			row.Mean /= float64(len(qs))
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderFigure6 writes the skyline cardinalities.
+func RenderFigure6(w io.Writer, rows []Figure6Row) {
+	writeln(w, "Figure 6: number of SkySRs per query")
+	writeln(w, "%-8s %5s %8s %6s", "Dataset", "|Sq|", "mean", "max")
+	for _, r := range rows {
+		writeln(w, "%-8s %5d %8.2f %6d", r.Dataset, r.SeqSize, r.Mean, r.Max)
+	}
+}

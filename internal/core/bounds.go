@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"skysr/internal/dijkstra"
+	"skysr/internal/graph"
+	"skysr/internal/route"
+)
+
+// bounds holds the possible-minimum-distance lower bounds of §5.3.3.
+//
+// Hop h (0-based, h in [0, k-2]) connects the PoI of position h to the PoI
+// of position h+1. ls[h] is the semantic-match minimum distance of that
+// hop (Definition 5.7, Eq. 4): the smallest network distance from any
+// semantically matching PoI of position h to any semantically matching PoI
+// of position h+1. lp[h] is the perfect-match minimum distance (Eq. 5):
+// destination restricted to perfectly matching PoIs.
+//
+// All PoI sets are restricted to the vertices within distance l̄(∅) of the
+// start (Algorithm 4 lines 3–4); every route that could still enter S
+// keeps all its PoIs within that radius, so the restriction preserves
+// exactness while making the bounds much tighter.
+type bounds struct {
+	k            int
+	lsSuffix     []float64 // lsSuffix[h] = Σ_{j≥h} ls[j]
+	lpSuffix     []float64 // lpSuffix[h] = Σ_{j≥h} lp[j]
+	maxImpSuffix []float64 // maxImpSuffix[m] = max achievable sim < 1 over positions ≥ m
+}
+
+// computeBounds runs Algorithm 4 plus the δ precomputation of Lemma 5.8.
+func (s *Searcher) computeBounds(start graph.VertexID) {
+	began := time.Now()
+	defer func() { s.stats.BoundsTime += time.Since(began) }()
+
+	k := len(s.seq)
+	if k < 2 {
+		return // no intermediate hops to bound
+	}
+	g := s.d.Graph
+	radius := s.sky.ThresholdPerfect()
+
+	// Reachability snapshot: vertices within the l̄(∅) radius of the start.
+	inReach := func(v graph.VertexID) bool { return true }
+	if !math.IsInf(radius, 1) {
+		s.ws.Run(dijkstra.Options{Sources: []graph.VertexID{start}, Bound: radius})
+		reach := make([]bool, g.NumVertices())
+		for v := graph.VertexID(0); int(v) < g.NumVertices(); v++ {
+			reach[v] = s.ws.WasSettled(v)
+		}
+		inReach = func(v graph.VertexID) bool { return reach[v] }
+	}
+
+	// Per-position candidate sets within reach, and the largest imperfect
+	// similarity actually achievable (for δ; dataset-restricted so the
+	// Lemma 5.8 increment is never overestimated).
+	semSets := make([][]graph.VertexID, k)
+	perfSets := make([]map[graph.VertexID]bool, k)
+	maxImp := make([]float64, k)
+	for i, m := range s.seq {
+		perfSets[i] = make(map[graph.VertexID]bool)
+		for _, p := range g.PoIVertices() {
+			if !inReach(p) {
+				continue
+			}
+			cats := g.Categories(p)
+			sim := m.Sim(cats)
+			if sim <= 0 {
+				continue
+			}
+			semSets[i] = append(semSets[i], p)
+			if m.Perfect(cats) {
+				perfSets[i][p] = true
+			} else if sim > maxImp[i] {
+				maxImp[i] = sim
+			}
+		}
+	}
+
+	ls := make([]float64, k-1)
+	lp := make([]float64, k-1)
+	for h := 0; h < k-1; h++ {
+		ls[h] = s.hopMinDistance(semSets[h], func(v graph.VertexID) bool {
+			return s.isSemMember(h+1, v)
+		}, radius)
+		lp[h] = s.hopMinDistance(semSets[h], func(v graph.VertexID) bool {
+			return perfSets[h+1][v]
+		}, radius)
+	}
+
+	b := &bounds{
+		k:            k,
+		lsSuffix:     suffixSums(ls),
+		lpSuffix:     suffixSums(lp),
+		maxImpSuffix: suffixMax(maxImp),
+	}
+	s.bounds = b
+	s.stats.SemanticBound = b.lsSuffix[0]
+	s.stats.PerfectBound = b.lpSuffix[0]
+}
+
+// isSemMember tests semantic membership directly against the matcher; the
+// destination side of a hop needs no reach restriction beyond what the
+// source restriction already guarantees, but applying the matcher alone
+// keeps this a pure function of the PoI.
+func (s *Searcher) isSemMember(pos int, v graph.VertexID) bool {
+	if !s.d.Graph.IsPoI(v) {
+		return false
+	}
+	return s.seq[pos].Sim(s.d.Graph.Categories(v)) > 0
+}
+
+// hopMinDistance runs the multi-source multi-destination Dijkstra of
+// Lemma 5.9. An empty source set, or no destination within the radius,
+// yields +Inf (which correctly prunes every route needing that hop).
+func (s *Searcher) hopMinDistance(sources []graph.VertexID, isDest func(graph.VertexID) bool, radius float64) float64 {
+	if len(sources) == 0 {
+		return math.Inf(1)
+	}
+	bound := 0.0
+	if !math.IsInf(radius, 1) {
+		bound = radius
+	}
+	d, _, ok := s.ws.MinDistance(sources, isDest, bound)
+	if !ok {
+		return math.Inf(1)
+	}
+	return d
+}
+
+func suffixSums(xs []float64) []float64 {
+	out := make([]float64, len(xs)+1)
+	for i := len(xs) - 1; i >= 0; i-- {
+		out[i] = out[i+1] + xs[i]
+	}
+	return out
+}
+
+func suffixMax(xs []float64) []float64 {
+	out := make([]float64, len(xs)+1)
+	for i := len(xs) - 1; i >= 0; i-- {
+		out[i] = math.Max(out[i+1], xs[i])
+	}
+	return out
+}
+
+// prune applies the §5.3.3 lower-bound rules to a popped partial route:
+//
+//  1. Semantic rule: every completion of r adds at least the semantic-match
+//     minimum distance of the remaining hops, so r is dead if even that
+//     cannot beat the Eq. 3 threshold.
+//  2. Perfect rule (Lemma 5.8): if any imperfect continuation is already
+//     dominated via the minimum semantic increment δ (witness R'), and the
+//     all-perfect continuation is dominated via the perfect-match minimum
+//     distance (witness R”), r is dead.
+func (b *bounds) prune(r *route.Route, sky *route.Skyline, scorer route.Scorer) bool {
+	m := r.Size()
+	if m == 0 || m >= b.k {
+		return false
+	}
+	// Remaining hops start at hop index m-1 (from r's last PoI at
+	// position m-1 to position m).
+	lsRem := b.lsSuffix[m-1]
+	if r.Length()+lsRem >= sky.Threshold(r.Semantic()) {
+		return true
+	}
+	delta := scorer.MinIncrement(r.AggState(), m, b.maxImpSuffix[m])
+	if delta <= 0 {
+		return false
+	}
+	lpRem := b.lpSuffix[m-1]
+	condA, condB := false, false
+	for _, w := range sky.Routes() {
+		if !condA && r.Length() >= w.Length() && r.Semantic()+delta >= w.Semantic() {
+			condA = true
+		}
+		if !condB && r.Length()+lpRem >= w.Length() && r.Semantic() >= w.Semantic() {
+			condB = true
+		}
+		if condA && condB {
+			return true
+		}
+	}
+	return false
+}

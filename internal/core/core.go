@@ -1,0 +1,334 @@
+// Package core implements the paper's contribution: the bulk SkySR
+// algorithm (BSSR, §5) that answers skyline sequenced route queries with a
+// single simultaneous search, pruned by branch-and-bound (Lemmas 5.1–5.3),
+// and its four optimization techniques — the NNinit initial search
+// (§5.3.1, Algorithm 3), the size/semantic/length priority queue (§5.3.2),
+// the semantic- and perfect-match minimum-distance lower bounds (§5.3.3,
+// Algorithm 4, Lemma 5.8) and on-the-fly caching of modified-Dijkstra
+// results (§5.3.4).
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"skysr/internal/dataset"
+	"skysr/internal/dijkstra"
+	"skysr/internal/graph"
+	"skysr/internal/index"
+	"skysr/internal/pq"
+	"skysr/internal/route"
+	"skysr/internal/taxonomy"
+)
+
+// Options configures a Searcher. The zero value is "BSSR w/o Opt": plain
+// branch-and-bound with a distance-ordered queue. DefaultOptions enables
+// all four optimizations, the configuration the paper calls BSSR.
+type Options struct {
+	// InitialSearch runs NNinit before the main search to seed the upper
+	// bound (§5.3.1).
+	InitialSearch bool
+	// ProposedQueue orders the route queue by size desc / semantic asc /
+	// length asc (§5.3.2) instead of the conventional distance order.
+	ProposedQueue bool
+	// LowerBounds enables the minimum-distance pruning of §5.3.3.
+	LowerBounds bool
+	// Caching enables on-the-fly caching of modified-Dijkstra results
+	// (§5.3.4).
+	Caching bool
+
+	// Aggregation selects the semantic score aggregation (Definition
+	// 3.5); the paper evaluates with AggProduct (Eq. 7).
+	Aggregation route.Aggregation
+
+	// TreeIndex, when non-nil, supplies precomputed per-tree nearest-PoI
+	// distances (the §9 "preprocessing" future work, package index). It
+	// tightens the pruning of partial routes — the next hop costs at
+	// least the distance to the nearest PoI of the next category's tree —
+	// without affecting exactness. Build one with index.Build and share
+	// it across searchers.
+	TreeIndex *index.TreeDistances
+
+	// DisablePathFilter turns off the Lemma 5.5 path filtering inside the
+	// modified Dijkstra. It exists for the ablation benchmarks; leave it
+	// false for normal use.
+	DisablePathFilter bool
+
+	// Trace, when non-nil, observes search events (pops, prunes, skyline
+	// updates). Intended for debugging and the trace-level tests; adds
+	// overhead when set.
+	Trace func(Event)
+}
+
+// DefaultOptions is full BSSR: all four optimizations on.
+func DefaultOptions() Options {
+	return Options{
+		InitialSearch: true,
+		ProposedQueue: true,
+		LowerBounds:   true,
+		Caching:       true,
+		Aggregation:   route.AggProduct,
+	}
+}
+
+// WithoutOptimizations is the paper's "BSSR w/o Opt" ablation.
+func WithoutOptimizations() Options {
+	return Options{Aggregation: route.AggProduct}
+}
+
+// Result carries the answer and instrumentation of one query.
+type Result struct {
+	// Routes is the minimal set S of skyline sequenced routes, sorted by
+	// ascending length (descending semantic follows from minimality).
+	Routes []*route.Route
+	// Stats instruments the run.
+	Stats Stats
+}
+
+// Searcher answers SkySR queries over one dataset. It is not safe for
+// concurrent use; create one per goroutine (they share the immutable
+// Dataset).
+type Searcher struct {
+	d    *dataset.Dataset
+	opts Options
+	sim  taxonomy.Similarity
+	ws   *dijkstra.Workspace
+
+	// Per-query state.
+	seq      route.Sequence
+	scorer   route.Scorer
+	sky      *route.Skyline
+	stats    Stats
+	cache    map[cacheKey]*cacheEntry
+	bounds   *bounds
+	destDist []float64         // distance from each vertex to the destination; nil when no destination
+	posTree  []taxonomy.TreeID // per-position category tree, -1 for non-Category matchers
+	md       *mdWorkspace      // reusable modified-Dijkstra arrays, lazily sized
+}
+
+// NewSearcher returns a Searcher with the given options, scoring category
+// similarity with sim (use d.Forest.WuPalmer for the paper's Eq. 6).
+func NewSearcher(d *dataset.Dataset, sim taxonomy.Similarity, opts Options) *Searcher {
+	return &Searcher{d: d, opts: opts, sim: sim, ws: dijkstra.New(d.Graph)}
+}
+
+// Dataset returns the dataset the searcher queries.
+func (s *Searcher) Dataset() *dataset.Dataset { return s.d }
+
+// QueryCategories answers the basic SkySR query of the paper: one plain
+// category per position.
+func (s *Searcher) QueryCategories(start graph.VertexID, cats ...taxonomy.CategoryID) (*Result, error) {
+	return s.Query(start, route.NewCategorySequence(s.d.Forest, s.sim, cats...))
+}
+
+// Query answers a SkySR query with generalized per-position requirements
+// (§6 extensions compose here).
+func (s *Searcher) Query(start graph.VertexID, seq route.Sequence) (*Result, error) {
+	return s.query(start, seq, graph.NoVertex)
+}
+
+// QueryWithDestination answers the "SkySR with destination" variant (§6):
+// the length score additionally counts the leg from the last PoI to dest.
+func (s *Searcher) QueryWithDestination(start graph.VertexID, seq route.Sequence, dest graph.VertexID) (*Result, error) {
+	if dest == graph.NoVertex || int(dest) >= s.d.Graph.NumVertices() {
+		return nil, fmt.Errorf("core: invalid destination %d", dest)
+	}
+	return s.query(start, seq, dest)
+}
+
+func (s *Searcher) query(start graph.VertexID, seq route.Sequence, dest graph.VertexID) (*Result, error) {
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("core: empty sequence")
+	}
+	if start < 0 || int(start) >= s.d.Graph.NumVertices() {
+		return nil, fmt.Errorf("core: invalid start vertex %d", start)
+	}
+	began := time.Now()
+	s.seq = seq
+	s.scorer = route.NewScorer(s.opts.Aggregation, len(seq))
+	s.sky = route.NewSkyline()
+	s.stats = Stats{InitPerfectL: math.Inf(1)}
+	s.cache = nil
+	if s.opts.Caching {
+		s.cache = make(map[cacheKey]*cacheEntry)
+	}
+	s.bounds = nil
+	s.destDist = nil
+	s.posTree = make([]taxonomy.TreeID, len(seq))
+	for i, m := range seq {
+		s.posTree[i] = -1
+		if c, ok := m.(*route.Category); ok {
+			s.posTree[i] = s.d.Forest.Tree(c.ID())
+		}
+	}
+	s.ws.ResetStats()
+	if dest != graph.NoVertex {
+		s.computeDestDistances(dest)
+	}
+
+	// Optimization 1: seed the upper bound with NNinit (§5.3.1).
+	if s.opts.InitialSearch {
+		s.runNNinit(start)
+	}
+	// Optimization 3: possible minimum distances (§5.3.3, Algorithm 4).
+	if s.opts.LowerBounds {
+		s.computeBounds(start)
+	}
+
+	// Main loop: Algorithm 1.
+	qb := pq.NewHeap(s.queueLess())
+	s.expand(route.Empty(s.scorer), start, qb)
+	for qb.Len() > 0 {
+		r := qb.Pop()
+		s.stats.RoutesPopped++
+		s.emit(EventPop, r)
+		// Re-check the Lemma 5.3 threshold at pop time: S may have
+		// improved since r was enqueued (Table 4 steps 6 and 9).
+		if r.Length() >= s.sky.Threshold(r.Semantic()) {
+			s.stats.PrunedThreshold++
+			s.emit(EventPruneThreshold, r)
+			continue
+		}
+		if s.opts.TreeIndex != nil && s.pruneByIndex(r) {
+			s.stats.PrunedByIndex++
+			s.emit(EventPruneIndex, r)
+			continue
+		}
+		if s.bounds != nil && s.bounds.prune(r, s.sky, s.scorer) {
+			s.stats.PrunedByBounds++
+			s.emit(EventPruneBounds, r)
+			continue
+		}
+		from := r.Last()
+		s.expand(r, from, qb)
+	}
+
+	s.stats.QueryTime = time.Since(began)
+	// Modified-Dijkstra settles are charged as they happen; add the shared
+	// workspace's searches (NNinit, bounds, destination table).
+	s.stats.SettledVertices += s.ws.SettledCount()
+	s.stats.Results = s.sky.Len()
+	// On-the-fly caching frees its results once the query finishes
+	// (§5.3.4): the cache rarely helps across different inputs.
+	s.cache = nil
+	return &Result{Routes: s.sky.Routes(), Stats: s.stats}, nil
+}
+
+// queueLess returns the route-queue ordering: the proposed priority
+// (§5.3.2) or the conventional distance order, with deterministic
+// tie-breaks.
+func (s *Searcher) queueLess() func(a, b *route.Route) bool {
+	if s.opts.ProposedQueue {
+		return func(a, b *route.Route) bool {
+			if a.Size() != b.Size() {
+				return a.Size() > b.Size()
+			}
+			if a.Semantic() != b.Semantic() {
+				return a.Semantic() < b.Semantic()
+			}
+			if a.Length() != b.Length() {
+				return a.Length() < b.Length()
+			}
+			return a.Last() < b.Last()
+		}
+	}
+	return func(a, b *route.Route) bool {
+		if a.Length() != b.Length() {
+			return a.Length() < b.Length()
+		}
+		if a.Size() != b.Size() {
+			return a.Size() > b.Size()
+		}
+		return a.Last() < b.Last()
+	}
+}
+
+// expand runs the modified Dijkstra for the next position of r (Algorithm
+// 2) and routes each found PoI into the queue or the skyline set.
+func (s *Searcher) expand(r *route.Route, from graph.VertexID, qb *pq.Heap[*route.Route]) {
+	k := len(s.seq)
+	cands := s.nextPoIs(r, from)
+	for _, c := range cands {
+		if r.Contains(c.v) {
+			continue // Definition 3.4(iii)
+		}
+		// Lemma 5.5: skip candidates reached through a PoI at least as
+		// similar — unless that blocker is already used by this route, in
+		// which case the substitution the lemma relies on is infeasible.
+		if !s.opts.DisablePathFilter &&
+			c.blockSim >= c.sim && c.blockV != graph.NoVertex && !r.Contains(c.blockV) {
+			continue
+		}
+		rt := r.Extend(s.scorer, c.v, c.dist, c.sim)
+		complete := rt.Size() == k
+		if complete && s.destDist != nil {
+			leg := s.destDist[c.v]
+			if math.IsInf(leg, 1) {
+				continue // destination unreachable from this PoI
+			}
+			rt = rt.AddLength(leg)
+		}
+		// Line 10: the Eq. 3 threshold for rt's own semantic score.
+		if rt.Length() >= s.sky.Threshold(rt.Semantic()) {
+			continue
+		}
+		if complete {
+			if s.sky.Update(rt) {
+				s.emit(EventSkylineUpdate, rt)
+			} else {
+				s.emit(EventSkylineReject, rt)
+			}
+		} else {
+			qb.Push(rt)
+			s.stats.RoutesEnqueued++
+			s.emit(EventEnqueue, rt)
+			if qb.Len() > s.stats.PeakQueueLen {
+				s.stats.PeakQueueLen = qb.Len()
+			}
+		}
+	}
+}
+
+// pruneByIndex applies the precomputed tree-distance lower bound: the next
+// hop of any completion of r costs at least the distance from r's end to
+// the nearest PoI of the next position's tree; later hops are additionally
+// bounded by the §5.3.3 suffix when available.
+func (s *Searcher) pruneByIndex(r *route.Route) bool {
+	m := r.Size()
+	if m == 0 || m >= len(s.seq) {
+		return false
+	}
+	tree := s.posTree[m]
+	if tree < 0 {
+		return false
+	}
+	bound := r.Length() + s.opts.TreeIndex.To(tree, r.Last())
+	if s.bounds != nil {
+		bound += s.bounds.lsSuffix[m] // hops after the first
+	}
+	return bound >= s.sky.Threshold(r.Semantic())
+}
+
+// computeDestDistances fills destDist with D(v, dest) for every vertex,
+// searching the reverse graph so directed networks are handled correctly.
+func (s *Searcher) computeDestDistances(dest graph.VertexID) {
+	g := s.d.Graph
+	rg := g
+	if g.Directed() {
+		rg = g.Reversed()
+	}
+	ws := s.ws
+	if rg != g {
+		ws = dijkstra.New(rg)
+	}
+	ws.Run(dijkstra.Options{Sources: []graph.VertexID{dest}})
+	s.destDist = make([]float64, g.NumVertices())
+	for v := graph.VertexID(0); int(v) < g.NumVertices(); v++ {
+		if d, ok := ws.Dist(v); ok {
+			s.destDist[v] = d
+		} else {
+			s.destDist[v] = math.Inf(1)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"skysr/internal/dijkstra"
+	"skysr/internal/graph"
+	"skysr/internal/route"
+)
+
+// ExpandPath reconstructs the full vertex-level path of a result route:
+// start → PoIs in order → optional destination (graph.NoVertex for none).
+// Each leg is a shortest path, so the total weight equals the route's
+// length score (plus the destination leg when present).
+func (s *Searcher) ExpandPath(start graph.VertexID, r *route.Route, dest graph.VertexID) ([]graph.VertexID, error) {
+	waypoints := append([]graph.VertexID{start}, r.PoIs()...)
+	if dest != graph.NoVertex {
+		waypoints = append(waypoints, dest)
+	}
+	path := []graph.VertexID{start}
+	for i := 0; i+1 < len(waypoints); i++ {
+		u, v := waypoints[i], waypoints[i+1]
+		if u == v {
+			continue
+		}
+		leg, err := s.shortestPath(u, v)
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, leg[1:]...)
+	}
+	return path, nil
+}
+
+// PathLength returns the summed edge weight along a vertex path.
+func (s *Searcher) PathLength(path []graph.VertexID) float64 {
+	total := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		w, ok := s.d.Graph.EdgeWeight(path[i], path[i+1])
+		if !ok {
+			return math.Inf(1)
+		}
+		total += w
+	}
+	return total
+}
+
+func (s *Searcher) shortestPath(u, v graph.VertexID) ([]graph.VertexID, error) {
+	found := false
+	s.ws.Run(dijkstra.Options{
+		Sources: []graph.VertexID{u},
+		OnSettle: func(x graph.VertexID, d float64) dijkstra.Control {
+			if x == v {
+				found = true
+				return dijkstra.Stop
+			}
+			return dijkstra.Continue
+		},
+	})
+	if !found {
+		return nil, fmt.Errorf("core: no path from %d to %d", u, v)
+	}
+	return s.ws.PathTo(v), nil
+}

@@ -1,0 +1,21 @@
+package core
+
+import (
+	"testing"
+
+	"skysr/internal/dataset"
+	"skysr/internal/geo"
+	"skysr/internal/graph"
+	"skysr/internal/taxonomy"
+)
+
+func geoPoint(x float64) geo.Point { return geo.Point{Lon: x} }
+
+func mustDataset(t *testing.T, b *graph.Builder, f *taxonomy.Forest) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.New("test", b.Build(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math"
+
+	"skysr/internal/graph"
+	"skysr/internal/pq"
+	"skysr/internal/route"
+)
+
+// candidate is one PoI found by the modified Dijkstra: its network distance
+// from the search origin, its similarity to the position's requirement,
+// and the strongest PoI on the shortest path to it (for the route-aware
+// part of the Lemma 5.5 filter).
+type candidate struct {
+	v        graph.VertexID
+	dist     float64
+	sim      float64
+	blockSim float64        // max similarity of intermediate PoIs on the path
+	blockV   graph.VertexID // the PoI attaining blockSim, NoVertex if none
+}
+
+// cacheKey identifies one modified-Dijkstra origin within a query: the
+// origin vertex and the position whose requirement is searched. The cache
+// is per-query ("on the fly"), so the position index fully determines the
+// requirement.
+type cacheKey struct {
+	from graph.VertexID
+	pos  int
+}
+
+// cacheEntry stores the candidates found around an origin, complete up to
+// the exhausted radius: every matching PoI with dist < radius is present.
+type cacheEntry struct {
+	radius   float64
+	complete bool // whole reachable component explored
+	items    []candidate
+}
+
+// nextPoIs returns the PoIs that semantically match position r.Size(),
+// reachable from `from` within the route's Lemma 5.3 radius, serving from
+// the on-the-fly cache when possible (§5.3.4).
+func (s *Searcher) nextPoIs(r *route.Route, from graph.VertexID) []candidate {
+	pos := r.Size()
+	// Allowed search radius: Algorithm 2 line 8 stops when
+	// l(Rt) = l(Rd) + dist ≥ l̄(Rd).
+	threshold := s.sky.Threshold(r.Semantic())
+	radius := threshold - r.Length()
+	if radius <= 0 {
+		return nil
+	}
+	s.stats.MDijkstraRequests++
+
+	if s.cache != nil {
+		key := cacheKey{from: from, pos: pos}
+		if e, ok := s.cache[key]; ok && (e.complete || e.radius >= radius) {
+			s.stats.CacheHits++
+			s.emit(EventCacheHit, nil)
+			return e.items
+		}
+		e := s.runMDijkstra(from, pos, radius)
+		s.cache[key] = e
+		s.accountCacheBytes()
+		return e.items
+	}
+	return s.runMDijkstra(from, pos, radius).items
+}
+
+// mdWorkspace holds the epoch-stamped per-vertex state of the modified
+// Dijkstra, reused across the hundreds of runs a query performs so each
+// run allocates nothing but its result slice. Resetting is O(1): stale
+// entries are recognized by their epoch stamp.
+type mdWorkspace struct {
+	dist     []float64
+	blockSim []float64
+	blockV   []graph.VertexID
+	stamp    []uint32
+	done     []uint32
+	epoch    uint32
+	heap     *pq.Heap[mdItem]
+}
+
+type mdItem struct {
+	v graph.VertexID
+	d float64
+}
+
+func newMDWorkspace(n int) *mdWorkspace {
+	return &mdWorkspace{
+		dist:     make([]float64, n),
+		blockSim: make([]float64, n),
+		blockV:   make([]graph.VertexID, n),
+		stamp:    make([]uint32, n),
+		done:     make([]uint32, n),
+		heap: pq.NewHeap[mdItem](func(a, b mdItem) bool {
+			if a.d != b.d {
+				return a.d < b.d
+			}
+			return a.v < b.v
+		}),
+	}
+}
+
+func (w *mdWorkspace) begin() {
+	w.epoch++
+	w.heap.Reset()
+}
+
+// runMDijkstra is Algorithm 2: a Dijkstra search from `from` that collects
+// every PoI matching position pos within the radius, does not expand
+// through perfectly matching PoIs, and records for each candidate the
+// strongest intermediate PoI on its path (Lemma 5.5).
+//
+// The origin itself is a usable candidate only when pos == 0: there `from`
+// is the query start vertex, which may be a matching PoI serving position
+// 1 at distance zero. For pos ≥ 1 the origin is the expanding route's own
+// last PoI, which Definition 3.4(iii) forbids reusing — and for the same
+// reason it can neither block other candidates (Lemma 5.5's substitution
+// would be infeasible) nor stop the traversal. This split keeps cache
+// entries consistent: every route expanding through a (from, pos) key has
+// the same relationship to the origin.
+func (s *Searcher) runMDijkstra(from graph.VertexID, pos int, radius float64) *cacheEntry {
+	s.stats.MDijkstraRuns++
+	s.emit(EventMDijkstraRun, nil)
+	originUsable := pos == 0
+	matcher := s.seq[pos]
+	g := s.d.Graph
+
+	if s.md == nil {
+		s.md = newMDWorkspace(g.NumVertices())
+	}
+	w := s.md
+	w.begin()
+	h := w.heap
+
+	entry := &cacheEntry{}
+	w.dist[from] = 0
+	w.blockSim[from] = 0
+	w.blockV[from] = graph.NoVertex
+	w.stamp[from] = w.epoch
+	h.Push(mdItem{v: from, d: 0})
+
+	// cut records whether the radius bound ever suppressed a relaxation;
+	// if it never fired, the whole reachable component was explored and
+	// the cache entry is complete at any radius.
+	cut := false
+	maxSettled := 0.0
+	settled := 0
+	for h.Len() > 0 {
+		top := h.Pop()
+		u, d := top.v, top.d
+		if w.done[u] == w.epoch || d > w.dist[u] {
+			continue // stale duplicate entry
+		}
+		w.done[u] = w.epoch
+		settled++
+		maxSettled = d
+		uBlockSim, uBlockV := w.blockSim[u], w.blockV[u]
+
+		sim := 0.0
+		perfect := false
+		if (u != from || originUsable) && g.IsPoI(u) {
+			cats := g.Categories(u)
+			sim = matcher.Sim(cats)
+			perfect = matcher.Perfect(cats)
+			if sim > 0 {
+				entry.items = append(entry.items, candidate{
+					v: u, dist: d, sim: sim,
+					blockSim: uBlockSim, blockV: uBlockV,
+				})
+			}
+		}
+		// Lemma 5.5 property (ii): no traversal through a perfect match.
+		if perfect && !s.opts.DisablePathFilter {
+			continue
+		}
+		// Downstream vertices see u as an intermediate PoI when it
+		// matches at all.
+		nextSim, nextV := uBlockSim, uBlockV
+		if sim > nextSim {
+			nextSim, nextV = sim, u
+		}
+		ts, ws := g.Neighbors(u)
+		for i, t := range ts {
+			if w.done[t] == w.epoch {
+				continue
+			}
+			nd := d + ws[i]
+			if nd >= radius {
+				cut = true
+				continue
+			}
+			if w.stamp[t] != w.epoch || nd < w.dist[t] {
+				w.dist[t] = nd
+				w.blockSim[t] = nextSim
+				w.blockV[t] = nextV
+				w.stamp[t] = w.epoch
+				h.Push(mdItem{v: t, d: nd})
+			}
+		}
+	}
+	if cut {
+		entry.radius = radius
+	} else {
+		entry.complete = true
+		entry.radius = math.Inf(1)
+	}
+	s.noteFirstRadius(maxSettled)
+	s.chargeSettleStats(settled)
+	return entry
+}
+
+// noteFirstRadius records the explored radius of the first modified
+// Dijkstra — the Table 7 "weight sum" search-space metric.
+func (s *Searcher) noteFirstRadius(r float64) {
+	if s.stats.MDijkstraRuns == 1 {
+		s.stats.FirstMDijkstraRadius = r
+	}
+}
+
+// chargeSettleStats adds the run's settled count to the Table 8 metric.
+// The shared workspace tracks its own searches; modified-Dijkstra runs use
+// sparse state, so they are charged here.
+func (s *Searcher) chargeSettleStats(settled int) {
+	s.stats.SettledVertices += int64(settled)
+}
+
+func (s *Searcher) accountCacheBytes() {
+	var b int64
+	for _, e := range s.cache {
+		b += 48 + int64(len(e.items))*40
+	}
+	if b > s.stats.PeakCacheBytes {
+		s.stats.PeakCacheBytes = b
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"skysr/internal/dijkstra"
+	"skysr/internal/graph"
+	"skysr/internal/route"
+)
+
+// runNNinit is Algorithm 3: chain |Sq| nearest-neighbour searches for
+// perfectly matching PoIs to build one sequenced route with semantic score
+// 0, additionally seeding S with every semantically matching PoI settled
+// during the last stage (Example 5.6). The routes it finds initialize the
+// branch-and-bound upper bound; without them the first modified Dijkstra
+// has no threshold and traverses the whole graph (Table 7).
+func (s *Searcher) runNNinit(start graph.VertexID) {
+	began := time.Now()
+	g := s.d.Graph
+	k := len(s.seq)
+	r := route.Empty(s.scorer)
+	from := start
+
+	found := 0
+	var maxSemRoute *route.Route // seed with the largest semantic score
+
+	update := func(cand *route.Route) {
+		if s.destDist != nil {
+			leg := s.destDist[cand.Last()]
+			if math.IsInf(leg, 1) {
+				return
+			}
+			cand = cand.AddLength(leg)
+		}
+		found++
+		if maxSemRoute == nil || cand.Semantic() > maxSemRoute.Semantic() ||
+			(cand.Semantic() == maxSemRoute.Semantic() && cand.Length() < maxSemRoute.Length()) {
+			maxSemRoute = cand
+		}
+		s.sky.Update(cand)
+	}
+
+	for i := 0; i < k; i++ {
+		matcher := s.seq[i]
+		last := i == k-1
+		next := graph.NoVertex
+		nextDist := 0.0
+		s.ws.Run(dijkstra.Options{
+			Sources: []graph.VertexID{from},
+			OnSettle: func(v graph.VertexID, d float64) dijkstra.Control {
+				if !g.IsPoI(v) || r.Contains(v) {
+					return dijkstra.Continue
+				}
+				cats := g.Categories(v)
+				if last {
+					// Every semantic match on the final stage yields a
+					// candidate sequenced route (Algorithm 3 lines 9–11).
+					if sim := matcher.Sim(cats); sim > 0 {
+						update(r.Extend(s.scorer, v, d, sim))
+						if matcher.Perfect(cats) {
+							return dijkstra.Stop
+						}
+					}
+					return dijkstra.Continue
+				}
+				if matcher.Perfect(cats) {
+					next = v
+					nextDist = d
+					return dijkstra.Stop
+				}
+				return dijkstra.Continue
+			},
+		})
+		if last {
+			break
+		}
+		if next == graph.NoVertex {
+			// No reachable perfect match for this position: NNinit cannot
+			// complete; the thresholds stay at the seeds found so far
+			// (none, for intermediate stages) and BSSR proceeds exactly.
+			break
+		}
+		r = r.Extend(s.scorer, next, nextDist, 1.0)
+		from = next
+	}
+
+	s.stats.InitTime = time.Since(began)
+	s.stats.InitRoutes = found
+	s.stats.InitPerfectL = s.sky.ThresholdPerfect()
+	if maxSemRoute != nil && !math.IsInf(s.stats.InitPerfectL, 1) && maxSemRoute.Semantic() > 0 {
+		s.stats.InitRatio = maxSemRoute.Length() / s.stats.InitPerfectL
+	}
+}

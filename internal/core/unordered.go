@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+
+	"skysr/internal/dijkstra"
+	"skysr/internal/graph"
+	"skysr/internal/pq"
+	"skysr/internal/route"
+)
+
+// QueryUnordered answers the "skyline trip planning query" extension (§6):
+// the route must satisfy every requirement of seq exactly once, in any
+// order. Queue entries carry the set of satisfied positions; when a PoI is
+// found it may serve any still-unsatisfied position it semantically
+// matches, and positions already covered are deleted from the search, as
+// the paper sketches.
+//
+// The ordered-only optimizations (Lemma 5.5 path filtering, the §5.3.3 hop
+// bounds) do not transfer to the unordered setting and are disabled here;
+// the branch-and-bound threshold, the priority queue arrangement, NNinit
+// seeding and on-the-fly caching all apply.
+func (s *Searcher) QueryUnordered(start graph.VertexID, seq route.Sequence) (*Result, error) {
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("core: empty sequence")
+	}
+	if len(seq) > 30 {
+		return nil, fmt.Errorf("core: unordered queries support at most 30 positions, got %d", len(seq))
+	}
+	if start < 0 || int(start) >= s.d.Graph.NumVertices() {
+		return nil, fmt.Errorf("core: invalid start vertex %d", start)
+	}
+	began := time.Now()
+	k := len(seq)
+	full := uint32(1)<<k - 1
+	s.seq = seq
+	s.scorer = route.NewScorer(s.opts.Aggregation, k)
+	s.sky = route.NewSkyline()
+	s.stats = Stats{InitPerfectL: math.Inf(1)}
+	s.bounds = nil
+	s.destDist = nil
+	s.ws.ResetStats()
+
+	if s.opts.InitialSearch {
+		s.unorderedInit(start, full)
+	}
+
+	type entry struct {
+		r    *route.Route
+		mask uint32
+	}
+	less := func(a, b entry) bool {
+		if s.opts.ProposedQueue {
+			if a.r.Size() != b.r.Size() {
+				return a.r.Size() > b.r.Size()
+			}
+			if a.r.Semantic() != b.r.Semantic() {
+				return a.r.Semantic() < b.r.Semantic()
+			}
+		}
+		if a.r.Length() != b.r.Length() {
+			return a.r.Length() < b.r.Length()
+		}
+		return a.r.Last() < b.r.Last()
+	}
+	qb := pq.NewHeap(less)
+
+	cache := map[unorderedKey][]unorderedCand{}
+	expand := func(e entry, from graph.VertexID) {
+		cands := s.unorderedNext(e.r, e.mask, from, cache)
+		for _, c := range cands {
+			if e.r.Contains(c.v) {
+				continue
+			}
+			rt := e.r.Extend(s.scorer, c.v, c.dist, c.sim)
+			if rt.Length() >= s.sky.Threshold(rt.Semantic()) {
+				continue
+			}
+			nm := e.mask | 1<<uint(c.pos)
+			if nm == full {
+				s.sky.Update(rt)
+			} else {
+				qb.Push(entry{r: rt, mask: nm})
+				s.stats.RoutesEnqueued++
+				if qb.Len() > s.stats.PeakQueueLen {
+					s.stats.PeakQueueLen = qb.Len()
+				}
+			}
+		}
+	}
+
+	expand(entry{r: route.Empty(s.scorer)}, start)
+	for qb.Len() > 0 {
+		e := qb.Pop()
+		s.stats.RoutesPopped++
+		if e.r.Length() >= s.sky.Threshold(e.r.Semantic()) {
+			s.stats.PrunedThreshold++
+			continue
+		}
+		expand(e, e.r.Last())
+	}
+
+	s.stats.QueryTime = time.Since(began)
+	s.stats.SettledVertices += s.ws.SettledCount()
+	s.stats.Results = s.sky.Len()
+	return &Result{Routes: s.sky.Routes(), Stats: s.stats}, nil
+}
+
+type unorderedKey struct {
+	from graph.VertexID
+	mask uint32
+}
+
+type unorderedCand struct {
+	v    graph.VertexID
+	dist float64
+	sim  float64
+	pos  int
+}
+
+// unorderedNext collects, within the threshold radius, every (PoI,
+// position) pair where the PoI semantically matches a still-unsatisfied
+// position.
+func (s *Searcher) unorderedNext(r *route.Route, mask uint32, from graph.VertexID, cache map[unorderedKey][]unorderedCand) []unorderedCand {
+	radius := s.sky.Threshold(r.Semantic()) - r.Length()
+	if radius <= 0 {
+		return nil
+	}
+	s.stats.MDijkstraRequests++
+	key := unorderedKey{from: from, mask: mask}
+	if s.opts.Caching {
+		// The cached list is complete only if it was produced by an
+		// unbounded exploration; unordered caching stores the unbounded
+		// sweep once per key (simpler than radius bookkeeping and still a
+		// large saving).
+		if items, ok := cache[key]; ok {
+			s.stats.CacheHits++
+			return items
+		}
+	}
+	s.stats.MDijkstraRuns++
+	g := s.d.Graph
+	k := len(s.seq)
+	var items []unorderedCand
+	bound := radius
+	if s.opts.Caching {
+		bound = 0 // unbounded so the entry is reusable at any radius
+	}
+	origin := r.Size() == 0
+	s.ws.Run(dijkstra.Options{
+		Sources: []graph.VertexID{from},
+		Bound:   bound,
+		OnSettle: func(v graph.VertexID, d float64) dijkstra.Control {
+			if !g.IsPoI(v) || (v == from && !origin) {
+				return dijkstra.Continue
+			}
+			cats := g.Categories(v)
+			for pos := 0; pos < k; pos++ {
+				if mask&(1<<uint(pos)) != 0 {
+					continue
+				}
+				if h := s.seq[pos].Sim(cats); h > 0 {
+					items = append(items, unorderedCand{v: v, dist: d, sim: h, pos: pos})
+				}
+			}
+			return dijkstra.Continue
+		},
+	})
+	if s.stats.MDijkstraRuns == 1 {
+		s.stats.FirstMDijkstraRadius = s.ws.LastMaxSettledDist()
+	}
+	if s.opts.Caching {
+		cache[key] = items
+		var b int64
+		for _, is := range cache {
+			b += int64(len(is)) * 32
+		}
+		if b > s.stats.PeakCacheBytes {
+			s.stats.PeakCacheBytes = b
+		}
+	}
+	return items
+}
+
+// unorderedInit greedily chains nearest perfect matches over the remaining
+// positions to seed the upper bound, mirroring NNinit.
+func (s *Searcher) unorderedInit(start graph.VertexID, full uint32) {
+	began := time.Now()
+	g := s.d.Graph
+	r := route.Empty(s.scorer)
+	from := start
+	mask := uint32(0)
+	k := len(s.seq)
+	for mask != full {
+		found := graph.NoVertex
+		foundPos := -1
+		foundDist := 0.0
+		s.ws.Run(dijkstra.Options{
+			Sources: []graph.VertexID{from},
+			OnSettle: func(v graph.VertexID, d float64) dijkstra.Control {
+				if !g.IsPoI(v) || r.Contains(v) {
+					return dijkstra.Continue
+				}
+				cats := g.Categories(v)
+				for pos := 0; pos < k; pos++ {
+					if mask&(1<<uint(pos)) != 0 {
+						continue
+					}
+					if s.seq[pos].Perfect(cats) {
+						found, foundPos, foundDist = v, pos, d
+						return dijkstra.Stop
+					}
+				}
+				return dijkstra.Continue
+			},
+		})
+		if found == graph.NoVertex {
+			break
+		}
+		r = r.Extend(s.scorer, found, foundDist, 1.0)
+		mask |= 1 << uint(foundPos)
+		from = found
+	}
+	if mask == full {
+		s.sky.Update(r)
+		s.stats.InitRoutes = 1
+	}
+	s.stats.InitTime = time.Since(began)
+	s.stats.InitPerfectL = s.sky.ThresholdPerfect()
+	_ = bits.OnesCount32(mask)
+}

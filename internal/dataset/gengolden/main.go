@@ -1,0 +1,29 @@
+// Command gengolden regenerates testdata/paper-example.skysr, the golden
+// fixture of the dataset text format. Run it only when the format changes
+// intentionally:
+//
+//	go run ./internal/dataset/gengolden
+package main
+
+import (
+	"log"
+
+	"skysr/internal/dataset"
+	"skysr/internal/gen"
+)
+
+func main() {
+	ds, _, _ := gen.PaperExample()
+	ratings := make([]float64, ds.Graph.NumVertices())
+	for i := range ratings {
+		ratings[i] = 5
+	}
+	ratings[1] = 3.5
+	ratings[8] = 4
+	if err := ds.SetRatings(ratings); err != nil {
+		log.Fatal(err)
+	}
+	if err := dataset.WriteFile("internal/dataset/testdata/paper-example.skysr", ds); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package dataset
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestGoldenFixtureParses locks the on-disk text format: the checked-in
+// fixture (written by internal/dataset/gengolden) must keep parsing to the
+// same structure. A failure here means the format changed — either fix the
+// regression or consciously regenerate the fixture AND bump the header
+// version.
+func TestGoldenFixtureParses(t *testing.T) {
+	d, err := ReadFile("testdata/paper-example.skysr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "PaperExample" {
+		t.Errorf("name = %q", d.Name)
+	}
+	if d.Graph.NumVertices() != 14 || d.Graph.NumPoIs() != 13 || d.Graph.NumEdges() != 18 {
+		t.Errorf("sizes = %d/%d/%d, want 14/13/18",
+			d.Graph.NumVertices(), d.Graph.NumPoIs(), d.Graph.NumEdges())
+	}
+	if d.Forest.NumCategories() != 7 || d.Forest.NumTrees() != 3 {
+		t.Errorf("forest = %d categories / %d trees, want 7/3",
+			d.Forest.NumCategories(), d.Forest.NumTrees())
+	}
+	if !d.HasRatings() {
+		t.Fatal("golden fixture carries ratings")
+	}
+	if d.Rating(1) != 3.5 || d.Rating(8) != 4 || d.Rating(2) != 5 {
+		t.Errorf("ratings = %v/%v/%v, want 3.5/4/5", d.Rating(1), d.Rating(8), d.Rating(2))
+	}
+	// The Figure 1 semantics must hold: D(vq, p2) = 6 via the direct edge.
+	if w, ok := d.Graph.EdgeWeight(0, 2); !ok || w != 6 {
+		t.Errorf("vq-p2 edge = %v, %v", w, ok)
+	}
+}
+
+// TestGoldenFixtureByteStable: writing the parsed fixture back must
+// reproduce the file byte for byte — the writer and parser are inverses on
+// canonical files.
+func TestGoldenFixtureByteStable(t *testing.T) {
+	raw, err := os.ReadFile("testdata/paper-example.skysr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadFile("testdata/paper-example.skysr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != string(raw) {
+		t.Error("round-tripped golden file differs byte-wise; format drift?")
+	}
+}

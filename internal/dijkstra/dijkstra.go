@@ -1,0 +1,244 @@
+// Package dijkstra implements the shortest-path machinery the paper's
+// algorithms are built from: bounded single-source searches (the skeleton
+// of Algorithm 2), multi-source multi-destination searches (Algorithm 4,
+// Lemma 5.9), an incremental nearest-neighbour iterator (the primitive
+// behind the PNE baseline), and path reconstruction for presenting final
+// routes.
+//
+// A Workspace amortizes the per-search arrays across the many Dijkstra
+// executions a single SkySR query performs (the paper counts hundreds,
+// Figure 5): arrays are epoch-stamped so resetting between runs is O(1).
+package dijkstra
+
+import (
+	"math"
+
+	"skysr/internal/graph"
+	"skysr/internal/pq"
+)
+
+// Control tells Run how to proceed after settling a vertex.
+type Control int
+
+const (
+	// Continue settles the vertex and relaxes its out-edges.
+	Continue Control = iota
+	// SkipExpand settles the vertex but does not relax its out-edges
+	// (Lemma 5.5: do not traverse through a perfectly matching PoI).
+	SkipExpand
+	// Stop terminates the search immediately.
+	Stop
+)
+
+// Settled is a vertex together with its final shortest-path distance.
+type Settled struct {
+	V    graph.VertexID
+	Dist float64
+}
+
+// Options configures one Run.
+type Options struct {
+	// Sources are settled at distance zero. Multiple sources give the
+	// multi-source search of Lemma 5.9.
+	Sources []graph.VertexID
+	// Bound, when positive, stops the search as soon as the next settled
+	// distance is ≥ Bound (the Lemma 5.3 cut in Algorithm 2 line 8).
+	// Zero or negative means unbounded.
+	Bound float64
+	// OnSettle, when non-nil, observes every settled vertex in ascending
+	// distance order and steers the search.
+	OnSettle func(v graph.VertexID, d float64) Control
+}
+
+// Workspace holds the reusable state for searches over one graph. It is
+// not safe for concurrent use.
+type Workspace struct {
+	g       *graph.Graph
+	dist    []float64
+	parent  []graph.VertexID
+	stamp   []uint32
+	settled []uint32
+	epoch   uint32
+	heap    *pq.IndexedHeap
+
+	// stats
+	settledCount  int64
+	relaxedCount  int64
+	runCount      int64
+	lastMaxSettle float64
+}
+
+// New returns a Workspace for g.
+func New(g *graph.Graph) *Workspace {
+	n := g.NumVertices()
+	return &Workspace{
+		g:       g,
+		dist:    make([]float64, n),
+		parent:  make([]graph.VertexID, n),
+		stamp:   make([]uint32, n),
+		settled: make([]uint32, n),
+		heap:    pq.NewIndexedHeap(n),
+	}
+}
+
+// Graph returns the graph the workspace searches.
+func (w *Workspace) Graph() *graph.Graph { return w.g }
+
+// SettledCount returns the total number of vertices settled across all
+// runs (the Table 8 "number of visited vertices" metric).
+func (w *Workspace) SettledCount() int64 { return w.settledCount }
+
+// RelaxedCount returns the total number of edge relaxations attempted.
+func (w *Workspace) RelaxedCount() int64 { return w.relaxedCount }
+
+// RunCount returns the number of Run invocations (the Figure 5 "number of
+// Dijkstra executions" metric).
+func (w *Workspace) RunCount() int64 { return w.runCount }
+
+// LastMaxSettledDist returns the largest distance settled by the most
+// recent run — the explored radius, the paper's "weight sum" proxy for
+// search space (Table 7).
+func (w *Workspace) LastMaxSettledDist() float64 { return w.lastMaxSettle }
+
+// ResetStats zeroes the cumulative counters.
+func (w *Workspace) ResetStats() {
+	w.settledCount = 0
+	w.relaxedCount = 0
+	w.runCount = 0
+	w.lastMaxSettle = 0
+}
+
+// Run executes one Dijkstra search and returns the number of settled
+// vertices. Distances and parents of the run remain queryable via Dist and
+// PathTo until the next Run.
+func (w *Workspace) Run(opts Options) int {
+	w.epoch++
+	w.runCount++
+	w.lastMaxSettle = 0
+	w.heap.Reset()
+	bound := opts.Bound
+	if bound <= 0 {
+		bound = math.Inf(1)
+	}
+	for _, s := range opts.Sources {
+		w.dist[s] = 0
+		w.parent[s] = graph.NoVertex
+		w.stamp[s] = w.epoch
+		w.heap.PushOrDecrease(s, 0)
+	}
+	count := 0
+	for w.heap.Len() > 0 {
+		v, d := w.heap.Pop()
+		if d >= bound {
+			break
+		}
+		w.settled[v] = w.epoch
+		w.settledCount++
+		count++
+		w.lastMaxSettle = d
+
+		ctrl := Continue
+		if opts.OnSettle != nil {
+			ctrl = opts.OnSettle(v, d)
+		}
+		if ctrl == Stop {
+			break
+		}
+		if ctrl == SkipExpand {
+			continue
+		}
+		ts, ws := w.g.Neighbors(v)
+		for i, t := range ts {
+			if w.settled[t] == w.epoch {
+				continue
+			}
+			nd := d + ws[i]
+			w.relaxedCount++
+			if nd >= bound {
+				continue
+			}
+			if w.stamp[t] != w.epoch || nd < w.dist[t] {
+				w.dist[t] = nd
+				w.parent[t] = v
+				w.stamp[t] = w.epoch
+				w.heap.PushOrDecrease(t, nd)
+			}
+		}
+	}
+	return count
+}
+
+// Dist returns the distance of v computed by the most recent Run and
+// whether v was reached (settled or still queued with a tentative value;
+// for settled vertices the value is final).
+func (w *Workspace) Dist(v graph.VertexID) (float64, bool) {
+	if w.stamp[v] != w.epoch {
+		return 0, false
+	}
+	return w.dist[v], true
+}
+
+// WasSettled reports whether v was settled by the most recent Run.
+func (w *Workspace) WasSettled(v graph.VertexID) bool {
+	return w.settled[v] == w.epoch
+}
+
+// PathTo reconstructs the vertex path from the (nearest) source to v for
+// the most recent Run. It returns nil when v was not reached.
+func (w *Workspace) PathTo(v graph.VertexID) []graph.VertexID {
+	if w.stamp[v] != w.epoch {
+		return nil
+	}
+	var rev []graph.VertexID
+	for cur := v; cur != graph.NoVertex; cur = w.parent[cur] {
+		rev = append(rev, cur)
+		if w.parent[cur] != graph.NoVertex && w.stamp[w.parent[cur]] != w.epoch {
+			return nil // defensive: broken parent chain
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Distance returns the network distance D(u, v) (Definition 3.5), or +Inf
+// when v is unreachable from u. The search stops as soon as v settles.
+func (w *Workspace) Distance(u, v graph.VertexID) float64 {
+	if u == v {
+		return 0
+	}
+	found := math.Inf(1)
+	w.Run(Options{
+		Sources: []graph.VertexID{u},
+		OnSettle: func(x graph.VertexID, d float64) Control {
+			if x == v {
+				found = d
+				return Stop
+			}
+			return Continue
+		},
+	})
+	return found
+}
+
+// MinDistance runs the multi-source multi-destination search of Algorithm
+// 4: all sources start at distance zero and the search stops at the first
+// settled vertex for which isDest returns true (Lemma 5.9 guarantees it is
+// the closest). bound limits the explored radius (≤ 0 for unbounded). ok is
+// false when no destination lies within the bound.
+func (w *Workspace) MinDistance(sources []graph.VertexID, isDest func(v graph.VertexID) bool, bound float64) (d float64, at graph.VertexID, ok bool) {
+	at = graph.NoVertex
+	w.Run(Options{
+		Sources: sources,
+		Bound:   bound,
+		OnSettle: func(v graph.VertexID, dist float64) Control {
+			if isDest(v) {
+				d, at, ok = dist, v, true
+				return Stop
+			}
+			return Continue
+		},
+	})
+	return d, at, ok
+}

@@ -1,0 +1,403 @@
+package dijkstra
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"skysr/internal/geo"
+	"skysr/internal/graph"
+)
+
+// randomConnectedGraph builds an undirected graph with n vertices: a random
+// spanning tree plus extra random edges, ensuring connectivity.
+func randomConnectedGraph(rng *rand.Rand, n, extraEdges int) *graph.Graph {
+	b := graph.NewBuilder(false)
+	for i := 0; i < n; i++ {
+		b.AddVertex(geo.Point{Lon: rng.Float64(), Lat: rng.Float64()})
+	}
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		b.AddEdge(graph.VertexID(i), graph.VertexID(j), 1+rng.Float64()*9)
+	}
+	for e := 0; e < extraEdges; e++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u != v {
+			b.AddEdge(graph.VertexID(u), graph.VertexID(v), 1+rng.Float64()*9)
+		}
+	}
+	return b.Build()
+}
+
+// floydWarshall computes all-pairs shortest distances by brute force.
+func floydWarshall(g *graph.Graph) [][]float64 {
+	n := g.NumVertices()
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = math.Inf(1)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		ts, ws := g.Neighbors(graph.VertexID(v))
+		for i, t := range ts {
+			if ws[i] < d[v][t] {
+				d[v][t] = ws[i]
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if nd := d[i][k] + d[k][j]; nd < d[i][j] {
+					d[i][j] = nd
+				}
+			}
+		}
+	}
+	return d
+}
+
+func TestDijkstraMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + rng.Intn(30)
+		g := randomConnectedGraph(rng, n, n)
+		want := floydWarshall(g)
+		w := New(g)
+		for src := 0; src < n; src++ {
+			w.Run(Options{Sources: []graph.VertexID{graph.VertexID(src)}})
+			for v := 0; v < n; v++ {
+				got, ok := w.Dist(graph.VertexID(v))
+				if !ok {
+					t.Fatalf("vertex %d unreachable from %d in connected graph", v, src)
+				}
+				if math.Abs(got-want[src][v]) > 1e-9 {
+					t.Fatalf("dist(%d,%d) = %v, want %v", src, v, got, want[src][v])
+				}
+			}
+		}
+	}
+}
+
+func TestSettleOrderIsAscending(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomConnectedGraph(rng, 50, 80)
+	w := New(g)
+	last := -1.0
+	w.Run(Options{
+		Sources: []graph.VertexID{0},
+		OnSettle: func(v graph.VertexID, d float64) Control {
+			if d < last {
+				t.Fatalf("settle order regressed: %v after %v", d, last)
+			}
+			last = d
+			return Continue
+		},
+	})
+}
+
+func TestBoundCutsSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomConnectedGraph(rng, 60, 90)
+	w := New(g)
+	full := w.Run(Options{Sources: []graph.VertexID{0}})
+	// Find the median settled distance to use as a bound.
+	var dists []float64
+	for v := 0; v < g.NumVertices(); v++ {
+		if d, ok := w.Dist(graph.VertexID(v)); ok && w.WasSettled(graph.VertexID(v)) {
+			dists = append(dists, d)
+		}
+	}
+	bound := dists[len(dists)/2]
+	if bound <= 0 {
+		t.Skip("degenerate bound")
+	}
+	cut := w.Run(Options{Sources: []graph.VertexID{0}, Bound: bound})
+	if cut >= full {
+		t.Errorf("bounded run settled %d, unbounded %d", cut, full)
+	}
+	// Every settled vertex must be strictly within the bound.
+	for v := 0; v < g.NumVertices(); v++ {
+		if w.WasSettled(graph.VertexID(v)) {
+			d, _ := w.Dist(graph.VertexID(v))
+			if d >= bound {
+				t.Errorf("settled vertex %d at %v ≥ bound %v", v, d, bound)
+			}
+		}
+	}
+}
+
+func TestStopControl(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomConnectedGraph(rng, 40, 40)
+	w := New(g)
+	settles := 0
+	w.Run(Options{
+		Sources: []graph.VertexID{0},
+		OnSettle: func(v graph.VertexID, d float64) Control {
+			settles++
+			if settles == 5 {
+				return Stop
+			}
+			return Continue
+		},
+	})
+	if settles != 5 {
+		t.Errorf("settled %d, want stop at 5", settles)
+	}
+}
+
+func TestSkipExpandBlocksTraversal(t *testing.T) {
+	// Line 0-1-2: skipping expansion at 1 must leave 2 unreached.
+	b := graph.NewBuilder(false)
+	for i := 0; i < 3; i++ {
+		b.AddVertex(geo.Point{Lon: float64(i)})
+	}
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	g := b.Build()
+	w := New(g)
+	w.Run(Options{
+		Sources: []graph.VertexID{0},
+		OnSettle: func(v graph.VertexID, d float64) Control {
+			if v == 1 {
+				return SkipExpand
+			}
+			return Continue
+		},
+	})
+	if _, ok := w.Dist(2); ok {
+		t.Error("vertex 2 should be unreached when expansion through 1 is skipped")
+	}
+}
+
+func TestDistanceHelper(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomConnectedGraph(rng, 30, 30)
+	want := floydWarshall(g)
+	w := New(g)
+	for trial := 0; trial < 50; trial++ {
+		u := graph.VertexID(rng.Intn(30))
+		v := graph.VertexID(rng.Intn(30))
+		got := w.Distance(u, v)
+		if math.Abs(got-want[u][v]) > 1e-9 {
+			t.Fatalf("Distance(%d,%d) = %v, want %v", u, v, got, want[u][v])
+		}
+	}
+	if d := w.Distance(3, 3); d != 0 {
+		t.Errorf("Distance(v,v) = %v, want 0", d)
+	}
+}
+
+func TestDistanceUnreachable(t *testing.T) {
+	b := graph.NewBuilder(false)
+	b.AddVertex(geo.Point{})
+	b.AddVertex(geo.Point{Lon: 1})
+	b.AddVertex(geo.Point{Lon: 2})
+	b.AddVertex(geo.Point{Lon: 3})
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	g := b.Build()
+	w := New(g)
+	if d := w.Distance(0, 3); !math.IsInf(d, 1) {
+		t.Errorf("unreachable Distance = %v, want +Inf", d)
+	}
+}
+
+func TestMinDistanceMultiSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := randomConnectedGraph(rng, 40, 60)
+	want := floydWarshall(g)
+	w := New(g)
+	sources := []graph.VertexID{0, 7, 13}
+	dests := map[graph.VertexID]bool{22: true, 31: true, 5: true}
+	gotD, gotAt, ok := w.MinDistance(sources, func(v graph.VertexID) bool { return dests[v] }, 0)
+	if !ok {
+		t.Fatal("expected a destination")
+	}
+	best := math.Inf(1)
+	for _, s := range sources {
+		for d := range dests {
+			if want[s][d] < best {
+				best = want[s][d]
+			}
+		}
+	}
+	if math.Abs(gotD-best) > 1e-9 {
+		t.Fatalf("MinDistance = %v at %d, brute force %v", gotD, gotAt, best)
+	}
+	if !dests[gotAt] {
+		t.Errorf("MinDistance settled at non-destination %d", gotAt)
+	}
+}
+
+func TestMinDistanceBounded(t *testing.T) {
+	b := graph.NewBuilder(false)
+	for i := 0; i < 3; i++ {
+		b.AddVertex(geo.Point{Lon: float64(i)})
+	}
+	b.AddEdge(0, 1, 5)
+	b.AddEdge(1, 2, 5)
+	g := b.Build()
+	w := New(g)
+	_, _, ok := w.MinDistance([]graph.VertexID{0}, func(v graph.VertexID) bool { return v == 2 }, 6)
+	if ok {
+		t.Error("destination at distance 10 must not be found within bound 6")
+	}
+	d, at, ok := w.MinDistance([]graph.VertexID{0}, func(v graph.VertexID) bool { return v == 2 }, 11)
+	if !ok || at != 2 || math.Abs(d-10) > 1e-9 {
+		t.Errorf("bounded MinDistance = (%v, %d, %v), want (10, 2, true)", d, at, ok)
+	}
+}
+
+func TestPathTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomConnectedGraph(rng, 30, 40)
+	w := New(g)
+	w.Run(Options{Sources: []graph.VertexID{0}})
+	for v := graph.VertexID(0); int(v) < g.NumVertices(); v++ {
+		path := w.PathTo(v)
+		if len(path) == 0 {
+			t.Fatalf("no path to %d", v)
+		}
+		if path[0] != 0 || path[len(path)-1] != v {
+			t.Fatalf("path endpoints wrong: %v", path)
+		}
+		// The path's edge weights must sum to the reported distance.
+		sum := 0.0
+		for i := 0; i+1 < len(path); i++ {
+			wgt, ok := g.EdgeWeight(path[i], path[i+1])
+			if !ok {
+				t.Fatalf("path uses missing edge %d-%d", path[i], path[i+1])
+			}
+			sum += wgt
+		}
+		d, _ := w.Dist(v)
+		if math.Abs(sum-d) > 1e-9 {
+			t.Fatalf("path length %v != dist %v", sum, d)
+		}
+	}
+}
+
+func TestPathToUnreached(t *testing.T) {
+	b := graph.NewBuilder(false)
+	b.AddVertex(geo.Point{})
+	b.AddVertex(geo.Point{Lon: 1})
+	b.AddVertex(geo.Point{Lon: 2})
+	b.AddEdge(0, 1, 1)
+	g := b.Build()
+	w := New(g)
+	w.Run(Options{Sources: []graph.VertexID{0}})
+	if p := w.PathTo(2); p != nil {
+		t.Errorf("PathTo(unreached) = %v, want nil", p)
+	}
+}
+
+func TestDirectedGraphSearch(t *testing.T) {
+	b := graph.NewBuilder(true)
+	for i := 0; i < 3; i++ {
+		b.AddVertex(geo.Point{Lon: float64(i)})
+	}
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 0, 10)
+	g := b.Build()
+	w := New(g)
+	if d := w.Distance(0, 2); math.Abs(d-2) > 1e-9 {
+		t.Errorf("directed 0->2 = %v, want 2", d)
+	}
+	if d := w.Distance(2, 1); math.Abs(d-11) > 1e-9 {
+		t.Errorf("directed 2->1 = %v, want 11 (via the back arc)", d)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randomConnectedGraph(rng, 30, 30)
+	w := New(g)
+	w.Run(Options{Sources: []graph.VertexID{0}})
+	if w.RunCount() != 1 || w.SettledCount() == 0 || w.RelaxedCount() == 0 {
+		t.Error("stats not recorded")
+	}
+	if w.LastMaxSettledDist() <= 0 {
+		t.Error("max settled distance should be positive")
+	}
+	w.ResetStats()
+	if w.RunCount() != 0 || w.SettledCount() != 0 || w.RelaxedCount() != 0 {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+func TestIteratorMatchesWorkspaceOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomConnectedGraph(rng, 40, 60)
+	w := New(g)
+	var wsOrder []Settled
+	w.Run(Options{
+		Sources: []graph.VertexID{0},
+		OnSettle: func(v graph.VertexID, d float64) Control {
+			wsOrder = append(wsOrder, Settled{V: v, Dist: d})
+			return Continue
+		},
+	})
+	it := NewIterator(g, 0)
+	for i := 0; ; i++ {
+		s, ok := it.Next()
+		if !ok {
+			if i != len(wsOrder) {
+				t.Fatalf("iterator exhausted after %d, workspace settled %d", i, len(wsOrder))
+			}
+			break
+		}
+		if i >= len(wsOrder) {
+			t.Fatalf("iterator produced extra vertex %v", s)
+		}
+		if math.Abs(s.Dist-wsOrder[i].Dist) > 1e-9 {
+			t.Fatalf("iterator settle %d dist %v, workspace %v", i, s.Dist, wsOrder[i].Dist)
+		}
+	}
+}
+
+func TestIteratorResumable(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g := randomConnectedGraph(rng, 30, 30)
+	it := NewIterator(g, 5)
+	var first []Settled
+	for i := 0; i < 10; i++ {
+		s, ok := it.Next()
+		if !ok {
+			break
+		}
+		first = append(first, s)
+	}
+	// Resume: distances must keep ascending from where we stopped.
+	last := first[len(first)-1].Dist
+	for {
+		s, ok := it.Next()
+		if !ok {
+			break
+		}
+		if s.Dist < last {
+			t.Fatalf("resumed iterator regressed: %v < %v", s.Dist, last)
+		}
+		last = s.Dist
+	}
+	if it.ExploredBytes() <= 0 {
+		t.Error("ExploredBytes should be positive")
+	}
+}
+
+func BenchmarkDijkstraFullGraph(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomConnectedGraph(rng, 5000, 10000)
+	w := New(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Run(Options{Sources: []graph.VertexID{graph.VertexID(i % 5000)}})
+	}
+}

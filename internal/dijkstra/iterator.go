@@ -1,0 +1,71 @@
+package dijkstra
+
+import (
+	"skysr/internal/graph"
+	"skysr/internal/pq"
+)
+
+// Iterator enumerates the vertices reachable from a source in ascending
+// distance order, one settle per Next call, and can be paused and resumed
+// at any point. The PNE baseline (§2, Sharifzadeh et al.) uses one
+// iterator per (PoI, category) pair as its incremental nearest-neighbour
+// primitive.
+//
+// Unlike Workspace, an Iterator keeps sparse per-instance state (maps), so
+// an arbitrary number of iterators can be live at once at memory cost
+// proportional to what each has explored.
+type Iterator struct {
+	g    *graph.Graph
+	heap *pq.Heap[Settled]
+	best map[graph.VertexID]float64
+	done map[graph.VertexID]bool
+}
+
+// NewIterator returns an iterator rooted at source.
+func NewIterator(g *graph.Graph, source graph.VertexID) *Iterator {
+	it := &Iterator{
+		g: g,
+		heap: pq.NewHeap[Settled](func(a, b Settled) bool {
+			if a.Dist != b.Dist {
+				return a.Dist < b.Dist
+			}
+			return a.V < b.V
+		}),
+		best: make(map[graph.VertexID]float64),
+		done: make(map[graph.VertexID]bool),
+	}
+	it.heap.Push(Settled{V: source, Dist: 0})
+	it.best[source] = 0
+	return it
+}
+
+// Next settles and returns the next-closest vertex. ok is false when the
+// reachable component is exhausted.
+func (it *Iterator) Next() (Settled, bool) {
+	for it.heap.Len() > 0 {
+		s := it.heap.Pop()
+		if it.done[s.V] {
+			continue // stale duplicate entry
+		}
+		it.done[s.V] = true
+		ts, ws := it.g.Neighbors(s.V)
+		for i, t := range ts {
+			if it.done[t] {
+				continue
+			}
+			nd := s.Dist + ws[i]
+			if cur, seen := it.best[t]; !seen || nd < cur {
+				it.best[t] = nd
+				it.heap.Push(Settled{V: t, Dist: nd})
+			}
+		}
+		return s, true
+	}
+	return Settled{}, false
+}
+
+// ExploredBytes estimates the memory held by the iterator, for the Table 6
+// accounting.
+func (it *Iterator) ExploredBytes() int64 {
+	return int64(len(it.best))*24 + int64(len(it.done))*16 + int64(it.heap.Len())*16
+}

@@ -1,0 +1,321 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"skysr/internal/dijkstra"
+	"skysr/internal/geo"
+	"skysr/internal/graph"
+	"skysr/internal/taxonomy"
+)
+
+func smallConfig(model Model) Config {
+	return Config{
+		Name:         "small",
+		Seed:         1,
+		Model:        model,
+		Vertices:     200,
+		Bounds:       geo.NewRect(0, 0, 1, 1),
+		Irregularity: 0.3,
+		ShortcutFrac: 0.05,
+		PoIs:         80,
+		Forest:       taxonomy.FoursquareLike(),
+		CategorySkew: 0.7,
+		Clustering:   0.5,
+		Hotspots:     3,
+	}
+}
+
+func TestBuildGridDataset(t *testing.T) {
+	d, err := Build(smallConfig(GridModel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Graph
+	if !g.IsConnected() {
+		t.Fatal("generated graph must be connected")
+	}
+	if g.NumPoIs() != 80 {
+		t.Errorf("PoIs = %d, want 80", g.NumPoIs())
+	}
+	if g.NumRoadVertices() < 150 {
+		t.Errorf("road vertices = %d, want ≈200", g.NumRoadVertices())
+	}
+	// Every edge weight must be non-negative and finite.
+	for v := graph.VertexID(0); int(v) < g.NumVertices(); v++ {
+		_, ws := g.Neighbors(v)
+		for _, w := range ws {
+			if w < 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+				t.Fatalf("bad edge weight %v", w)
+			}
+		}
+	}
+}
+
+func TestBuildGeometricDataset(t *testing.T) {
+	d, err := Build(smallConfig(GeometricModel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Graph.IsConnected() {
+		t.Fatal("geometric graph must be connected")
+	}
+	if d.Graph.NumPoIs() != 80 {
+		t.Errorf("PoIs = %d, want 80", d.Graph.NumPoIs())
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(smallConfig(GridModel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(smallConfig(GridModel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumVertices() != b.Graph.NumVertices() || a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("same seed should give identical sizes")
+	}
+	for v := graph.VertexID(0); int(v) < a.Graph.NumVertices(); v++ {
+		if a.Graph.Point(v) != b.Graph.Point(v) {
+			t.Fatalf("vertex %d differs between equal-seed builds", v)
+		}
+	}
+	c := smallConfig(GridModel)
+	c.Seed = 2
+	cDs, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for v := graph.VertexID(0); int(v) < min(a.Graph.NumVertices(), cDs.Graph.NumVertices()); v++ {
+		if a.Graph.Point(v) != cDs.Graph.Point(v) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	base := smallConfig(GridModel)
+	cases := map[string]func(c *Config){
+		"too few vertices": func(c *Config) { c.Vertices = 2 },
+		"nil forest":       func(c *Config) { c.Forest = nil },
+		"negative pois":    func(c *Config) { c.PoIs = -1 },
+		"empty bounds":     func(c *Config) { c.Bounds = geo.Rect{} },
+		"bad clustering":   func(c *Config) { c.Clustering = 2 },
+		"bad irregularity": func(c *Config) { c.Irregularity = -0.5 },
+		"no hotspots":      func(c *Config) { c.Clustering = 0.5; c.Hotspots = 0 },
+		"bad model":        func(c *Config) { c.Model = Model(99) },
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			c := base
+			mutate(&c)
+			if _, err := Build(c); err == nil {
+				t.Errorf("%s should fail", name)
+			}
+		})
+	}
+}
+
+func TestCategorySkewBiasesCounts(t *testing.T) {
+	c := smallConfig(GridModel)
+	c.PoIs = 400
+	c.CategorySkew = 1.2
+	d, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[taxonomy.CategoryID]int{}
+	for _, p := range d.Graph.PoIVertices() {
+		counts[d.Graph.PrimaryCategory(p)]++
+	}
+	max, min := 0, 1<<30
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+		if n < min {
+			min = n
+		}
+	}
+	if max < 3*min && max < 10 {
+		t.Errorf("expected biased category counts, got max=%d min=%d", max, min)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		t.Run(name, func(t *testing.T) {
+			d, err := BuildPreset(name, 0.05, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !d.Graph.IsConnected() {
+				t.Error("preset graph must be connected")
+			}
+			st := d.Stats()
+			if st.PoIVertices == 0 || st.RoadVertices == 0 || st.Edges == 0 {
+				t.Errorf("degenerate preset stats: %+v", st)
+			}
+		})
+	}
+	// The Cal preset must have more PoIs than road vertices (Table 5:
+	// 87k PoIs vs 21k vertices).
+	cal, err := BuildPreset("cal", 0.05, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Graph.NumPoIs() <= cal.Graph.NumRoadVertices() {
+		t.Errorf("cal should have |P| > |V|: %d vs %d", cal.Graph.NumPoIs(), cal.Graph.NumRoadVertices())
+	}
+	if _, err := Preset("unknown", 1, 1); err == nil {
+		t.Error("unknown preset should fail")
+	}
+	if _, err := Preset("tokyo", 0, 1); err == nil {
+		t.Error("zero scale should fail")
+	}
+}
+
+func TestQueriesProtocol(t *testing.T) {
+	d, err := BuildPreset("tokyo", 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := Queries(d, 50, 3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 50 {
+		t.Fatalf("got %d queries, want 50", len(qs))
+	}
+	for _, q := range qs {
+		if len(q.Categories) != 3 {
+			t.Fatalf("sequence length %d, want 3", len(q.Categories))
+		}
+		if q.Start < 0 || int(q.Start) >= d.Graph.NumVertices() {
+			t.Fatalf("start %d out of range", q.Start)
+		}
+		trees := map[taxonomy.TreeID]bool{}
+		for _, c := range q.Categories {
+			if !d.Forest.IsLeaf(c) {
+				t.Fatalf("category %s is not a leaf", d.Forest.Name(c))
+			}
+			tr := d.Forest.Tree(c)
+			if trees[tr] {
+				t.Fatalf("duplicate tree in sequence (§7.1 requires distinct trees)")
+			}
+			trees[tr] = true
+			if len(d.PoIsExact(c)) == 0 {
+				t.Fatalf("category %s has no PoIs", d.Forest.Name(c))
+			}
+		}
+	}
+	// Deterministic in seed.
+	qs2, err := Queries(d, 50, 3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if qs[i].Start != qs2[i].Start {
+			t.Fatal("workload not deterministic")
+		}
+	}
+}
+
+func TestQueriesErrors(t *testing.T) {
+	d, err := BuildPreset("tokyo", 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Queries(d, 5, 0, 1); err == nil {
+		t.Error("zero sequence length should fail")
+	}
+	if _, err := Queries(d, 5, 100, 1); err == nil {
+		t.Error("sequence longer than tree count should fail")
+	}
+}
+
+// TestPaperExampleDistances verifies the reconstructed Figure 1 network
+// reproduces every distance the paper's worked examples state.
+func TestPaperExampleDistances(t *testing.T) {
+	ds, vq, seq := PaperExample()
+	g := ds.Graph
+	if g.NumPoIs() != 13 {
+		t.Fatalf("PoIs = %d, want 13", g.NumPoIs())
+	}
+	if len(seq) != 3 {
+		t.Fatalf("sequence length = %d, want 3", len(seq))
+	}
+	w := dijkstra.New(g)
+	p := func(n int) graph.VertexID { return graph.VertexID(n) }
+	dist := func(u, v graph.VertexID) float64 { return w.Distance(u, v) }
+
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"D(vq,p2)=6 (Table 4 step 1)", dist(vq, p(2)), 6},
+		{"D(vq,p10)=8 (Table 4 step 1)", dist(vq, p(10)), 8},
+		{"D(p2,p5)+D(p5,p7) makes l(⟨p2,p5,p7⟩)=12 (Example 5.6)", 6 + dist(p(2), p(5)) + dist(p(5), p(7)), 12},
+		{"l(⟨p2,p5,p8⟩)=15 (Example 5.6)", 6 + dist(p(2), p(5)) + dist(p(5), p(8)), 15},
+		{"l(⟨p10,p12,p13⟩)=13 (Table 4 step 6 threshold)", dist(vq, p(10)) + dist(p(10), p(12)) + dist(p(12), p(13)), 13},
+		{"ls[1]=2 attained p6→p9 (Example 5.10)", dist(p(6), p(9)), 2},
+		{"ls[2]=1 attained p12→p13 (Example 5.10)", dist(p(12), p(13)), 1},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 1e-9 {
+			t.Errorf("%s: got %v, want %v", c.name, c.got, c.want)
+		}
+	}
+
+	// ls[1] must be the minimum over all Food-tree → A&E-tree pairs.
+	foodPoIs := ds.PoIsInTree(seq[0])
+	aePoIs := ds.PoIsInTree(seq[1])
+	shopPoIs := ds.PoIsInTree(seq[2])
+	if len(foodPoIs) != 5 || len(aePoIs) != 3 || len(shopPoIs) != 5 {
+		t.Fatalf("tree PoI counts = %d/%d/%d, want 5/3/5 (Example 5.10)", len(foodPoIs), len(aePoIs), len(shopPoIs))
+	}
+	min1 := math.Inf(1)
+	for _, a := range foodPoIs {
+		for _, bPoI := range aePoIs {
+			if d := dist(a, bPoI); d < min1 {
+				min1 = d
+			}
+		}
+	}
+	if math.Abs(min1-2) > 1e-9 {
+		t.Errorf("ls[1] = %v, want 2", min1)
+	}
+	min2 := math.Inf(1)
+	for _, a := range aePoIs {
+		for _, bPoI := range shopPoIs {
+			if d := dist(a, bPoI); d < min2 {
+				min2 = d
+			}
+		}
+	}
+	if math.Abs(min2-1) > 1e-9 {
+		t.Errorf("ls[2] = %v, want 1", min2)
+	}
+
+	// The shortest p2→p12 path must pass through p5 (Table 4 step 2).
+	w.Run(dijkstra.Options{Sources: []graph.VertexID{p(2)}})
+	path := w.PathTo(p(12))
+	through := false
+	for _, v := range path[1 : len(path)-1] {
+		if v == p(5) {
+			through = true
+		}
+	}
+	if !through {
+		t.Errorf("shortest p2→p12 path %v should pass through p5", path)
+	}
+}

@@ -1,0 +1,99 @@
+package gen
+
+import (
+	"fmt"
+
+	"skysr/internal/dataset"
+	"skysr/internal/geo"
+	"skysr/internal/taxonomy"
+)
+
+// Preset returns the configuration for one of the paper's three evaluation
+// datasets (Table 5), scaled down by the given factor.
+//
+// scale = 1.0 corresponds to roughly 1:100 of the paper's sizes, which
+// keeps the full experiment suite laptop-fast while preserving the ratios
+// the evaluation depends on:
+//
+//	Tokyo: |P|/|V| ≈ 0.43, |E|/|V| ≈ 1.24, moderate PoI spread
+//	       (its spread-out PoIs make the Figure 4 bounds effective)
+//	NYC:   |P|/|V| ≈ 0.39, |E|/|V| ≈ 1.50, strongly clustered PoIs
+//	Cal:   |P|/|V| ≈ 4.15, |E|/|V| ≈ 1.29 on a sparse geometric network,
+//	       Cal-like generated forest (63 leaf categories), clustered PoIs
+func Preset(name string, scale float64, seed int64) (Config, error) {
+	if scale <= 0 {
+		return Config{}, fmt.Errorf("gen: scale must be positive, got %v", scale)
+	}
+	switch name {
+	case "tokyo":
+		return Config{
+			Name:         "Tokyo",
+			Seed:         seed,
+			Model:        GridModel,
+			Vertices:     iscale(4000, scale),
+			Bounds:       geo.NewRect(139.60, 35.55, 139.92, 35.82), // central Tokyo
+			Irregularity: 0.35,
+			ShortcutFrac: 0.04,
+			PoIs:         iscale(1740, scale),
+			Forest:       taxonomy.FoursquareLike(),
+			CategorySkew: 0.8,
+			Clustering:   0.35,
+			Hotspots:     12,
+			Ratings:      true,
+		}, nil
+	case "nyc":
+		return Config{
+			Name:         "NYC",
+			Seed:         seed,
+			Model:        GridModel,
+			Vertices:     iscale(11500, scale),
+			Bounds:       geo.NewRect(-74.05, 40.60, -73.75, 40.90), // New York City
+			Irregularity: 0.20,
+			ShortcutFrac: 0.15,
+			PoIs:         iscale(4510, scale),
+			Forest:       taxonomy.FoursquareLike(),
+			CategorySkew: 0.9,
+			Clustering:   0.80,
+			Hotspots:     6,
+			Ratings:      true,
+		}, nil
+	case "cal":
+		return Config{
+			Name:         "Cal",
+			Seed:         seed,
+			Model:        GeometricModel,
+			Vertices:     iscale(2100, scale),
+			Bounds:       geo.NewRect(-124.4, 32.5, -114.1, 42.0), // California
+			Irregularity: 0.0,
+			ShortcutFrac: 0.0,
+			PoIs:         iscale(8700, scale),
+			Forest:       taxonomy.CalLike(),
+			CategorySkew: 0.6,
+			Clustering:   0.85,
+			Hotspots:     8,
+			Ratings:      true,
+		}, nil
+	default:
+		return Config{}, fmt.Errorf("gen: unknown preset %q (want tokyo, nyc or cal)", name)
+	}
+}
+
+// PresetNames lists the available presets in the paper's Table 5 order.
+func PresetNames() []string { return []string{"tokyo", "nyc", "cal"} }
+
+// BuildPreset generates a preset dataset directly.
+func BuildPreset(name string, scale float64, seed int64) (*dataset.Dataset, error) {
+	cfg, err := Preset(name, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return Build(cfg)
+}
+
+func iscale(base int, scale float64) int {
+	n := int(float64(base) * scale)
+	if n < 4 {
+		n = 4
+	}
+	return n
+}

@@ -1,0 +1,75 @@
+package gen
+
+import (
+	"testing"
+
+	"skysr/internal/dataset"
+)
+
+func TestGeneratedRatings(t *testing.T) {
+	cfg := smallConfig(GridModel)
+	cfg.Ratings = true
+	cfg.PoIs = 200
+	d, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasRatings() {
+		t.Fatal("Ratings=true must attach ratings")
+	}
+	distinct := map[float64]bool{}
+	for _, p := range d.Graph.PoIVertices() {
+		r := d.Rating(p)
+		if r < 0 || r > dataset.MaxRating {
+			t.Fatalf("rating %v out of range", r)
+		}
+		// Half-star granularity.
+		if r*2 != float64(int(r*2)) {
+			t.Fatalf("rating %v not half-star", r)
+		}
+		distinct[r] = true
+	}
+	if len(distinct) < 3 {
+		t.Errorf("ratings look degenerate: %v", distinct)
+	}
+}
+
+func TestGeneratedRatingsDeterministic(t *testing.T) {
+	cfg := smallConfig(GridModel)
+	cfg.Ratings = true
+	a, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range a.Graph.PoIVertices() {
+		if a.Rating(p) != b.Rating(p) {
+			t.Fatalf("ratings differ between equal-seed builds at %d", p)
+		}
+	}
+}
+
+func TestPresetsCarryRatings(t *testing.T) {
+	for _, name := range PresetNames() {
+		d, err := BuildPreset(name, 0.05, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.HasRatings() {
+			t.Errorf("%s preset should carry ratings", name)
+		}
+	}
+}
+
+func TestNoRatingsByDefault(t *testing.T) {
+	d, err := Build(smallConfig(GridModel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.HasRatings() {
+		t.Error("plain config should not attach ratings")
+	}
+}

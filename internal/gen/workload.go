@@ -1,0 +1,90 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"skysr/internal/dataset"
+	"skysr/internal/graph"
+	"skysr/internal/taxonomy"
+)
+
+// Query is one SkySR query of the experimental workload: a start vertex
+// and a sequence of leaf categories from distinct trees (§7.1).
+type Query struct {
+	Start      graph.VertexID
+	Categories []taxonomy.CategoryID
+}
+
+// Queries generates n queries of sequence length seqLen following the
+// paper's protocol (§7.1): start points are uniform random vertices;
+// categories are random leaves under the constraints that (a) each has a
+// large number of PoIs — at least half the mean per-leaf count here — and
+// (b) the categories of one query come from distinct trees.
+func Queries(d *dataset.Dataset, n, seqLen int, seed int64) ([]Query, error) {
+	if seqLen < 1 {
+		return nil, fmt.Errorf("gen: sequence length must be ≥ 1, got %d", seqLen)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// "Since the number of PoI vertices associated with each category is
+	// significantly biased, we select only categories that have a large
+	// number of PoI vertices."
+	minPoIs := poiCountFloor(d)
+	eligible := d.CategoriesWithAtLeast(minPoIs)
+	byTree := map[taxonomy.TreeID][]taxonomy.CategoryID{}
+	for _, c := range eligible {
+		t := d.Forest.Tree(c)
+		byTree[t] = append(byTree[t], c)
+	}
+	trees := make([]taxonomy.TreeID, 0, len(byTree))
+	for t := range byTree {
+		trees = append(trees, t)
+	}
+	if len(trees) < seqLen {
+		return nil, fmt.Errorf("gen: only %d trees have eligible categories, need %d for distinct-tree sequences", len(trees), seqLen)
+	}
+	// Deterministic tree ordering regardless of map iteration.
+	for i := 1; i < len(trees); i++ {
+		for j := i; j > 0 && trees[j] < trees[j-1]; j-- {
+			trees[j], trees[j-1] = trees[j-1], trees[j]
+		}
+	}
+
+	numV := d.Graph.NumVertices()
+	queries := make([]Query, 0, n)
+	for q := 0; q < n; q++ {
+		perm := rng.Perm(len(trees))
+		cats := make([]taxonomy.CategoryID, seqLen)
+		for i := 0; i < seqLen; i++ {
+			opts := byTree[trees[perm[i]]]
+			cats[i] = opts[rng.Intn(len(opts))]
+		}
+		queries = append(queries, Query{
+			Start:      graph.VertexID(rng.Intn(numV)),
+			Categories: cats,
+		})
+	}
+	return queries, nil
+}
+
+// poiCountFloor returns the "large number of PoIs" eligibility floor: half
+// the mean exact-PoI count over leaves that have any PoIs, but at least 1.
+func poiCountFloor(d *dataset.Dataset) int {
+	leaves := d.Forest.Leaves()
+	total, nonEmpty := 0, 0
+	for _, c := range leaves {
+		if n := len(d.PoIsExact(c)); n > 0 {
+			total += n
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		return 1
+	}
+	floor := total / nonEmpty / 2
+	if floor < 1 {
+		floor = 1
+	}
+	return floor
+}

@@ -1,0 +1,139 @@
+// Package geo provides the geographic primitives used by the road-network
+// substrate: longitude/latitude points, distance computations and bounding
+// boxes.
+//
+// The paper (§7.1) derives edge weights from longitude/latitude, so the
+// default distance is the equirectangular approximation of great-circle
+// distance, which is accurate at city scale and cheap enough for dataset
+// generation. Haversine is available when full great-circle accuracy is
+// wanted, and plain Euclidean distance supports abstract (non-geographic)
+// graphs such as the Cal dataset's unit-less coordinates.
+package geo
+
+import "math"
+
+// EarthRadiusMeters is the mean Earth radius used by Haversine and
+// Equirectangular.
+const EarthRadiusMeters = 6371000.0
+
+// Point is a position expressed as longitude and latitude in degrees, or as
+// abstract x/y coordinates when used with Euclidean distance.
+type Point struct {
+	Lon float64 // longitude in degrees (or abstract x)
+	Lat float64 // latitude in degrees (or abstract y)
+}
+
+// DistanceFunc computes a non-negative distance between two points.
+type DistanceFunc func(a, b Point) float64
+
+// Euclidean returns the straight-line distance between a and b treating the
+// coordinates as planar. The paper's Cal dataset uses this metric.
+func Euclidean(a, b Point) float64 {
+	dx := a.Lon - b.Lon
+	dy := a.Lat - b.Lat
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Equirectangular returns the approximate great-circle distance in meters
+// between two lon/lat points using the equirectangular projection. It is
+// within ~0.1% of haversine for city-scale distances and roughly 3x faster.
+func Equirectangular(a, b Point) float64 {
+	latMean := (a.Lat + b.Lat) / 2 * math.Pi / 180
+	dLat := (b.Lat - a.Lat) * math.Pi / 180
+	dLon := (b.Lon - a.Lon) * math.Pi / 180 * math.Cos(latMean)
+	return EarthRadiusMeters * math.Sqrt(dLat*dLat+dLon*dLon)
+}
+
+// Haversine returns the great-circle distance in meters between two lon/lat
+// points.
+func Haversine(a, b Point) float64 {
+	lat1 := a.Lat * math.Pi / 180
+	lat2 := b.Lat * math.Pi / 180
+	dLat := lat2 - lat1
+	dLon := (b.Lon - a.Lon) * math.Pi / 180
+	sinLat := math.Sin(dLat / 2)
+	sinLon := math.Sin(dLon / 2)
+	h := sinLat*sinLat + math.Cos(lat1)*math.Cos(lat2)*sinLon*sinLon
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusMeters * math.Asin(math.Sqrt(h))
+}
+
+// Lerp returns the point a fraction t of the way from a to b, with t in
+// [0, 1]. It is used when embedding a PoI onto the closest edge.
+func Lerp(a, b Point, t float64) Point {
+	return Point{
+		Lon: a.Lon + (b.Lon-a.Lon)*t,
+		Lat: a.Lat + (b.Lat-a.Lat)*t,
+	}
+}
+
+// Rect is an axis-aligned bounding box. The zero value is an empty
+// rectangle that Extend can grow from.
+type Rect struct {
+	MinLon, MinLat float64
+	MaxLon, MaxLat float64
+	init           bool
+}
+
+// NewRect returns a rectangle covering exactly the given corner points.
+func NewRect(minLon, minLat, maxLon, maxLat float64) Rect {
+	return Rect{MinLon: minLon, MinLat: minLat, MaxLon: maxLon, MaxLat: maxLat, init: true}
+}
+
+// Empty reports whether the rectangle covers no points.
+func (r Rect) Empty() bool { return !r.init }
+
+// Extend grows the rectangle to include p.
+func (r *Rect) Extend(p Point) {
+	if !r.init {
+		r.MinLon, r.MaxLon = p.Lon, p.Lon
+		r.MinLat, r.MaxLat = p.Lat, p.Lat
+		r.init = true
+		return
+	}
+	r.MinLon = math.Min(r.MinLon, p.Lon)
+	r.MaxLon = math.Max(r.MaxLon, p.Lon)
+	r.MinLat = math.Min(r.MinLat, p.Lat)
+	r.MaxLat = math.Max(r.MaxLat, p.Lat)
+}
+
+// Contains reports whether p lies inside the rectangle (inclusive).
+func (r Rect) Contains(p Point) bool {
+	return r.init &&
+		p.Lon >= r.MinLon && p.Lon <= r.MaxLon &&
+		p.Lat >= r.MinLat && p.Lat <= r.MaxLat
+}
+
+// Width returns the longitudinal extent of the rectangle.
+func (r Rect) Width() float64 { return r.MaxLon - r.MinLon }
+
+// Height returns the latitudinal extent of the rectangle.
+func (r Rect) Height() float64 { return r.MaxLat - r.MinLat }
+
+// Center returns the midpoint of the rectangle.
+func (r Rect) Center() Point {
+	return Point{Lon: (r.MinLon + r.MaxLon) / 2, Lat: (r.MinLat + r.MaxLat) / 2}
+}
+
+// ClosestPointOnSegment returns the point on segment [a, b] closest to p in
+// the planar sense, together with the parameter t in [0, 1] such that the
+// returned point equals Lerp(a, b, t). Planar projection is adequate for
+// the city-scale embedding step the paper performs.
+func ClosestPointOnSegment(p, a, b Point) (Point, float64) {
+	dx := b.Lon - a.Lon
+	dy := b.Lat - a.Lat
+	segLen2 := dx*dx + dy*dy
+	if segLen2 == 0 {
+		return a, 0
+	}
+	t := ((p.Lon-a.Lon)*dx + (p.Lat-a.Lat)*dy) / segLen2
+	switch {
+	case t < 0:
+		t = 0
+	case t > 1:
+		t = 1
+	}
+	return Lerp(a, b, t), t
+}

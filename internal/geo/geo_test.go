@@ -1,0 +1,216 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestEuclidean(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Point
+		want float64
+	}{
+		{"same point", Point{1, 2}, Point{1, 2}, 0},
+		{"unit x", Point{0, 0}, Point{1, 0}, 1},
+		{"unit y", Point{0, 0}, Point{0, 1}, 1},
+		{"3-4-5", Point{0, 0}, Point{3, 4}, 5},
+		{"negative", Point{-1, -1}, Point{2, 3}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Euclidean(tt.a, tt.b); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Euclidean(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestHaversineKnownDistances(t *testing.T) {
+	// Tokyo Station to Shinjuku Station: roughly 6.3 km.
+	tokyo := Point{Lon: 139.7671, Lat: 35.6812}
+	shinjuku := Point{Lon: 139.7005, Lat: 35.6896}
+	d := Haversine(tokyo, shinjuku)
+	if d < 5800 || d > 6800 {
+		t.Errorf("Tokyo-Shinjuku haversine = %v m, want ~6300 m", d)
+	}
+
+	// One degree of latitude is ~111.2 km anywhere.
+	a := Point{Lon: 0, Lat: 0}
+	b := Point{Lon: 0, Lat: 1}
+	d = Haversine(a, b)
+	if d < 110000 || d > 112500 {
+		t.Errorf("1 degree latitude = %v m, want ~111.2 km", d)
+	}
+}
+
+func TestEquirectangularMatchesHaversineAtCityScale(t *testing.T) {
+	pairs := []struct{ a, b Point }{
+		{Point{139.70, 35.65}, Point{139.80, 35.72}},
+		{Point{-74.00, 40.71}, Point{-73.95, 40.78}},
+		{Point{-122.0, 37.0}, Point{-121.9, 37.1}},
+	}
+	for _, p := range pairs {
+		h := Haversine(p.a, p.b)
+		e := Equirectangular(p.a, p.b)
+		if h == 0 {
+			t.Fatalf("degenerate test pair %v", p)
+		}
+		if rel := math.Abs(h-e) / h; rel > 0.005 {
+			t.Errorf("equirect vs haversine rel error %v for %v-%v (h=%v, e=%v)", rel, p.a, p.b, h, e)
+		}
+	}
+}
+
+func TestDistancePropertiesQuick(t *testing.T) {
+	// Clamp generated coordinates to a city-scale box so the metric
+	// approximations stay in their validity domain.
+	clamp := func(p Point) Point {
+		return Point{
+			Lon: math.Mod(math.Abs(p.Lon), 0.5) + 139.0,
+			Lat: math.Mod(math.Abs(p.Lat), 0.5) + 35.0,
+		}
+	}
+	for name, fn := range map[string]DistanceFunc{
+		"euclidean":       Euclidean,
+		"haversine":       Haversine,
+		"equirectangular": Equirectangular,
+	} {
+		fn := fn
+		symmetric := func(a, b Point) bool {
+			a, b = clamp(a), clamp(b)
+			return almostEqual(fn(a, b), fn(b, a), 1e-6)
+		}
+		if err := quick.Check(symmetric, nil); err != nil {
+			t.Errorf("%s not symmetric: %v", name, err)
+		}
+		nonNegativeAndIdentity := func(a Point) bool {
+			a = clamp(a)
+			return fn(a, a) <= 1e-9 && fn(a, Point{a.Lon + 0.01, a.Lat}) > 0
+		}
+		if err := quick.Check(nonNegativeAndIdentity, nil); err != nil {
+			t.Errorf("%s identity/positivity: %v", name, err)
+		}
+		triangle := func(a, b, c Point) bool {
+			a, b, c = clamp(a), clamp(b), clamp(c)
+			return fn(a, c) <= fn(a, b)+fn(b, c)+1e-6
+		}
+		if err := quick.Check(triangle, nil); err != nil {
+			t.Errorf("%s triangle inequality: %v", name, err)
+		}
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a := Point{0, 0}
+	b := Point{10, 20}
+	if got := Lerp(a, b, 0); got != a {
+		t.Errorf("Lerp t=0 = %v, want %v", got, a)
+	}
+	if got := Lerp(a, b, 1); got != b {
+		t.Errorf("Lerp t=1 = %v, want %v", got, b)
+	}
+	mid := Lerp(a, b, 0.5)
+	if !almostEqual(mid.Lon, 5, 1e-12) || !almostEqual(mid.Lat, 10, 1e-12) {
+		t.Errorf("Lerp t=0.5 = %v, want {5 10}", mid)
+	}
+}
+
+func TestRectExtendContains(t *testing.T) {
+	var r Rect
+	if !r.Empty() {
+		t.Fatal("zero Rect should be empty")
+	}
+	if r.Contains(Point{0, 0}) {
+		t.Error("empty rect must not contain points")
+	}
+	r.Extend(Point{1, 2})
+	if r.Empty() {
+		t.Fatal("rect with one point is not empty")
+	}
+	if !r.Contains(Point{1, 2}) {
+		t.Error("rect should contain its only point")
+	}
+	r.Extend(Point{-1, 5})
+	for _, p := range []Point{{0, 3}, {1, 2}, {-1, 5}, {-1, 2}, {1, 5}} {
+		if !r.Contains(p) {
+			t.Errorf("rect %+v should contain %v", r, p)
+		}
+	}
+	for _, p := range []Point{{2, 3}, {0, 6}, {-2, 3}, {0, 1}} {
+		if r.Contains(p) {
+			t.Errorf("rect %+v should not contain %v", r, p)
+		}
+	}
+	if r.Width() != 2 || r.Height() != 3 {
+		t.Errorf("width/height = %v/%v, want 2/3", r.Width(), r.Height())
+	}
+	c := r.Center()
+	if !almostEqual(c.Lon, 0, 1e-12) || !almostEqual(c.Lat, 3.5, 1e-12) {
+		t.Errorf("center = %v, want {0 3.5}", c)
+	}
+}
+
+func TestNewRect(t *testing.T) {
+	r := NewRect(0, 0, 2, 2)
+	if r.Empty() {
+		t.Fatal("NewRect should not be empty")
+	}
+	if !r.Contains(Point{1, 1}) || r.Contains(Point{3, 1}) {
+		t.Error("NewRect containment wrong")
+	}
+}
+
+func TestClosestPointOnSegment(t *testing.T) {
+	a := Point{0, 0}
+	b := Point{10, 0}
+	tests := []struct {
+		name  string
+		p     Point
+		want  Point
+		wantT float64
+	}{
+		{"projects inside", Point{5, 3}, Point{5, 0}, 0.5},
+		{"clamps to start", Point{-4, 2}, Point{0, 0}, 0},
+		{"clamps to end", Point{14, -2}, Point{10, 0}, 1},
+		{"on segment", Point{2, 0}, Point{2, 0}, 0.2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, gotT := ClosestPointOnSegment(tt.p, a, b)
+			if !almostEqual(got.Lon, tt.want.Lon, 1e-12) || !almostEqual(got.Lat, tt.want.Lat, 1e-12) {
+				t.Errorf("point = %v, want %v", got, tt.want)
+			}
+			if !almostEqual(gotT, tt.wantT, 1e-12) {
+				t.Errorf("t = %v, want %v", gotT, tt.wantT)
+			}
+		})
+	}
+}
+
+func TestClosestPointOnDegenerateSegment(t *testing.T) {
+	a := Point{3, 4}
+	got, tParam := ClosestPointOnSegment(Point{7, 8}, a, a)
+	if got != a || tParam != 0 {
+		t.Errorf("degenerate segment: got %v t=%v, want %v t=0", got, tParam, a)
+	}
+}
+
+func TestClosestPointIsActuallyClosestQuick(t *testing.T) {
+	f := func(px, py, ax, ay, bx, by float64, frac float64) bool {
+		p := Point{math.Mod(px, 100), math.Mod(py, 100)}
+		a := Point{math.Mod(ax, 100), math.Mod(ay, 100)}
+		b := Point{math.Mod(bx, 100), math.Mod(by, 100)}
+		best, _ := ClosestPointOnSegment(p, a, b)
+		// Any sampled point on the segment must be no closer.
+		tt := math.Abs(math.Mod(frac, 1))
+		sample := Lerp(a, b, tt)
+		return Euclidean(p, best) <= Euclidean(p, sample)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"errors"
+
+	"skysr/internal/geo"
+	"skysr/internal/spatial"
+)
+
+// ErrNoEdges is returned when embedding a PoI into a graph without edges.
+var ErrNoEdges = errors.New("graph: cannot embed PoI, builder has no edges")
+
+// Embedder places PoI vertices on the closest road edge, the preprocessing
+// step the paper performs for the Tokyo and NYC datasets (§7.1, "Each PoI
+// is embedded on the closest edge in the same way as [10]").
+//
+// Embedding a PoI splits the closest edge (u, v) at the projection point p
+// into (u, p) and (p, v), distributing the original weight proportionally.
+// The split edges are tombstoned in the builder and the two replacement
+// segments are added to the spatial index, so subsequent embeds see the
+// refined network.
+type Embedder struct {
+	b    *Builder
+	grid *spatial.Grid
+}
+
+// NewEmbedder indexes all live edges of b and returns an Embedder. cells
+// controls spatial-index resolution (e.g. 128 for city-scale networks).
+func NewEmbedder(b *Builder, cells int) (*Embedder, error) {
+	if b.NumEdges() == 0 {
+		return nil, ErrNoEdges
+	}
+	var bounds geo.Rect
+	for v := VertexID(0); int(v) < b.NumVertices(); v++ {
+		bounds.Extend(b.Point(v))
+	}
+	grid := spatial.NewGrid(bounds, cells)
+	for idx := range b.edges {
+		u, v, _, live := b.Edge(idx)
+		if live {
+			grid.InsertSegment(int32(idx), b.Point(u), b.Point(v))
+		}
+	}
+	return &Embedder{b: b, grid: grid}, nil
+}
+
+// Embed adds a PoI with the given category at the network position closest
+// to p and returns the new PoI vertex id.
+func (e *Embedder) Embed(p geo.Point, c CategoryID) (VertexID, error) {
+	alive := func(id int32) bool {
+		_, _, _, live := e.b.Edge(int(id))
+		return live
+	}
+	edgeIdx, proj, t, _, ok := e.grid.NearestSegmentFiltered(p, alive)
+	if !ok {
+		return NoVertex, ErrNoEdges
+	}
+	u, v, w, _ := e.b.Edge(int(edgeIdx))
+	poi := e.b.AddPoI(proj, c)
+	e.b.RemoveEdge(int(edgeIdx))
+	left := e.b.AddEdge(u, poi, w*t)
+	right := e.b.AddEdge(poi, v, w*(1-t))
+	e.grid.InsertSegment(int32(left), e.b.Point(u), proj)
+	e.grid.InsertSegment(int32(right), proj, e.b.Point(v))
+	return poi, nil
+}

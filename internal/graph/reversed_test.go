@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"skysr/internal/geo"
+)
+
+func TestReversedUndirectedIsSelf(t *testing.T) {
+	b := NewBuilder(false)
+	u := b.AddVertex(geo.Point{})
+	v := b.AddVertex(geo.Point{Lon: 1})
+	b.AddEdge(u, v, 1)
+	g := b.Build()
+	if g.Reversed() != g {
+		t.Error("undirected Reversed should return the receiver")
+	}
+}
+
+func TestReversedFlipsArcs(t *testing.T) {
+	b := NewBuilder(true)
+	for i := 0; i < 4; i++ {
+		b.AddVertex(geo.Point{Lon: float64(i)})
+	}
+	b.AddEdge(0, 1, 1.5)
+	b.AddEdge(1, 2, 2.5)
+	b.AddEdge(2, 0, 3.5)
+	b.AddEdge(1, 3, 4.5)
+	g := b.Build()
+	r := g.Reversed()
+
+	if !r.Directed() {
+		t.Fatal("reversed graph must stay directed")
+	}
+	if r.NumVertices() != g.NumVertices() || r.NumEdges() != g.NumEdges() {
+		t.Fatal("sizes changed")
+	}
+	// Every arc u->v in g must exist as v->u in r with the same weight.
+	for u := VertexID(0); int(u) < g.NumVertices(); u++ {
+		ts, ws := g.Neighbors(u)
+		for i, v := range ts {
+			w, ok := r.EdgeWeight(v, u)
+			if !ok || w != ws[i] {
+				t.Errorf("arc %d->%d (%v) missing or wrong in reverse: %v %v", u, v, ws[i], w, ok)
+			}
+		}
+	}
+	// And arc counts must match exactly (no extras).
+	fwd, rev := 0, 0
+	for u := VertexID(0); int(u) < g.NumVertices(); u++ {
+		ts, _ := g.Neighbors(u)
+		fwd += len(ts)
+		rs, _ := r.Neighbors(u)
+		rev += len(rs)
+	}
+	if fwd != rev {
+		t.Errorf("arc counts differ: %d vs %d", fwd, rev)
+	}
+}
+
+func TestReversedPreservesPoIs(t *testing.T) {
+	b := NewBuilder(true)
+	p := b.AddPoI(geo.Point{}, 3)
+	v := b.AddVertex(geo.Point{Lon: 1})
+	b.AddEdge(p, v, 1)
+	b.AddCategory(p, 7)
+	g := b.Build()
+	r := g.Reversed()
+	if !r.IsPoI(p) || r.PrimaryCategory(p) != 3 {
+		t.Error("PoI data lost in reversal")
+	}
+	cats := r.Categories(p)
+	if len(cats) != 2 || cats[1] != 7 {
+		t.Errorf("extra categories lost: %v", cats)
+	}
+	if len(r.PoIVertices()) != 1 {
+		t.Error("PoI list lost")
+	}
+}
+
+func TestReversedTwiceEqualsOriginal(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	b := NewBuilder(true)
+	const n = 20
+	for i := 0; i < n; i++ {
+		b.AddVertex(geo.Point{Lon: rng.Float64()})
+	}
+	for e := 0; e < 50; e++ {
+		u, v := VertexID(rng.Intn(n)), VertexID(rng.Intn(n))
+		if u != v {
+			b.AddEdge(u, v, rng.Float64()*10)
+		}
+	}
+	g := b.Build()
+	rr := g.Reversed().Reversed()
+	for u := VertexID(0); u < n; u++ {
+		ts, ws := g.Neighbors(u)
+		rts, rws := rr.Neighbors(u)
+		if len(ts) != len(rts) {
+			t.Fatalf("degree of %d changed: %d vs %d", u, len(ts), len(rts))
+		}
+		// Compare as multisets.
+		seen := map[[2]float64]int{}
+		for i := range ts {
+			seen[[2]float64{float64(ts[i]), ws[i]}]++
+		}
+		for i := range rts {
+			seen[[2]float64{float64(rts[i]), rws[i]}]--
+		}
+		for k, c := range seen {
+			if c != 0 {
+				t.Fatalf("arc multiset differs at %d: %v", u, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package index implements the preprocessing the paper leaves as future
+// work (§9: "we plan to propose a suitable preprocessing method for the
+// SkySR query"): per-category-tree nearest-PoI distance tables.
+//
+// For every tree t of the forest and every vertex v, the index stores the
+// network distance from v to the closest PoI of t — one multi-source
+// Dijkstra per tree at build time (on the reversed graph for directed
+// networks, so the value is a distance *from* v *to* a PoI). During a
+// SkySR query the value lower-bounds the next hop of any partial route
+// ending at v, which tightens the §5.3.3 pruning without affecting
+// exactness: the remaining length of a completion is at least the
+// distance to the nearest semantically matching PoI.
+package index
+
+import (
+	"math"
+
+	"skysr/internal/dataset"
+	"skysr/internal/dijkstra"
+	"skysr/internal/graph"
+	"skysr/internal/taxonomy"
+)
+
+// TreeDistances is the per-tree nearest-PoI distance table. Build one per
+// dataset and share it across any number of Searchers (it is immutable
+// after Build).
+type TreeDistances struct {
+	numTrees int
+	dist     [][]float64 // [tree][vertex] -> distance to nearest tree PoI
+}
+
+// Build computes the table with one multi-source Dijkstra per tree.
+func Build(d *dataset.Dataset) *TreeDistances {
+	g := d.Graph
+	search := g
+	if g.Directed() {
+		// Multi-source from the PoIs on the reversed graph yields, for
+		// every v, the original-graph distance v → nearest PoI.
+		search = g.Reversed()
+	}
+	ws := dijkstra.New(search)
+	numTrees := d.Forest.NumTrees()
+	td := &TreeDistances{
+		numTrees: numTrees,
+		dist:     make([][]float64, numTrees),
+	}
+	for t := 0; t < numTrees; t++ {
+		row := make([]float64, g.NumVertices())
+		for i := range row {
+			row[i] = math.Inf(1)
+		}
+		root := d.Forest.Roots()[t]
+		sources := d.PoIsAssociated(root)
+		if len(sources) > 0 {
+			ws.Run(dijkstra.Options{
+				Sources: sources,
+				OnSettle: func(v graph.VertexID, dd float64) dijkstra.Control {
+					row[v] = dd
+					return dijkstra.Continue
+				},
+			})
+		}
+		td.dist[t] = row
+	}
+	return td
+}
+
+// To returns the network distance from v to the nearest PoI of tree t,
+// +Inf when the tree has no reachable PoI.
+func (td *TreeDistances) To(t taxonomy.TreeID, v graph.VertexID) float64 {
+	return td.dist[t][v]
+}
+
+// NumTrees returns the number of trees indexed.
+func (td *TreeDistances) NumTrees() int { return td.numTrees }
+
+// MemoryFootprintBytes estimates the index's resident size.
+func (td *TreeDistances) MemoryFootprintBytes() int64 {
+	var b int64
+	for _, row := range td.dist {
+		b += int64(len(row)) * 8
+	}
+	return b
+}

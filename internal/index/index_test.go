@@ -1,0 +1,100 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"skysr/internal/dataset"
+	"skysr/internal/dijkstra"
+	"skysr/internal/geo"
+	"skysr/internal/graph"
+	"skysr/internal/taxonomy"
+)
+
+func randomDataset(rng *rand.Rand, f *taxonomy.Forest, vertices, pois int, directed bool) *dataset.Dataset {
+	b := graph.NewBuilder(directed)
+	for i := 0; i < vertices; i++ {
+		b.AddVertex(geo.Point{Lon: rng.Float64(), Lat: rng.Float64()})
+	}
+	for i := 1; i < vertices; i++ {
+		j := graph.VertexID(rng.Intn(i))
+		b.AddEdge(graph.VertexID(i), j, 1+rng.Float64()*9)
+		if directed {
+			b.AddEdge(j, graph.VertexID(i), 1+rng.Float64()*9)
+		}
+	}
+	leaves := f.Leaves()
+	for i := 0; i < pois; i++ {
+		attach := graph.VertexID(rng.Intn(vertices))
+		p := b.AddPoI(geo.Point{Lon: rng.Float64(), Lat: rng.Float64()}, leaves[rng.Intn(len(leaves))])
+		b.AddEdge(attach, p, 0.5)
+		if directed {
+			b.AddEdge(p, attach, 0.5)
+		}
+	}
+	return dataset.MustNew("idx", b.Build(), f)
+}
+
+func TestTreeDistancesMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	f := taxonomy.Generated(3, 2, 2)
+	for _, directed := range []bool{false, true} {
+		d := randomDataset(rng, f, 25, 15, directed)
+		td := Build(d)
+		if td.NumTrees() != 3 {
+			t.Fatalf("NumTrees = %d", td.NumTrees())
+		}
+		ws := dijkstra.New(d.Graph)
+		for v := graph.VertexID(0); int(v) < d.Graph.NumVertices(); v++ {
+			for tr := 0; tr < 3; tr++ {
+				root := d.Forest.Roots()[tr]
+				want := math.Inf(1)
+				for _, p := range d.PoIsAssociated(root) {
+					if dd := ws.Distance(v, p); dd < want {
+						want = dd
+					}
+				}
+				got := td.To(taxonomy.TreeID(tr), v)
+				if math.IsInf(want, 1) != math.IsInf(got, 1) || (!math.IsInf(want, 1) && math.Abs(got-want) > 1e-9) {
+					t.Fatalf("directed=%v tree %d vertex %d: index %v, brute force %v", directed, tr, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTreeDistancesEmptyTree(t *testing.T) {
+	fb := taxonomy.NewForestBuilder()
+	a := fb.MustAddRoot("A")
+	fb.MustAddRoot("EmptyTree")
+	f := fb.Build()
+	b := graph.NewBuilder(false)
+	v := b.AddVertex(geo.Point{})
+	p := b.AddPoI(geo.Point{Lon: 1}, a)
+	b.AddEdge(v, p, 2)
+	d := dataset.MustNew("e", b.Build(), f)
+	td := Build(d)
+	if got := td.To(0, v); got != 2 {
+		t.Errorf("tree A distance = %v, want 2", got)
+	}
+	if got := td.To(1, v); !math.IsInf(got, 1) {
+		t.Errorf("empty tree distance = %v, want +Inf", got)
+	}
+	if td.MemoryFootprintBytes() <= 0 {
+		t.Error("footprint should be positive")
+	}
+}
+
+func TestTreeDistanceAtPoIIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	f := taxonomy.Generated(2, 2, 2)
+	d := randomDataset(rng, f, 20, 12, false)
+	td := Build(d)
+	for _, p := range d.Graph.PoIVertices() {
+		tr := d.Forest.Tree(d.Graph.PrimaryCategory(p))
+		if got := td.To(tr, p); got != 0 {
+			t.Fatalf("PoI %d distance to own tree = %v, want 0", p, got)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package route
+
+import (
+	"fmt"
+	"strings"
+
+	"skysr/internal/taxonomy"
+)
+
+// Matcher is one position of a (generalized) category sequence. The basic
+// SkySR query uses one Category matcher per position; the §6 "complex
+// category requirement" extension composes them with AnyOf / AllOf /
+// Excluding. A matcher scores a PoI's category set: zero means "no
+// semantic match", one means "perfect match".
+type Matcher interface {
+	// Sim returns the similarity of a PoI carrying cats to this
+	// requirement, in [0, 1].
+	Sim(cats []taxonomy.CategoryID) float64
+	// Perfect reports whether cats satisfies the requirement perfectly
+	// (similarity exactly 1).
+	Perfect(cats []taxonomy.CategoryID) bool
+	// String renders the requirement for diagnostics.
+	String() string
+}
+
+// Category is the basic matcher: similarity to a single requested category
+// under a fixed Similarity (Definition 3.3), taking the best among a PoI's
+// categories (§6 multi-category extension, "highest value" variant).
+type Category struct {
+	forest *taxonomy.Forest
+	id     taxonomy.CategoryID
+	row    []float64 // dense similarity row for the category
+}
+
+// NewCategory returns a matcher for category c under sim.
+func NewCategory(f *taxonomy.Forest, c taxonomy.CategoryID, sim taxonomy.Similarity) *Category {
+	return &Category{forest: f, id: c, row: f.SimRow(c, sim)}
+}
+
+// ID returns the requested category.
+func (m *Category) ID() taxonomy.CategoryID { return m.id }
+
+// Sim implements Matcher.
+func (m *Category) Sim(cats []taxonomy.CategoryID) float64 {
+	best := 0.0
+	for _, c := range cats {
+		if s := m.row[c]; s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// Perfect implements Matcher.
+func (m *Category) Perfect(cats []taxonomy.CategoryID) bool {
+	for _, c := range cats {
+		if c == m.id {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements Matcher.
+func (m *Category) String() string { return m.forest.Name(m.id) }
+
+// AnyOf matches when any sub-requirement matches (disjunction); the
+// similarity is the best sub-similarity.
+type AnyOf struct {
+	subs []Matcher
+}
+
+// NewAnyOf returns the disjunction of the given requirements.
+func NewAnyOf(subs ...Matcher) *AnyOf {
+	if len(subs) == 0 {
+		panic("route: AnyOf needs at least one requirement")
+	}
+	return &AnyOf{subs: subs}
+}
+
+// Sim implements Matcher.
+func (m *AnyOf) Sim(cats []taxonomy.CategoryID) float64 {
+	best := 0.0
+	for _, s := range m.subs {
+		if v := s.Sim(cats); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Perfect implements Matcher.
+func (m *AnyOf) Perfect(cats []taxonomy.CategoryID) bool {
+	for _, s := range m.subs {
+		if s.Perfect(cats) {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements Matcher.
+func (m *AnyOf) String() string { return joinSubs(m.subs, " or ") }
+
+// AllOf matches when every sub-requirement matches (conjunction, for PoIs
+// with multiple categories); the similarity is the worst sub-similarity.
+type AllOf struct {
+	subs []Matcher
+}
+
+// NewAllOf returns the conjunction of the given requirements.
+func NewAllOf(subs ...Matcher) *AllOf {
+	if len(subs) == 0 {
+		panic("route: AllOf needs at least one requirement")
+	}
+	return &AllOf{subs: subs}
+}
+
+// Sim implements Matcher.
+func (m *AllOf) Sim(cats []taxonomy.CategoryID) float64 {
+	worst := 1.0
+	for _, s := range m.subs {
+		v := s.Sim(cats)
+		if v == 0 {
+			return 0
+		}
+		if v < worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// Perfect implements Matcher.
+func (m *AllOf) Perfect(cats []taxonomy.CategoryID) bool {
+	for _, s := range m.subs {
+		if !s.Perfect(cats) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements Matcher.
+func (m *AllOf) String() string { return joinSubs(m.subs, " and ") }
+
+// Excluding wraps a base requirement and rejects PoIs associated with the
+// excluded category or any of its descendants (negation).
+type Excluding struct {
+	base     Matcher
+	forest   *taxonomy.Forest
+	excluded taxonomy.CategoryID
+}
+
+// NewExcluding returns base restricted to PoIs outside the excluded
+// subtree.
+func NewExcluding(base Matcher, f *taxonomy.Forest, excluded taxonomy.CategoryID) *Excluding {
+	return &Excluding{base: base, forest: f, excluded: excluded}
+}
+
+// Sim implements Matcher.
+func (m *Excluding) Sim(cats []taxonomy.CategoryID) float64 {
+	for _, c := range cats {
+		if m.forest.IsAncestorOrSelf(m.excluded, c) {
+			return 0
+		}
+	}
+	return m.base.Sim(cats)
+}
+
+// Perfect implements Matcher.
+func (m *Excluding) Perfect(cats []taxonomy.CategoryID) bool {
+	for _, c := range cats {
+		if m.forest.IsAncestorOrSelf(m.excluded, c) {
+			return false
+		}
+	}
+	return m.base.Perfect(cats)
+}
+
+// String implements Matcher.
+func (m *Excluding) String() string {
+	return fmt.Sprintf("(%s and not %s)", m.base, m.forest.Name(m.excluded))
+}
+
+func joinSubs(subs []Matcher, sep string) string {
+	parts := make([]string, len(subs))
+	for i, s := range subs {
+		parts[i] = s.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+// Sequence is a generalized category sequence S_q: one requirement per
+// position. The helper constructors cover the common cases.
+type Sequence []Matcher
+
+// NewCategorySequence builds the basic sequence of single categories the
+// paper's queries use.
+func NewCategorySequence(f *taxonomy.Forest, sim taxonomy.Similarity, cats ...taxonomy.CategoryID) Sequence {
+	seq := make(Sequence, len(cats))
+	for i, c := range cats {
+		seq[i] = NewCategory(f, c, sim)
+	}
+	return seq
+}
+
+// Categories returns the plain category ids when every position is a basic
+// Category matcher, and ok=false otherwise. The naive super-sequence
+// baseline only applies to plain sequences.
+func (s Sequence) Categories() ([]taxonomy.CategoryID, bool) {
+	out := make([]taxonomy.CategoryID, len(s))
+	for i, m := range s {
+		c, ok := m.(*Category)
+		if !ok {
+			return nil, false
+		}
+		out[i] = c.ID()
+	}
+	return out, true
+}
+
+// String renders the sequence.
+func (s Sequence) String() string {
+	parts := make([]string, len(s))
+	for i, m := range s {
+		parts[i] = m.String()
+	}
+	return "⟨" + strings.Join(parts, ", ") + "⟩"
+}

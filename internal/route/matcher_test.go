@@ -1,0 +1,175 @@
+package route
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"skysr/internal/taxonomy"
+)
+
+func testForest() *taxonomy.Forest {
+	fb := taxonomy.NewForestBuilder()
+	food := fb.MustAddRoot("Food")
+	fb.MustAddChild(food, "Asian")
+	it := fb.MustAddChild(food, "Italian")
+	fb.MustAddChild(it, "Pizza")
+	mex := fb.MustAddChild(food, "Mexican")
+	fb.MustAddChild(mex, "Taco Place")
+	shop := fb.MustAddRoot("Shop")
+	fb.MustAddChild(shop, "Gift")
+	return fb.Build()
+}
+
+func TestCategoryMatcher(t *testing.T) {
+	f := testForest()
+	asian := f.MustLookup("Asian")
+	italian := f.MustLookup("Italian")
+	gift := f.MustLookup("Gift")
+	m := NewCategory(f, asian, f.WuPalmer)
+
+	if got := m.Sim([]taxonomy.CategoryID{asian}); got != 1 {
+		t.Errorf("self sim = %v, want 1", got)
+	}
+	if got := m.Sim([]taxonomy.CategoryID{italian}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("sibling sim = %v, want 0.5", got)
+	}
+	if got := m.Sim([]taxonomy.CategoryID{gift}); got != 0 {
+		t.Errorf("cross-tree sim = %v, want 0", got)
+	}
+	// Multi-category PoI takes the best similarity (§6).
+	if got := m.Sim([]taxonomy.CategoryID{gift, italian, asian}); got != 1 {
+		t.Errorf("multi-cat sim = %v, want 1", got)
+	}
+	if !m.Perfect([]taxonomy.CategoryID{gift, asian}) {
+		t.Error("perfect should hold when any category equals the target")
+	}
+	if m.Perfect([]taxonomy.CategoryID{italian}) {
+		t.Error("sibling is not perfect")
+	}
+	if m.ID() != asian {
+		t.Error("ID accessor wrong")
+	}
+	if m.String() != "Asian" {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestAnyOfMatcher(t *testing.T) {
+	f := testForest()
+	asian := f.MustLookup("Asian")
+	gift := f.MustLookup("Gift")
+	italian := f.MustLookup("Italian")
+	m := NewAnyOf(NewCategory(f, asian, f.WuPalmer), NewCategory(f, gift, f.WuPalmer))
+
+	if got := m.Sim([]taxonomy.CategoryID{gift}); got != 1 {
+		t.Errorf("disjunction sim = %v, want 1", got)
+	}
+	if got := m.Sim([]taxonomy.CategoryID{italian}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("disjunction sibling sim = %v, want 0.5", got)
+	}
+	if !m.Perfect([]taxonomy.CategoryID{gift}) || m.Perfect([]taxonomy.CategoryID{italian}) {
+		t.Error("disjunction perfect wrong")
+	}
+	if !strings.Contains(m.String(), "or") {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestAnyOfEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty AnyOf should panic")
+		}
+	}()
+	NewAnyOf()
+}
+
+func TestAllOfMatcher(t *testing.T) {
+	f := testForest()
+	asian := f.MustLookup("Asian")
+	italian := f.MustLookup("Italian")
+	gift := f.MustLookup("Gift")
+	m := NewAllOf(NewCategory(f, asian, f.WuPalmer), NewCategory(f, gift, f.WuPalmer))
+
+	// A PoI carrying both categories matches perfectly.
+	if !m.Perfect([]taxonomy.CategoryID{asian, gift}) {
+		t.Error("conjunction with both categories should be perfect")
+	}
+	if got := m.Sim([]taxonomy.CategoryID{asian, gift}); got != 1 {
+		t.Errorf("conjunction sim = %v, want 1", got)
+	}
+	// Missing one side → no match at all.
+	if got := m.Sim([]taxonomy.CategoryID{asian}); got != 0 {
+		t.Errorf("conjunction missing side sim = %v, want 0", got)
+	}
+	// Semantic-only on one side: min of the sides.
+	if got := m.Sim([]taxonomy.CategoryID{italian, gift}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("conjunction semantic sim = %v, want 0.5", got)
+	}
+	if m.Perfect([]taxonomy.CategoryID{italian, gift}) {
+		t.Error("conjunction with semantic side is not perfect")
+	}
+	if !strings.Contains(m.String(), "and") {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestAllOfEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty AllOf should panic")
+		}
+	}()
+	NewAllOf()
+}
+
+func TestExcludingMatcher(t *testing.T) {
+	f := testForest()
+	mexican := f.MustLookup("Mexican")
+	taco := f.MustLookup("Taco Place")
+	italian := f.MustLookup("Italian")
+	// The paper's example: Mexican restaurant but not Taco Place.
+	m := NewExcluding(NewCategory(f, mexican, f.WuPalmer), f, taco)
+
+	if got := m.Sim([]taxonomy.CategoryID{taco}); got != 0 {
+		t.Errorf("excluded descendant sim = %v, want 0", got)
+	}
+	if got := m.Sim([]taxonomy.CategoryID{mexican}); got != 1 {
+		t.Errorf("base category sim = %v, want 1", got)
+	}
+	if got := m.Sim([]taxonomy.CategoryID{italian}); got <= 0 {
+		t.Errorf("sibling sim = %v, want > 0", got)
+	}
+	if m.Perfect([]taxonomy.CategoryID{taco}) {
+		t.Error("excluded PoI cannot be perfect")
+	}
+	if !m.Perfect([]taxonomy.CategoryID{mexican}) {
+		t.Error("base category should be perfect")
+	}
+	if !strings.Contains(m.String(), "not") {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestSequenceHelpers(t *testing.T) {
+	f := testForest()
+	asian := f.MustLookup("Asian")
+	gift := f.MustLookup("Gift")
+	seq := NewCategorySequence(f, f.WuPalmer, asian, gift)
+	if len(seq) != 2 {
+		t.Fatalf("len = %d, want 2", len(seq))
+	}
+	cats, ok := seq.Categories()
+	if !ok || cats[0] != asian || cats[1] != gift {
+		t.Errorf("Categories = %v, %v", cats, ok)
+	}
+	if !strings.Contains(seq.String(), "Asian") {
+		t.Errorf("String = %q", seq.String())
+	}
+	// A complex sequence has no plain category view.
+	complexSeq := Sequence{NewAnyOf(NewCategory(f, asian, f.WuPalmer))}
+	if _, ok := complexSeq.Categories(); ok {
+		t.Error("complex sequence should not expose plain categories")
+	}
+}

@@ -1,0 +1,102 @@
+package route
+
+import (
+	"math"
+	"sort"
+)
+
+// Point3 is a route with three scores: length, semantic and rating
+// penalty. It supports the §9 extension "consider many attributes of a PoI
+// (e.g., ... ratings)" — routes Pareto-optimal in all three dimensions.
+type Point3 struct {
+	L     float64 // length score
+	S     float64 // semantic score
+	R     float64 // rating penalty in [0, 1], 0 = all PoIs top-rated
+	Route *Route
+}
+
+// dominates reports pointwise-≤ with at least one strict inequality.
+func (p Point3) dominates(o Point3) bool {
+	if p.L > o.L || p.S > o.S || p.R > o.R {
+		return false
+	}
+	return p.L < o.L || p.S < o.S || p.R < o.R
+}
+
+func (p Point3) equivalent(o Point3) bool {
+	return p.L == o.L && p.S == o.S && p.R == o.R
+}
+
+// Skyline3 maintains the minimal set of three-criteria routes, the
+// three-dimensional analogue of Skyline. Sets stay small, so linear scans
+// remain the right structure.
+type Skyline3 struct {
+	pts []Point3
+}
+
+// NewSkyline3 returns an empty set.
+func NewSkyline3() *Skyline3 { return &Skyline3{} }
+
+// Len returns the number of member routes.
+func (s *Skyline3) Len() int { return len(s.pts) }
+
+// Points returns the members sorted by ascending length (ties by semantic,
+// then rating).
+func (s *Skyline3) Points() []Point3 {
+	out := append([]Point3(nil), s.pts...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].L != out[j].L {
+			return out[i].L < out[j].L
+		}
+		if out[i].S != out[j].S {
+			return out[i].S < out[j].S
+		}
+		return out[i].R < out[j].R
+	})
+	return out
+}
+
+// Update inserts p unless a member dominates or equals it; on insertion
+// every member p dominates is evicted. It reports whether the set changed.
+func (s *Skyline3) Update(p Point3) bool {
+	for _, m := range s.pts {
+		if m.dominates(p) || m.equivalent(p) {
+			return false
+		}
+	}
+	keep := s.pts[:0]
+	for _, m := range s.pts {
+		if !p.dominates(m) {
+			keep = append(keep, m)
+		}
+	}
+	s.pts = append(keep, p)
+	return true
+}
+
+// Covers reports whether some member dominates or equals (l, sem, rat) —
+// the three-criteria pruning condition (Lemma 5.3 generalized: scores are
+// monotone under extension in all three dimensions, so a covered partial
+// route cannot produce an uncovered completion).
+func (s *Skyline3) Covers(l, sem, rat float64) bool {
+	for _, m := range s.pts {
+		if m.L <= l && m.S <= sem && m.R <= rat {
+			return true
+		}
+	}
+	return false
+}
+
+// Threshold returns the smallest member length among members whose
+// semantic and rating scores are both ≤ the given values (+Inf when none)
+// — Equation 3 generalized. A partial route with these scores is dead once
+// its length reaches the threshold.
+func (s *Skyline3) Threshold(sem, rat float64) float64 {
+	best := math.Inf(1)
+	for _, m := range s.pts {
+		if m.S <= sem && m.R <= rat && m.L < best {
+			best = m.L
+		}
+	}
+	return best
+}

@@ -1,0 +1,218 @@
+// Package spatial provides a uniform-grid spatial index over points and
+// line segments. The dataset pipeline uses it to embed each PoI on the
+// closest road edge (§7.1, following Li et al.) and to snap query start
+// points to road vertices.
+//
+// The index works in the planar coordinate space of the stored points
+// (longitude/latitude treated as x/y); at city scale the distortion is
+// irrelevant for a nearest-edge decision, and the generators use the same
+// convention throughout.
+package spatial
+
+import (
+	"math"
+
+	"skysr/internal/geo"
+)
+
+type pointItem struct {
+	id int32
+	p  geo.Point
+}
+
+type segItem struct {
+	id   int32
+	a, b geo.Point
+}
+
+// Grid is a uniform-cell spatial index. Create one with NewGrid.
+type Grid struct {
+	bounds   geo.Rect
+	cell     float64
+	cols     int
+	rows     int
+	points   map[int][]pointItem
+	segments map[int][]segItem
+}
+
+// NewGrid returns a grid covering bounds with approximately cells×cells
+// resolution. cells must be positive; bounds must be non-empty.
+func NewGrid(bounds geo.Rect, cells int) *Grid {
+	if bounds.Empty() {
+		panic("spatial: empty bounds")
+	}
+	if cells <= 0 {
+		panic("spatial: non-positive cell count")
+	}
+	w := bounds.Width()
+	h := bounds.Height()
+	ext := math.Max(w, h)
+	if ext == 0 {
+		ext = 1e-9
+	}
+	cell := ext / float64(cells)
+	cols := int(math.Ceil(w/cell)) + 1
+	rows := int(math.Ceil(h/cell)) + 1
+	return &Grid{
+		bounds:   bounds,
+		cell:     cell,
+		cols:     cols,
+		rows:     rows,
+		points:   make(map[int][]pointItem),
+		segments: make(map[int][]segItem),
+	}
+}
+
+func (g *Grid) cellIndex(col, row int) int { return row*g.cols + col }
+
+func (g *Grid) colRow(p geo.Point) (int, int) {
+	col := int((p.Lon - g.bounds.MinLon) / g.cell)
+	row := int((p.Lat - g.bounds.MinLat) / g.cell)
+	if col < 0 {
+		col = 0
+	}
+	if col >= g.cols {
+		col = g.cols - 1
+	}
+	if row < 0 {
+		row = 0
+	}
+	if row >= g.rows {
+		row = g.rows - 1
+	}
+	return col, row
+}
+
+// InsertPoint indexes a point with an opaque id.
+func (g *Grid) InsertPoint(id int32, p geo.Point) {
+	col, row := g.colRow(p)
+	idx := g.cellIndex(col, row)
+	g.points[idx] = append(g.points[idx], pointItem{id: id, p: p})
+}
+
+// InsertSegment indexes the segment [a, b] with an opaque id. The segment
+// is registered in every cell its bounding box overlaps, which
+// over-approximates coverage but keeps insertion trivial; road edges are
+// short relative to the grid so the overhead is small.
+func (g *Grid) InsertSegment(id int32, a, b geo.Point) {
+	c0, r0 := g.colRow(a)
+	c1, r1 := g.colRow(b)
+	if c0 > c1 {
+		c0, c1 = c1, c0
+	}
+	if r0 > r1 {
+		r0, r1 = r1, r0
+	}
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			idx := g.cellIndex(col, row)
+			g.segments[idx] = append(g.segments[idx], segItem{id: id, a: a, b: b})
+		}
+	}
+}
+
+// NearestPoint returns the id of the indexed point closest to q (planar
+// distance) and that distance. ok is false when the grid holds no points.
+// Ties are broken by smaller id for determinism.
+func (g *Grid) NearestPoint(q geo.Point) (id int32, d float64, ok bool) {
+	best := math.Inf(1)
+	bestID := int32(-1)
+	g.searchRings(q, func(cell int) {
+		for _, it := range g.points[cell] {
+			dd := geo.Euclidean(q, it.p)
+			if dd < best || (dd == best && it.id < bestID) {
+				best = dd
+				bestID = it.id
+			}
+		}
+	}, func() float64 { return best })
+	if math.IsInf(best, 1) {
+		return -1, 0, false
+	}
+	return bestID, best, true
+}
+
+// NearestSegment returns the indexed segment closest to q, the projected
+// point on it, the projection parameter t in [0, 1], and the planar
+// distance. ok is false when the grid holds no segments. Ties are broken by
+// smaller id.
+func (g *Grid) NearestSegment(q geo.Point) (id int32, proj geo.Point, t float64, d float64, ok bool) {
+	return g.NearestSegmentFiltered(q, nil)
+}
+
+// NearestSegmentFiltered is NearestSegment restricted to segments for which
+// alive(id) returns true. A nil alive accepts every segment. It supports
+// the edge-splitting PoI embedder, which tombstones split edges instead of
+// removing them from the index.
+func (g *Grid) NearestSegmentFiltered(q geo.Point, alive func(id int32) bool) (id int32, proj geo.Point, t float64, d float64, ok bool) {
+	best := math.Inf(1)
+	bestID := int32(-1)
+	var bestProj geo.Point
+	var bestT float64
+	seen := make(map[int32]struct{})
+	g.searchRings(q, func(cell int) {
+		for _, it := range g.segments[cell] {
+			if _, dup := seen[it.id]; dup {
+				continue
+			}
+			seen[it.id] = struct{}{}
+			if alive != nil && !alive(it.id) {
+				continue
+			}
+			p, tt := geo.ClosestPointOnSegment(q, it.a, it.b)
+			dd := geo.Euclidean(q, p)
+			if dd < best || (dd == best && it.id < bestID) {
+				best = dd
+				bestID = it.id
+				bestProj = p
+				bestT = tt
+			}
+		}
+	}, func() float64 { return best })
+	if math.IsInf(best, 1) {
+		return -1, geo.Point{}, 0, 0, false
+	}
+	return bestID, bestProj, bestT, best, true
+}
+
+// searchRings visits cells in expanding square rings around q, invoking
+// visit for each cell, until the ring's minimum possible distance exceeds
+// the current best distance reported by bound.
+func (g *Grid) searchRings(q geo.Point, visit func(cell int), bound func() float64) {
+	qc, qr := g.colRow(q)
+	maxRing := g.cols
+	if g.rows > maxRing {
+		maxRing = g.rows
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		// Any point in a cell at Chebyshev ring r is at least (r-1) cells
+		// away in planar distance.
+		if ring > 0 {
+			minDist := float64(ring-1) * g.cell
+			if minDist > bound() {
+				return
+			}
+		}
+		if ring == 0 {
+			visit(g.cellIndex(qc, qr))
+			continue
+		}
+		lo, hi := -ring, ring
+		for dc := lo; dc <= hi; dc++ {
+			for _, dr := range [2]int{lo, hi} {
+				col, row := qc+dc, qr+dr
+				if col >= 0 && col < g.cols && row >= 0 && row < g.rows {
+					visit(g.cellIndex(col, row))
+				}
+			}
+		}
+		for dr := lo + 1; dr <= hi-1; dr++ {
+			for _, dc := range [2]int{lo, hi} {
+				col, row := qc+dc, qr+dr
+				if col >= 0 && col < g.cols && row >= 0 && row < g.rows {
+					visit(g.cellIndex(col, row))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"skysr/internal/geo"
+)
+
+func unitBounds() geo.Rect { return geo.NewRect(0, 0, 1, 1) }
+
+func TestNearestPointBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		g := NewGrid(unitBounds(), 8)
+		pts := make([]geo.Point, 50)
+		for i := range pts {
+			pts[i] = geo.Point{Lon: rng.Float64(), Lat: rng.Float64()}
+			g.InsertPoint(int32(i), pts[i])
+		}
+		for q := 0; q < 20; q++ {
+			query := geo.Point{Lon: rng.Float64()*1.4 - 0.2, Lat: rng.Float64()*1.4 - 0.2}
+			id, d, ok := g.NearestPoint(query)
+			if !ok {
+				t.Fatal("expected a nearest point")
+			}
+			bestID, best := int32(-1), math.Inf(1)
+			for i, p := range pts {
+				if dd := geo.Euclidean(query, p); dd < best {
+					best = dd
+					bestID = int32(i)
+				}
+			}
+			if id != bestID || math.Abs(d-best) > 1e-12 {
+				t.Fatalf("nearest(%v) = (%d, %v), brute force (%d, %v)", query, id, d, bestID, best)
+			}
+		}
+	}
+}
+
+func TestNearestPointEmpty(t *testing.T) {
+	g := NewGrid(unitBounds(), 4)
+	if _, _, ok := g.NearestPoint(geo.Point{Lon: 0.5, Lat: 0.5}); ok {
+		t.Error("empty grid should report ok=false")
+	}
+}
+
+func TestNearestSegmentBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := NewGrid(unitBounds(), 8)
+		type seg struct{ a, b geo.Point }
+		segs := make([]seg, 30)
+		for i := range segs {
+			a := geo.Point{Lon: rng.Float64(), Lat: rng.Float64()}
+			b := geo.Point{Lon: a.Lon + (rng.Float64()-0.5)*0.2, Lat: a.Lat + (rng.Float64()-0.5)*0.2}
+			segs[i] = seg{a, b}
+			g.InsertSegment(int32(i), a, b)
+		}
+		for q := 0; q < 20; q++ {
+			query := geo.Point{Lon: rng.Float64(), Lat: rng.Float64()}
+			id, proj, _, d, ok := g.NearestSegment(query)
+			if !ok {
+				t.Fatal("expected a nearest segment")
+			}
+			bestID, best := int32(-1), math.Inf(1)
+			for i, s := range segs {
+				p, _ := geo.ClosestPointOnSegment(query, s.a, s.b)
+				if dd := geo.Euclidean(query, p); dd < best {
+					best = dd
+					bestID = int32(i)
+				}
+			}
+			if math.Abs(d-best) > 1e-12 {
+				t.Fatalf("nearest segment distance %v, brute force %v (got id %d want %d)", d, best, id, bestID)
+			}
+			if got := geo.Euclidean(query, proj); math.Abs(got-d) > 1e-12 {
+				t.Fatalf("reported projection inconsistent with distance: %v vs %v", got, d)
+			}
+		}
+	}
+}
+
+func TestNearestSegmentEmpty(t *testing.T) {
+	g := NewGrid(unitBounds(), 4)
+	if _, _, _, _, ok := g.NearestSegment(geo.Point{Lon: 0.5, Lat: 0.5}); ok {
+		t.Error("empty grid should report ok=false")
+	}
+}
+
+func TestQueriesOutsideBounds(t *testing.T) {
+	g := NewGrid(unitBounds(), 4)
+	g.InsertPoint(1, geo.Point{Lon: 0.9, Lat: 0.9})
+	g.InsertSegment(2, geo.Point{Lon: 0.1, Lat: 0.1}, geo.Point{Lon: 0.2, Lat: 0.1})
+	id, _, ok := g.NearestPoint(geo.Point{Lon: 5, Lat: 5})
+	if !ok || id != 1 {
+		t.Errorf("out-of-bounds point query: id=%d ok=%v, want 1 true", id, ok)
+	}
+	sid, _, _, _, ok := g.NearestSegment(geo.Point{Lon: -3, Lat: -3})
+	if !ok || sid != 2 {
+		t.Errorf("out-of-bounds segment query: id=%d ok=%v, want 2 true", sid, ok)
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	g := NewGrid(unitBounds(), 4)
+	p := geo.Point{Lon: 0.5, Lat: 0.5}
+	g.InsertPoint(9, p)
+	g.InsertPoint(3, p)
+	g.InsertPoint(5, p)
+	id, d, ok := g.NearestPoint(p)
+	if !ok || id != 3 || d != 0 {
+		t.Errorf("tie break: got (%d, %v, %v), want (3, 0, true)", id, d, ok)
+	}
+}
+
+func TestNewGridPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty bounds": func() { NewGrid(geo.Rect{}, 4) },
+		"zero cells":   func() { NewGrid(unitBounds(), 0) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func BenchmarkNearestSegment(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewGrid(unitBounds(), 64)
+	for i := 0; i < 5000; i++ {
+		a := geo.Point{Lon: rng.Float64(), Lat: rng.Float64()}
+		bb := geo.Point{Lon: a.Lon + (rng.Float64()-0.5)*0.02, Lat: a.Lat + (rng.Float64()-0.5)*0.02}
+		g.InsertSegment(int32(i), a, bb)
+	}
+	queries := make([]geo.Point, 256)
+	for i := range queries {
+		queries[i] = geo.Point{Lon: rng.Float64(), Lat: rng.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.NearestSegment(queries[i%len(queries)])
+	}
+}

@@ -1,0 +1,164 @@
+package taxonomy
+
+import "fmt"
+
+// FoursquareLike returns a hand-built category forest with the ten top-level
+// trees of the Foursquare taxonomy the paper uses for Tokyo and NYC (§7.1),
+// populated with the categories that appear in the paper's figures and
+// examples (Figures 1–2, Tables 1, 4 and 9) plus enough siblings to make
+// similarity structure non-trivial.
+func FoursquareLike() *Forest {
+	fb := NewForestBuilder()
+
+	food := fb.MustAddRoot("Food")
+	asian := fb.MustAddChild(food, "Asian Restaurant")
+	fb.MustAddChild(asian, "Chinese Restaurant")
+	fb.MustAddChild(asian, "Thai Restaurant")
+	fb.MustAddChild(asian, "Korean Restaurant")
+	japanese := fb.MustAddChild(food, "Japanese Restaurant")
+	fb.MustAddChild(japanese, "Sushi Restaurant")
+	fb.MustAddChild(japanese, "Ramen Restaurant")
+	fb.MustAddChild(japanese, "Udon Restaurant")
+	italian := fb.MustAddChild(food, "Italian Restaurant")
+	fb.MustAddChild(italian, "Pizza Place")
+	fb.MustAddChild(italian, "Trattoria")
+	american := fb.MustAddChild(food, "American Restaurant")
+	fb.MustAddChild(american, "Burger Joint")
+	fb.MustAddChild(american, "Diner")
+	mexican := fb.MustAddChild(food, "Mexican Restaurant")
+	fb.MustAddChild(mexican, "Taco Place")
+	fb.MustAddChild(mexican, "Burrito Place")
+	dessert := fb.MustAddChild(food, "Dessert Shop")
+	fb.MustAddChild(dessert, "Cupcake Shop")
+	fb.MustAddChild(dessert, "Ice Cream Shop")
+	fb.MustAddChild(dessert, "Pie Shop")
+	fb.MustAddChild(food, "Bakery")
+	cafe := fb.MustAddChild(food, "Cafe")
+	fb.MustAddChild(cafe, "Coffee Shop")
+	fb.MustAddChild(cafe, "Tea Room")
+
+	shop := fb.MustAddRoot("Shop & Service")
+	fb.MustAddChild(shop, "Gift Shop")
+	fb.MustAddChild(shop, "Hobby Shop")
+	clothing := fb.MustAddChild(shop, "Clothing Store")
+	fb.MustAddChild(clothing, "Men's Store")
+	fb.MustAddChild(clothing, "Women's Store")
+	fb.MustAddChild(clothing, "Kids' Store")
+	fb.MustAddChild(shop, "Bookstore")
+	fb.MustAddChild(shop, "Electronics Store")
+	fb.MustAddChild(shop, "Convenience Store")
+	fb.MustAddChild(shop, "Grocery Store")
+	fb.MustAddChild(shop, "Pharmacy")
+
+	arts := fb.MustAddRoot("Arts & Entertainment")
+	museum := fb.MustAddChild(arts, "Museum")
+	fb.MustAddChild(museum, "Art Museum")
+	fb.MustAddChild(museum, "History Museum")
+	fb.MustAddChild(museum, "Science Museum")
+	music := fb.MustAddChild(arts, "Music Venue")
+	fb.MustAddChild(music, "Jazz Club")
+	fb.MustAddChild(music, "Rock Club")
+	fb.MustAddChild(music, "Concert Hall")
+	theater := fb.MustAddChild(arts, "Theater")
+	fb.MustAddChild(theater, "Indie Theater")
+	fb.MustAddChild(theater, "Opera House")
+	fb.MustAddChild(arts, "Movie Theater")
+	fb.MustAddChild(arts, "Aquarium")
+	fb.MustAddChild(arts, "Zoo")
+	fb.MustAddChild(arts, "Art Gallery")
+
+	nightlife := fb.MustAddRoot("Nightlife Spot")
+	bar := fb.MustAddChild(nightlife, "Bar")
+	fb.MustAddChild(bar, "Beer Garden")
+	fb.MustAddChild(bar, "Sake Bar")
+	fb.MustAddChild(bar, "Wine Bar")
+	fb.MustAddChild(bar, "Cocktail Bar")
+	fb.MustAddChild(bar, "Pub")
+	fb.MustAddChild(nightlife, "Nightclub")
+	fb.MustAddChild(nightlife, "Lounge")
+	fb.MustAddChild(nightlife, "Karaoke Box")
+
+	outdoors := fb.MustAddRoot("Outdoors & Recreation")
+	park := fb.MustAddChild(outdoors, "Park")
+	fb.MustAddChild(park, "Playground")
+	fb.MustAddChild(park, "Dog Run")
+	gym := fb.MustAddChild(outdoors, "Gym")
+	fb.MustAddChild(gym, "Yoga Studio")
+	fb.MustAddChild(gym, "Martial Arts Dojo")
+	fb.MustAddChild(outdoors, "Beach")
+	fb.MustAddChild(outdoors, "Trail")
+	fb.MustAddChild(outdoors, "Stadium")
+
+	travel := fb.MustAddRoot("Travel & Transport")
+	fb.MustAddChild(travel, "Train Station")
+	fb.MustAddChild(travel, "Metro Station")
+	fb.MustAddChild(travel, "Bus Station")
+	airport := fb.MustAddChild(travel, "Airport")
+	fb.MustAddChild(airport, "Airport Terminal")
+	fb.MustAddChild(airport, "Airport Lounge")
+	hotel := fb.MustAddChild(travel, "Hotel")
+	fb.MustAddChild(hotel, "Hostel")
+	fb.MustAddChild(hotel, "Resort")
+
+	college := fb.MustAddRoot("College & University")
+	fb.MustAddChild(college, "Academic Building")
+	fb.MustAddChild(college, "Dormitory")
+	fb.MustAddChild(college, "University Library")
+	fb.MustAddChild(college, "Campus Cafeteria")
+
+	professional := fb.MustAddRoot("Professional & Other Places")
+	office := fb.MustAddChild(professional, "Office")
+	fb.MustAddChild(office, "Tech Startup")
+	fb.MustAddChild(office, "Coworking Space")
+	medical := fb.MustAddChild(professional, "Medical Center")
+	fb.MustAddChild(medical, "Hospital")
+	fb.MustAddChild(medical, "Dentist")
+	fb.MustAddChild(professional, "Government Building")
+	fb.MustAddChild(professional, "School")
+
+	residence := fb.MustAddRoot("Residence")
+	fb.MustAddChild(residence, "Home")
+	fb.MustAddChild(residence, "Apartment Building")
+	fb.MustAddChild(residence, "Housing Development")
+
+	event := fb.MustAddRoot("Event")
+	fb.MustAddChild(event, "Music Festival")
+	fb.MustAddChild(event, "Street Fair")
+	fb.MustAddChild(event, "Parade")
+	fb.MustAddChild(event, "Market")
+
+	return fb.Build()
+}
+
+// Generated returns a synthetic forest with numTrees trees, each a complete
+// tree of the given height (root has depth 1) where every non-leaf has
+// branching children. Category names are "T<tree>/<path>".
+func Generated(numTrees, branching, height int) *Forest {
+	if numTrees <= 0 || branching <= 0 || height <= 0 {
+		panic("taxonomy: Generated arguments must be positive")
+	}
+	fb := NewForestBuilder()
+	for t := 0; t < numTrees; t++ {
+		root := fb.MustAddRoot(fmt.Sprintf("T%d", t))
+		grow(fb, root, fmt.Sprintf("T%d", t), branching, height-1)
+	}
+	return fb.Build()
+}
+
+func grow(fb *ForestBuilder, parent CategoryID, prefix string, branching, levels int) {
+	if levels == 0 {
+		return
+	}
+	for i := 0; i < branching; i++ {
+		name := fmt.Sprintf("%s/%d", prefix, i)
+		child := fb.MustAddChild(parent, name)
+		grow(fb, child, name, branching, levels-1)
+	}
+}
+
+// CalLike returns the synthetic forest the paper builds for the Cal dataset
+// (§7.1 footnote 5): the 63 categories have no hierarchy of their own, so
+// the authors generate trees of height three in which every non-leaf has
+// three children. Seven such trees have 7×9 = 63 leaves, matching the Cal
+// category count.
+func CalLike() *Forest { return Generated(7, 3, 3) }

@@ -1,0 +1,362 @@
+// Package taxonomy implements the semantic hierarchy of PoI categories
+// (§3): a forest of category trees, the Wu–Palmer and path-length category
+// similarities (Definition 3.3, Eq. 6), super-category-sequence enumeration
+// used by the naive baseline (§4), and the minimum-semantic-increment δ
+// used by the Lemma 5.8 lower bound.
+//
+// Category ids are dense int32 values assigned in insertion order by
+// ForestBuilder, so similarity tables can be plain slices.
+package taxonomy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CategoryID identifies a category. It matches graph.CategoryID.
+type CategoryID = int32
+
+// NoCategory is the sentinel for "no category".
+const NoCategory CategoryID = -1
+
+// TreeID identifies one tree of the forest.
+type TreeID = int32
+
+// Forest is an immutable forest of category trees. Build one with
+// ForestBuilder.
+type Forest struct {
+	names    []string
+	parent   []CategoryID
+	depth    []int32 // root has depth 1 (Wu–Palmer convention)
+	tree     []TreeID
+	children [][]CategoryID
+	roots    []CategoryID
+	byName   map[string]CategoryID
+}
+
+// NumCategories returns the number of categories in the forest.
+func (f *Forest) NumCategories() int { return len(f.names) }
+
+// NumTrees returns the number of trees in the forest.
+func (f *Forest) NumTrees() int { return len(f.roots) }
+
+// Roots returns the root category of every tree. Do not mutate.
+func (f *Forest) Roots() []CategoryID { return f.roots }
+
+// Name returns the human-readable name of c.
+func (f *Forest) Name(c CategoryID) string { return f.names[c] }
+
+// Lookup returns the category with the given name.
+func (f *Forest) Lookup(name string) (CategoryID, bool) {
+	c, ok := f.byName[name]
+	return c, ok
+}
+
+// MustLookup is Lookup that panics on a missing name; intended for examples
+// and tests with hand-built forests.
+func (f *Forest) MustLookup(name string) CategoryID {
+	c, ok := f.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("taxonomy: unknown category %q", name))
+	}
+	return c
+}
+
+// Parent returns the parent of c, or NoCategory for roots.
+func (f *Forest) Parent(c CategoryID) CategoryID { return f.parent[c] }
+
+// Depth returns the depth of c; roots have depth 1.
+func (f *Forest) Depth(c CategoryID) int { return int(f.depth[c]) }
+
+// Tree returns the tree id of c.
+func (f *Forest) Tree(c CategoryID) TreeID { return f.tree[c] }
+
+// Root returns the root of c's tree.
+func (f *Forest) Root(c CategoryID) CategoryID {
+	for f.parent[c] != NoCategory {
+		c = f.parent[c]
+	}
+	return c
+}
+
+// Children returns the children of c. Do not mutate.
+func (f *Forest) Children(c CategoryID) []CategoryID { return f.children[c] }
+
+// IsLeaf reports whether c has no children.
+func (f *Forest) IsLeaf(c CategoryID) bool { return len(f.children[c]) == 0 }
+
+// Leaves returns all leaf categories of the forest in id order.
+func (f *Forest) Leaves() []CategoryID {
+	var out []CategoryID
+	for c := CategoryID(0); int(c) < len(f.names); c++ {
+		if f.IsLeaf(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// LeavesOfTree returns the leaves of one tree in id order.
+func (f *Forest) LeavesOfTree(t TreeID) []CategoryID {
+	var out []CategoryID
+	for c := CategoryID(0); int(c) < len(f.names); c++ {
+		if f.tree[c] == t && f.IsLeaf(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SameTree reports whether a and b belong to the same tree, i.e. whether
+// they "semantically match" in the paper's terminology.
+func (f *Forest) SameTree(a, b CategoryID) bool { return f.tree[a] == f.tree[b] }
+
+// IsAncestorOrSelf reports whether anc is c itself or one of its ancestors.
+// Because a PoI with category c is also associated with every ancestor of c
+// (§3), this is exactly the membership test for the paper's P_anc set.
+func (f *Forest) IsAncestorOrSelf(anc, c CategoryID) bool {
+	if f.tree[anc] != f.tree[c] {
+		return false
+	}
+	for c != NoCategory {
+		if c == anc {
+			return true
+		}
+		c = f.parent[c]
+	}
+	return false
+}
+
+// Ancestors returns c and all its ancestors up to the root, starting at c.
+func (f *Forest) Ancestors(c CategoryID) []CategoryID {
+	var out []CategoryID
+	for c != NoCategory {
+		out = append(out, c)
+		c = f.parent[c]
+	}
+	return out
+}
+
+// LCA returns the lowest common ancestor of a and b, or NoCategory when the
+// categories are in different trees.
+func (f *Forest) LCA(a, b CategoryID) CategoryID {
+	if f.tree[a] != f.tree[b] {
+		return NoCategory
+	}
+	for f.depth[a] > f.depth[b] {
+		a = f.parent[a]
+	}
+	for f.depth[b] > f.depth[a] {
+		b = f.parent[b]
+	}
+	for a != b {
+		a = f.parent[a]
+		b = f.parent[b]
+	}
+	return a
+}
+
+// Subtree returns every category in the subtree rooted at c (including c),
+// in preorder.
+func (f *Forest) Subtree(c CategoryID) []CategoryID {
+	out := []CategoryID{c}
+	for i := 0; i < len(out); i++ {
+		out = append(out, f.children[out[i]]...)
+	}
+	return out
+}
+
+// Similarity computes a category similarity in [0, 1] per Definition 3.3:
+// zero across trees, positive within a tree, one for identical categories.
+type Similarity func(a, b CategoryID) float64
+
+// WuPalmer returns the Wu–Palmer similarity (Eq. 6):
+//
+//	sim(c, c') = 2·d(lca(c, c')) / (d(c) + d(c'))
+//
+// and 0 when the categories are in different trees.
+func (f *Forest) WuPalmer(a, b CategoryID) float64 {
+	lca := f.LCA(a, b)
+	if lca == NoCategory {
+		return 0
+	}
+	return 2 * float64(f.depth[lca]) / float64(f.depth[a]+f.depth[b])
+}
+
+// PathLength returns the inverse path-length similarity 1/(1+len) where len
+// is the number of edges on the tree path between a and b, and 0 across
+// trees. It is the alternative similarity the paper cites [15, 19].
+func (f *Forest) PathLength(a, b CategoryID) float64 {
+	lca := f.LCA(a, b)
+	if lca == NoCategory {
+		return 0
+	}
+	pathLen := int(f.depth[a]) + int(f.depth[b]) - 2*int(f.depth[lca])
+	return 1 / float64(1+pathLen)
+}
+
+// SimRow fills a dense similarity table row: row[c'] = sim(c, c') for every
+// category c' of the forest. The search algorithms use this to avoid
+// recomputing LCAs in inner loops.
+func (f *Forest) SimRow(c CategoryID, sim Similarity) []float64 {
+	row := make([]float64, len(f.names))
+	for other := CategoryID(0); int(other) < len(f.names); other++ {
+		row[other] = sim(c, other)
+	}
+	return row
+}
+
+// MaxNonPerfectSim returns the largest similarity sim(c, c”) over
+// categories c” ≠ c in c's tree, or 0 when c is alone in its tree. The
+// Lemma 5.8 pruning rule derives the minimum semantic increment δ from it
+// (footnote 2 of the paper).
+func (f *Forest) MaxNonPerfectSim(c CategoryID, sim Similarity) float64 {
+	best := 0.0
+	for _, other := range f.Subtree(f.Root(c)) {
+		if other == c {
+			continue
+		}
+		if s := sim(c, other); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// CountSuperSequences returns the number of super-category sequences of
+// seq: the product over positions of the ancestor-chain lengths. This is
+// the number of OSR queries the naive baseline must run (§4).
+func (f *Forest) CountSuperSequences(seq []CategoryID) int {
+	n := 1
+	for _, c := range seq {
+		n *= f.Depth(c)
+	}
+	return n
+}
+
+// SuperSequences enumerates every super-category sequence of seq
+// (Definition 3.1): each position independently replaced by itself or any
+// of its ancestors. The original sequence is the first element; enumeration
+// order is deterministic (ancestor chains walked bottom-up, last position
+// fastest).
+func (f *Forest) SuperSequences(seq []CategoryID) [][]CategoryID {
+	if len(seq) == 0 {
+		return [][]CategoryID{{}}
+	}
+	chains := make([][]CategoryID, len(seq))
+	total := 1
+	for i, c := range seq {
+		chains[i] = f.Ancestors(c)
+		total *= len(chains[i])
+	}
+	out := make([][]CategoryID, 0, total)
+	idx := make([]int, len(seq))
+	for {
+		cur := make([]CategoryID, len(seq))
+		for i := range seq {
+			cur[i] = chains[i][idx[i]]
+		}
+		out = append(out, cur)
+		pos := len(seq) - 1
+		for pos >= 0 {
+			idx[pos]++
+			if idx[pos] < len(chains[pos]) {
+				break
+			}
+			idx[pos] = 0
+			pos--
+		}
+		if pos < 0 {
+			return out
+		}
+	}
+}
+
+// ForestBuilder accumulates categories and produces an immutable Forest.
+type ForestBuilder struct {
+	names  []string
+	parent []CategoryID
+	byName map[string]CategoryID
+}
+
+// NewForestBuilder returns an empty ForestBuilder.
+func NewForestBuilder() *ForestBuilder {
+	return &ForestBuilder{byName: make(map[string]CategoryID)}
+}
+
+// ErrDuplicateName is returned by Add* when a category name is reused.
+var ErrDuplicateName = errors.New("taxonomy: duplicate category name")
+
+// AddRoot adds a new tree root.
+func (fb *ForestBuilder) AddRoot(name string) (CategoryID, error) {
+	return fb.add(name, NoCategory)
+}
+
+// AddChild adds a child category under parent.
+func (fb *ForestBuilder) AddChild(parent CategoryID, name string) (CategoryID, error) {
+	if parent < 0 || int(parent) >= len(fb.names) {
+		return NoCategory, fmt.Errorf("taxonomy: invalid parent id %d", parent)
+	}
+	return fb.add(name, parent)
+}
+
+// MustAddRoot and MustAddChild panic on error; intended for hand-built
+// forests in examples and tests.
+func (fb *ForestBuilder) MustAddRoot(name string) CategoryID {
+	c, err := fb.AddRoot(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// MustAddChild is AddChild that panics on error.
+func (fb *ForestBuilder) MustAddChild(parent CategoryID, name string) CategoryID {
+	c, err := fb.AddChild(parent, name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func (fb *ForestBuilder) add(name string, parent CategoryID) (CategoryID, error) {
+	if _, dup := fb.byName[name]; dup {
+		return NoCategory, fmt.Errorf("%w: %q", ErrDuplicateName, name)
+	}
+	fb.names = append(fb.names, name)
+	fb.parent = append(fb.parent, parent)
+	id := CategoryID(len(fb.names) - 1)
+	fb.byName[name] = id
+	return id, nil
+}
+
+// Build freezes the builder into a Forest.
+func (fb *ForestBuilder) Build() *Forest {
+	n := len(fb.names)
+	f := &Forest{
+		names:    append([]string(nil), fb.names...),
+		parent:   append([]CategoryID(nil), fb.parent...),
+		depth:    make([]int32, n),
+		tree:     make([]TreeID, n),
+		children: make([][]CategoryID, n),
+		byName:   make(map[string]CategoryID, n),
+	}
+	for name, id := range fb.byName {
+		f.byName[name] = id
+	}
+	// Parents always precede children (AddChild validates the parent
+	// exists), so a single forward pass fixes depths and trees.
+	for c := 0; c < n; c++ {
+		p := f.parent[c]
+		if p == NoCategory {
+			f.depth[c] = 1
+			f.tree[c] = TreeID(len(f.roots))
+			f.roots = append(f.roots, CategoryID(c))
+			continue
+		}
+		f.depth[c] = f.depth[p] + 1
+		f.tree[c] = f.tree[p]
+		f.children[p] = append(f.children[p], CategoryID(c))
+	}
+	return f
+}

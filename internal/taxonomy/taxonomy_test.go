@@ -1,0 +1,385 @@
+package taxonomy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// paperForest builds the fragment of Figure 2: Food with Asian/Italian/
+// Bakery and Japanese>Sushi; Shop & Service with Gift/Hobby/Clothing>Men's.
+func paperForest() (*Forest, map[string]CategoryID) {
+	fb := NewForestBuilder()
+	ids := map[string]CategoryID{}
+	food := fb.MustAddRoot("Food")
+	ids["Food"] = food
+	ids["Asian"] = fb.MustAddChild(food, "Asian")
+	ids["Italian"] = fb.MustAddChild(food, "Italian")
+	ids["Bakery"] = fb.MustAddChild(food, "Bakery")
+	jp := fb.MustAddChild(food, "Japanese")
+	ids["Japanese"] = jp
+	ids["Sushi"] = fb.MustAddChild(jp, "Sushi")
+	shop := fb.MustAddRoot("Shop & Service")
+	ids["Shop & Service"] = shop
+	ids["Gift shop"] = fb.MustAddChild(shop, "Gift shop")
+	ids["Hobby shop"] = fb.MustAddChild(shop, "Hobby shop")
+	cl := fb.MustAddChild(shop, "Clothing store")
+	ids["Clothing store"] = cl
+	ids["Men's store"] = fb.MustAddChild(cl, "Men's store")
+	return fb.Build(), ids
+}
+
+func TestForestStructure(t *testing.T) {
+	f, ids := paperForest()
+	if f.NumTrees() != 2 {
+		t.Fatalf("NumTrees = %d, want 2", f.NumTrees())
+	}
+	if f.NumCategories() != 11 {
+		t.Fatalf("NumCategories = %d, want 11", f.NumCategories())
+	}
+	if f.Depth(ids["Food"]) != 1 || f.Depth(ids["Asian"]) != 2 || f.Depth(ids["Sushi"]) != 3 {
+		t.Error("depths wrong")
+	}
+	if f.Parent(ids["Food"]) != NoCategory {
+		t.Error("root parent should be NoCategory")
+	}
+	if f.Parent(ids["Sushi"]) != ids["Japanese"] {
+		t.Error("Sushi parent should be Japanese")
+	}
+	if f.Root(ids["Sushi"]) != ids["Food"] {
+		t.Error("Sushi root should be Food")
+	}
+	if !f.SameTree(ids["Asian"], ids["Sushi"]) {
+		t.Error("Asian and Sushi share the Food tree")
+	}
+	if f.SameTree(ids["Asian"], ids["Gift shop"]) {
+		t.Error("Asian and Gift shop are in different trees")
+	}
+	if f.Name(ids["Bakery"]) != "Bakery" {
+		t.Error("Name wrong")
+	}
+	if got, ok := f.Lookup("Gift shop"); !ok || got != ids["Gift shop"] {
+		t.Error("Lookup failed")
+	}
+	if _, ok := f.Lookup("Nonexistent"); ok {
+		t.Error("Lookup of missing name should fail")
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	f, _ := paperForest()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup should panic on unknown name")
+		}
+	}()
+	f.MustLookup("Nope")
+}
+
+func TestAncestorsAndIsAncestorOrSelf(t *testing.T) {
+	f, ids := paperForest()
+	anc := f.Ancestors(ids["Sushi"])
+	want := []CategoryID{ids["Sushi"], ids["Japanese"], ids["Food"]}
+	if len(anc) != len(want) {
+		t.Fatalf("Ancestors = %v, want %v", anc, want)
+	}
+	for i := range anc {
+		if anc[i] != want[i] {
+			t.Fatalf("Ancestors = %v, want %v", anc, want)
+		}
+	}
+	if !f.IsAncestorOrSelf(ids["Food"], ids["Sushi"]) {
+		t.Error("Food is an ancestor of Sushi")
+	}
+	if !f.IsAncestorOrSelf(ids["Sushi"], ids["Sushi"]) {
+		t.Error("self should count")
+	}
+	if f.IsAncestorOrSelf(ids["Asian"], ids["Sushi"]) {
+		t.Error("Asian is not an ancestor of Sushi")
+	}
+	if f.IsAncestorOrSelf(ids["Shop & Service"], ids["Sushi"]) {
+		t.Error("different trees")
+	}
+}
+
+func TestLCA(t *testing.T) {
+	f, ids := paperForest()
+	tests := []struct {
+		a, b, want string
+	}{
+		{"Asian", "Italian", "Food"},
+		{"Asian", "Sushi", "Food"},
+		{"Japanese", "Sushi", "Japanese"},
+		{"Sushi", "Sushi", "Sushi"},
+		{"Gift shop", "Men's store", "Shop & Service"},
+	}
+	for _, tt := range tests {
+		if got := f.LCA(ids[tt.a], ids[tt.b]); got != ids[tt.want] {
+			t.Errorf("LCA(%s, %s) = %s, want %s", tt.a, tt.b, f.Name(got), tt.want)
+		}
+		if got := f.LCA(ids[tt.b], ids[tt.a]); got != ids[tt.want] {
+			t.Errorf("LCA(%s, %s) = %s, want %s", tt.b, tt.a, f.Name(got), tt.want)
+		}
+	}
+	if got := f.LCA(ids["Asian"], ids["Gift shop"]); got != NoCategory {
+		t.Errorf("cross-tree LCA = %v, want NoCategory", got)
+	}
+}
+
+func TestWuPalmerValues(t *testing.T) {
+	f, ids := paperForest()
+	tests := []struct {
+		a, b string
+		want float64
+	}{
+		{"Asian", "Asian", 1},
+		{"Asian", "Italian", 2.0 / 4.0},  // lca Food d=1, depths 2+2
+		{"Asian", "Food", 2.0 / 3.0},     // lca Food, depths 2+1
+		{"Sushi", "Asian", 2.0 / 5.0},    // lca Food, depths 3+2
+		{"Sushi", "Japanese", 4.0 / 5.0}, // lca Japanese d=2, depths 3+2
+		{"Asian", "Gift shop", 0},
+		{"Food", "Food", 1},
+	}
+	for _, tt := range tests {
+		got := f.WuPalmer(ids[tt.a], ids[tt.b])
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("WuPalmer(%s, %s) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestPathLengthValues(t *testing.T) {
+	f, ids := paperForest()
+	tests := []struct {
+		a, b string
+		want float64
+	}{
+		{"Asian", "Asian", 1},
+		{"Asian", "Italian", 1.0 / 3.0}, // path length 2
+		{"Asian", "Food", 1.0 / 2.0},    // path length 1
+		{"Sushi", "Asian", 1.0 / 4.0},   // path length 3
+		{"Asian", "Gift shop", 0},
+	}
+	for _, tt := range tests {
+		got := f.PathLength(ids[tt.a], ids[tt.b])
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("PathLength(%s, %s) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestSimilarityAxiomsRandomForest(t *testing.T) {
+	f := Generated(4, 3, 4)
+	rng := rand.New(rand.NewSource(11))
+	n := CategoryID(f.NumCategories())
+	for _, sim := range []struct {
+		name string
+		fn   Similarity
+	}{
+		{"wupalmer", f.WuPalmer},
+		{"pathlength", f.PathLength},
+	} {
+		for i := 0; i < 2000; i++ {
+			a := CategoryID(rng.Intn(int(n)))
+			b := CategoryID(rng.Intn(int(n)))
+			s := sim.fn(a, b)
+			if s < 0 || s > 1 {
+				t.Fatalf("%s out of range: sim(%d,%d)=%v", sim.name, a, b, s)
+			}
+			if math.Abs(s-sim.fn(b, a)) > 1e-12 {
+				t.Fatalf("%s not symmetric at (%d,%d)", sim.name, a, b)
+			}
+			if a == b && s != 1 {
+				t.Fatalf("%s identity violated at %d", sim.name, a)
+			}
+			if f.SameTree(a, b) && s <= 0 {
+				t.Fatalf("%s same-tree similarity must be positive (Def 3.3)", sim.name)
+			}
+			if !f.SameTree(a, b) && s != 0 {
+				t.Fatalf("%s cross-tree similarity must be zero (Def 3.3)", sim.name)
+			}
+		}
+	}
+}
+
+func TestSimRow(t *testing.T) {
+	f, ids := paperForest()
+	row := f.SimRow(ids["Asian"], f.WuPalmer)
+	if len(row) != f.NumCategories() {
+		t.Fatalf("row length = %d, want %d", len(row), f.NumCategories())
+	}
+	for c := CategoryID(0); int(c) < f.NumCategories(); c++ {
+		if row[c] != f.WuPalmer(ids["Asian"], c) {
+			t.Fatalf("row[%d] mismatch", c)
+		}
+	}
+}
+
+func TestSubtreeAndLeaves(t *testing.T) {
+	f, ids := paperForest()
+	sub := f.Subtree(ids["Food"])
+	if len(sub) != 6 {
+		t.Fatalf("Food subtree size = %d, want 6", len(sub))
+	}
+	if sub[0] != ids["Food"] {
+		t.Error("subtree should start at its root")
+	}
+	leaves := f.LeavesOfTree(f.Tree(ids["Food"]))
+	wantLeaves := map[CategoryID]bool{
+		ids["Asian"]: true, ids["Italian"]: true, ids["Bakery"]: true, ids["Sushi"]: true,
+	}
+	if len(leaves) != len(wantLeaves) {
+		t.Fatalf("Food leaves = %d, want %d", len(leaves), len(wantLeaves))
+	}
+	for _, l := range leaves {
+		if !wantLeaves[l] {
+			t.Errorf("unexpected leaf %s", f.Name(l))
+		}
+	}
+	all := f.Leaves()
+	if len(all) != 4+3 { // Food: Asian/Italian/Bakery/Sushi; Shop: Gift/Hobby/Men's
+		t.Fatalf("total leaves = %d, want 7", len(all))
+	}
+}
+
+func TestMaxNonPerfectSim(t *testing.T) {
+	f, ids := paperForest()
+	// For Asian (depth 2): best non-equal in-tree category by Wu-Palmer is
+	// the parent Food with 2*1/(2+1) = 2/3.
+	got := f.MaxNonPerfectSim(ids["Asian"], f.WuPalmer)
+	if math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("MaxNonPerfectSim(Asian) = %v, want 2/3", got)
+	}
+	// For Sushi (depth 3): parent Japanese gives 2*2/(3+2) = 4/5.
+	got = f.MaxNonPerfectSim(ids["Sushi"], f.WuPalmer)
+	if math.Abs(got-4.0/5.0) > 1e-12 {
+		t.Errorf("MaxNonPerfectSim(Sushi) = %v, want 4/5", got)
+	}
+}
+
+func TestMaxNonPerfectSimSingletonTree(t *testing.T) {
+	fb := NewForestBuilder()
+	solo := fb.MustAddRoot("Solo")
+	f := fb.Build()
+	if got := f.MaxNonPerfectSim(solo, f.WuPalmer); got != 0 {
+		t.Errorf("singleton tree MaxNonPerfectSim = %v, want 0", got)
+	}
+}
+
+func TestSuperSequences(t *testing.T) {
+	f, ids := paperForest()
+	seq := []CategoryID{ids["Sushi"], ids["Gift shop"]}
+	sup := f.SuperSequences(seq)
+	// Sushi has 3 ancestors (Sushi, Japanese, Food), Gift shop has 2.
+	if want := 6; len(sup) != want {
+		t.Fatalf("len(SuperSequences) = %d, want %d", len(sup), want)
+	}
+	if got := f.CountSuperSequences(seq); got != 6 {
+		t.Fatalf("CountSuperSequences = %d, want 6", got)
+	}
+	// First is the original sequence.
+	if sup[0][0] != ids["Sushi"] || sup[0][1] != ids["Gift shop"] {
+		t.Error("first super-sequence should be the original")
+	}
+	// Each position must hold an ancestor-or-self of the original.
+	for _, s := range sup {
+		if !f.IsAncestorOrSelf(s[0], ids["Sushi"]) && s[0] != ids["Sushi"] {
+			t.Errorf("position 0 of %v is not an ancestor of Sushi", s)
+		}
+		if !f.IsAncestorOrSelf(s[1], ids["Gift shop"]) && s[1] != ids["Gift shop"] {
+			t.Errorf("position 1 of %v is not an ancestor of Gift shop", s)
+		}
+	}
+	// All distinct.
+	seen := map[[2]CategoryID]bool{}
+	for _, s := range sup {
+		key := [2]CategoryID{s[0], s[1]}
+		if seen[key] {
+			t.Errorf("duplicate super-sequence %v", s)
+		}
+		seen[key] = true
+	}
+	// Empty sequence has exactly one super-sequence.
+	if got := f.SuperSequences(nil); len(got) != 1 || len(got[0]) != 0 {
+		t.Errorf("SuperSequences(nil) = %v", got)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	fb := NewForestBuilder()
+	fb.MustAddRoot("A")
+	if _, err := fb.AddRoot("A"); err == nil {
+		t.Error("duplicate root name should fail")
+	}
+	if _, err := fb.AddChild(99, "B"); err == nil {
+		t.Error("invalid parent should fail")
+	}
+	if _, err := fb.AddChild(0, "A"); err == nil {
+		t.Error("duplicate child name should fail")
+	}
+}
+
+func TestFoursquareLike(t *testing.T) {
+	f := FoursquareLike()
+	if f.NumTrees() != 10 {
+		t.Fatalf("FoursquareLike trees = %d, want 10 (paper §7.1)", f.NumTrees())
+	}
+	// Categories used by the paper's examples must exist and relate
+	// correctly.
+	sushi := f.MustLookup("Sushi Restaurant")
+	japanese := f.MustLookup("Japanese Restaurant")
+	bar := f.MustLookup("Bar")
+	beer := f.MustLookup("Beer Garden")
+	sake := f.MustLookup("Sake Bar")
+	if f.Parent(sushi) != japanese {
+		t.Error("Sushi Restaurant should be under Japanese Restaurant (Table 9)")
+	}
+	if f.Parent(beer) != bar || f.Parent(sake) != bar {
+		t.Error("Beer Garden and Sake Bar should be under Bar (Table 9)")
+	}
+	cupcake := f.MustLookup("Cupcake Shop")
+	dessertShop := f.MustLookup("Dessert Shop")
+	if f.Parent(cupcake) != dessertShop {
+		t.Error("Cupcake Shop should be under Dessert Shop (Table 1)")
+	}
+	artMuseum := f.MustLookup("Art Museum")
+	museum := f.MustLookup("Museum")
+	jazz := f.MustLookup("Jazz Club")
+	musicVenue := f.MustLookup("Music Venue")
+	if f.Parent(artMuseum) != museum || f.Parent(jazz) != musicVenue {
+		t.Error("Table 1 A&E hierarchy wrong")
+	}
+	if f.Tree(artMuseum) != f.Tree(jazz) {
+		t.Error("Art Museum and Jazz Club share the A&E tree")
+	}
+	if f.Tree(sushi) == f.Tree(bar) {
+		t.Error("Food and Nightlife are distinct trees")
+	}
+}
+
+func TestCalLike(t *testing.T) {
+	f := CalLike()
+	leaves := f.Leaves()
+	if len(leaves) != 63 {
+		t.Fatalf("CalLike leaves = %d, want 63 (Cal category count)", len(leaves))
+	}
+	for _, l := range leaves {
+		if f.Depth(l) != 3 {
+			t.Fatalf("CalLike leaf depth = %d, want 3", f.Depth(l))
+		}
+	}
+	for c := CategoryID(0); int(c) < f.NumCategories(); c++ {
+		if !f.IsLeaf(c) && len(f.Children(c)) != 3 {
+			t.Fatalf("non-leaf %d has %d children, want 3", c, len(f.Children(c)))
+		}
+	}
+}
+
+func TestGeneratedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Generated with non-positive args should panic")
+		}
+	}()
+	Generated(0, 3, 3)
+}

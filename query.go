@@ -1,0 +1,396 @@
+package skysr
+
+import (
+	"fmt"
+	"time"
+
+	"skysr/internal/core"
+	"skysr/internal/graph"
+	"skysr/internal/osr"
+	"skysr/internal/route"
+	"skysr/internal/taxonomy"
+)
+
+// Requirement is one position of a query: what kind of PoI must be visited
+// there. Build requirements with Category, AnyOf, AllOf and Excluding (§6
+// "Complex category requirement").
+type Requirement struct {
+	kind     reqKind
+	name     string
+	excluded string
+	subs     []Requirement
+}
+
+type reqKind int
+
+const (
+	reqCategory reqKind = iota
+	reqAnyOf
+	reqAllOf
+	reqExcluding
+)
+
+// Category requires a PoI of the named category (or, flexibly, of a
+// semantically similar category in the same tree — that is the point of
+// the SkySR query).
+func Category(name string) Requirement {
+	return Requirement{kind: reqCategory, name: name}
+}
+
+// AnyOf requires any of the given requirements (disjunction).
+func AnyOf(subs ...Requirement) Requirement {
+	return Requirement{kind: reqAnyOf, subs: subs}
+}
+
+// AllOf requires all of the given requirements simultaneously
+// (conjunction; sensible for PoIs carrying multiple categories).
+func AllOf(subs ...Requirement) Requirement {
+	return Requirement{kind: reqAllOf, subs: subs}
+}
+
+// Excluding restricts base to PoIs outside the excluded category's subtree
+// (negation), e.g. Excluding(Category("Mexican Restaurant"), "Taco Place").
+func Excluding(base Requirement, excludedCategory string) Requirement {
+	return Requirement{kind: reqExcluding, excluded: excludedCategory, subs: []Requirement{base}}
+}
+
+func (r Requirement) compile(f *taxonomy.Forest, sim taxonomy.Similarity) (route.Matcher, error) {
+	switch r.kind {
+	case reqCategory:
+		c, ok := f.Lookup(r.name)
+		if !ok {
+			return nil, fmt.Errorf("skysr: unknown category %q", r.name)
+		}
+		return route.NewCategory(f, c, sim), nil
+	case reqAnyOf, reqAllOf:
+		if len(r.subs) == 0 {
+			return nil, fmt.Errorf("skysr: empty combinator requirement")
+		}
+		subs := make([]route.Matcher, len(r.subs))
+		for i, s := range r.subs {
+			m, err := s.compile(f, sim)
+			if err != nil {
+				return nil, err
+			}
+			subs[i] = m
+		}
+		if r.kind == reqAnyOf {
+			return route.NewAnyOf(subs...), nil
+		}
+		return route.NewAllOf(subs...), nil
+	case reqExcluding:
+		base, err := r.subs[0].compile(f, sim)
+		if err != nil {
+			return nil, err
+		}
+		c, ok := f.Lookup(r.excluded)
+		if !ok {
+			return nil, fmt.Errorf("skysr: unknown excluded category %q", r.excluded)
+		}
+		return route.NewExcluding(base, f, c), nil
+	default:
+		return nil, fmt.Errorf("skysr: invalid requirement")
+	}
+}
+
+// Similarity selects the category similarity function (Definition 3.3).
+type Similarity int
+
+const (
+	// WuPalmer is the paper's experimental choice (Eq. 6).
+	WuPalmer Similarity = iota
+	// PathLength is the inverse path-length alternative.
+	PathLength
+)
+
+// Aggregation selects how per-position similarities combine into the
+// semantic score (Definition 3.5).
+type Aggregation = route.Aggregation
+
+// Aggregation values; Product is the paper's Eq. 7.
+const (
+	Product = route.AggProduct
+	Min     = route.AggMin
+	Mean    = route.AggMean
+)
+
+// Algorithm selects the query algorithm.
+type Algorithm int
+
+const (
+	// BSSR is the paper's bulk SkySR algorithm with all optimizations —
+	// the default and the right choice for applications.
+	BSSR Algorithm = iota
+	// BSSRNoOpt is BSSR without the four optimizations ("BSSR w/o Opt").
+	BSSRNoOpt
+	// NaiveDijkstra iterates optimal-sequenced-route queries with the
+	// Dijkstra-based solution over super-category sequences (baseline).
+	NaiveDijkstra
+	// NaivePNE iterates OSR queries with progressive neighbour
+	// exploration (baseline).
+	NaivePNE
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case BSSR:
+		return "BSSR"
+	case BSSRNoOpt:
+		return "BSSR w/o Opt"
+	case NaiveDijkstra:
+		return "Dij"
+	case NaivePNE:
+		return "PNE"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// SearchOptions tunes a Search beyond the defaults. The zero value means:
+// BSSR with all optimizations, Wu–Palmer similarity, product aggregation.
+type SearchOptions struct {
+	Algorithm   Algorithm
+	Similarity  Similarity
+	Aggregation Aggregation
+	// ExpandPaths fills RouteInfo.Path with the full vertex path of each
+	// result route (costs one Dijkstra per leg).
+	ExpandPaths bool
+	// Budget caps the work of the naive baselines (route pops + settled
+	// vertices); 0 means unlimited. BSSR ignores it (it does not need
+	// one).
+	Budget int64
+	// UseIndex enables the precomputed per-tree nearest-PoI distance
+	// index (the §9 preprocessing extension). The index is built lazily
+	// on first use and cached on the Engine; it tightens BSSR's pruning
+	// on repeated queries over the same dataset.
+	UseIndex bool
+}
+
+// Query is one SkySR query.
+type Query struct {
+	// Start is the query's start vertex v_q.
+	Start VertexID
+	// Via lists the PoI requirements in visit order (or, with Unordered,
+	// as an unordered set).
+	Via []Requirement
+	// Destination, when not NoVertex and set via HasDestination, adds a
+	// final leg to the length score (§6 "SkySR with destination"). Leave
+	// zero-valued for no destination.
+	Destination VertexID
+	// HasDestination enables Destination (so the zero Query means "no
+	// destination" rather than "vertex 0").
+	HasDestination bool
+	// Unordered answers the §6 "skyline trip planning query": the
+	// requirements may be satisfied in any order.
+	Unordered bool
+	// IncludeRatings adds PoI ratings as a third skyline criterion (the
+	// §9 multi-attribute extension): results are Pareto-optimal in
+	// (length, semantic score, rating penalty). Requires BSSR and is
+	// mutually exclusive with Unordered and HasDestination. On datasets
+	// without ratings the penalty is 0 everywhere and results match the
+	// plain query.
+	IncludeRatings bool
+}
+
+// Answer is the result of one Search.
+type Answer struct {
+	// Routes is the minimal skyline set S, sorted by ascending length.
+	Routes []RouteInfo
+	// Elapsed is the wall-clock query time.
+	Elapsed time.Duration
+	// Algorithm echoes the algorithm that produced the answer.
+	Algorithm Algorithm
+	// Stats carries the paper's instrumentation counters for BSSR runs
+	// (nil for the naive baselines).
+	Stats *core.Stats
+}
+
+// RouteInfo is one skyline route in user-facing form.
+type RouteInfo struct {
+	// PoIs are the visited PoI vertices in visit order.
+	PoIs []VertexID
+	// PoINames are the "Category@id" labels of the PoIs.
+	PoINames []string
+	// LengthScore is l(R) (Definition 3.5 Eq. 1), in the dataset's edge
+	// weight unit.
+	LengthScore float64
+	// SemanticScore is s(R) in [0, 1]; 0 means every position matched
+	// perfectly (Eq. 7).
+	SemanticScore float64
+	// RatingScore is the rating penalty in [0, 1] for Query.IncludeRatings
+	// searches (0 = every visited PoI top-rated), and -1 otherwise.
+	RatingScore float64
+	// Path is the full vertex path (with SearchOptions.ExpandPaths).
+	Path []VertexID
+}
+
+// String renders the route like the paper's tables: PoIs, length, score
+// (and the rating penalty for three-criteria results).
+func (r RouteInfo) String() string {
+	s := ""
+	for i, n := range r.PoINames {
+		if i > 0 {
+			s += " → "
+		}
+		s += n
+	}
+	if r.RatingScore >= 0 {
+		return fmt.Sprintf("%s  (length %.1f, semantic %.3f, rating penalty %.3f)",
+			s, r.LengthScore, r.SemanticScore, r.RatingScore)
+	}
+	return fmt.Sprintf("%s  (length %.1f, semantic %.3f)", s, r.LengthScore, r.SemanticScore)
+}
+
+// Search answers q with default options.
+func (e *Engine) Search(q Query) (*Answer, error) {
+	return e.SearchWith(q, SearchOptions{})
+}
+
+// SearchWith answers q with explicit options.
+func (e *Engine) SearchWith(q Query, opts SearchOptions) (*Answer, error) {
+	if len(q.Via) == 0 {
+		return nil, fmt.Errorf("skysr: query has no requirements")
+	}
+	f := e.ds.Forest
+	var sim taxonomy.Similarity
+	switch opts.Similarity {
+	case WuPalmer:
+		sim = f.WuPalmer
+	case PathLength:
+		sim = f.PathLength
+	default:
+		return nil, fmt.Errorf("skysr: unknown similarity %d", opts.Similarity)
+	}
+	seq := make(route.Sequence, len(q.Via))
+	for i, r := range q.Via {
+		m, err := r.compile(f, sim)
+		if err != nil {
+			return nil, err
+		}
+		seq[i] = m
+	}
+
+	began := time.Now()
+	var routes []*route.Route
+	var stats *core.Stats
+	switch opts.Algorithm {
+	case BSSR, BSSRNoOpt:
+		copts := core.DefaultOptions()
+		if opts.Algorithm == BSSRNoOpt {
+			copts = core.WithoutOptimizations()
+		}
+		copts.Aggregation = opts.Aggregation
+		if opts.UseIndex {
+			copts.TreeIndex = e.treeIndex()
+		}
+		s := core.NewSearcher(e.ds, sim, copts)
+		if q.IncludeRatings {
+			if q.Unordered || q.HasDestination {
+				return nil, fmt.Errorf("skysr: IncludeRatings cannot combine with Unordered or Destination")
+			}
+			res, err := s.QueryRated(q.Start, seq)
+			if err != nil {
+				return nil, err
+			}
+			return e.buildRatedAnswer(q, opts, res, began, s)
+		}
+		var res *core.Result
+		var err error
+		switch {
+		case q.Unordered && q.HasDestination:
+			return nil, fmt.Errorf("skysr: unordered queries with destinations are not supported")
+		case q.Unordered:
+			res, err = s.QueryUnordered(q.Start, seq)
+		case q.HasDestination:
+			res, err = s.QueryWithDestination(q.Start, seq, q.Destination)
+		default:
+			res, err = s.Query(q.Start, seq)
+		}
+		if err != nil {
+			return nil, err
+		}
+		routes = res.Routes
+		stats = &res.Stats
+		if opts.ExpandPaths {
+			dest := graph.NoVertex
+			if q.HasDestination {
+				dest = q.Destination
+			}
+			return e.buildAnswer(q, opts, routes, stats, began, s, dest)
+		}
+	case NaiveDijkstra, NaivePNE:
+		if q.Unordered || q.HasDestination || q.IncludeRatings {
+			return nil, fmt.Errorf("skysr: the naive baselines answer only plain ordered queries")
+		}
+		cats, ok := seq.Categories()
+		if !ok {
+			return nil, fmt.Errorf("skysr: the naive baselines answer only plain category sequences")
+		}
+		engine := osr.EngineDijkstra
+		if opts.Algorithm == NaivePNE {
+			engine = osr.EnginePNE
+		}
+		solver := osr.NewSolver(e.ds, engine, sim, opts.Aggregation)
+		solver.Budget = opts.Budget
+		sky, err := solver.SkySRExact(q.Start, cats)
+		if err != nil {
+			return nil, err
+		}
+		routes = sky.Routes()
+	default:
+		return nil, fmt.Errorf("skysr: unknown algorithm %d", opts.Algorithm)
+	}
+	return e.buildAnswer(q, opts, routes, stats, began, nil, graph.NoVertex)
+}
+
+// buildRatedAnswer converts a three-criteria result into an Answer.
+func (e *Engine) buildRatedAnswer(q Query, opts SearchOptions, res *core.RatedResult, began time.Time, s *core.Searcher) (*Answer, error) {
+	ans := &Answer{Algorithm: opts.Algorithm, Stats: &res.Stats}
+	for _, rr := range res.Routes {
+		info := RouteInfo{
+			PoIs:          rr.Route.PoIs(),
+			LengthScore:   rr.Route.Length(),
+			SemanticScore: rr.Route.Semantic(),
+			RatingScore:   rr.Rating,
+		}
+		for _, p := range info.PoIs {
+			info.PoINames = append(info.PoINames, e.PoIName(p))
+		}
+		if opts.ExpandPaths {
+			path, err := s.ExpandPath(q.Start, rr.Route, graph.NoVertex)
+			if err != nil {
+				return nil, err
+			}
+			info.Path = path
+		}
+		ans.Routes = append(ans.Routes, info)
+	}
+	ans.Elapsed = time.Since(began)
+	return ans, nil
+}
+
+func (e *Engine) buildAnswer(q Query, opts SearchOptions, routes []*route.Route, stats *core.Stats, began time.Time, s *core.Searcher, dest VertexID) (*Answer, error) {
+	ans := &Answer{Algorithm: opts.Algorithm, Stats: stats}
+	for _, r := range routes {
+		info := RouteInfo{
+			PoIs:          r.PoIs(),
+			LengthScore:   r.Length(),
+			SemanticScore: r.Semantic(),
+			RatingScore:   -1,
+		}
+		for _, p := range info.PoIs {
+			info.PoINames = append(info.PoINames, e.PoIName(p))
+		}
+		if opts.ExpandPaths && s != nil {
+			path, err := s.ExpandPath(q.Start, r, dest)
+			if err != nil {
+				return nil, err
+			}
+			info.Path = path
+		}
+		ans.Routes = append(ans.Routes, info)
+	}
+	ans.Elapsed = time.Since(began)
+	return ans, nil
+}

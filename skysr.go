@@ -1,0 +1,224 @@
+// Package skysr is a Go implementation of the skyline sequenced route
+// (SkySR) query of Sasaki, Ishikawa, Fujiwara and Onizuka, "Sequenced
+// Route Query with Semantic Hierarchy" (EDBT 2018).
+//
+// A SkySR query starts from a point in a road network and names a sequence
+// of PoI categories — say ⟨Asian restaurant, museum, gift shop⟩. Instead of
+// the single shortest route that matches the categories exactly, it
+// returns every route that is Pareto-optimal in (network length, semantic
+// similarity), where similarity is measured in a category hierarchy such
+// as the Foursquare taxonomy: an Italian restaurant partially satisfies
+// "Asian restaurant" because both are Food. The result is a small set of
+// alternatives — typically 2–8 routes — trading walking distance against
+// how literally the request is honored.
+//
+// The package answers queries with the paper's bulk SkySR algorithm
+// (BSSR): a single simultaneous graph search pruned by branch-and-bound,
+// with four optimizations (initial-search seeding, a size/semantic/length
+// priority queue, minimum-distance lower bounds and on-the-fly caching).
+// The naive baselines the paper compares against (iterated optimal
+// sequenced route queries via Dijkstra or progressive neighbour
+// exploration) are available for benchmarking through SearchOptions.
+//
+// # Quick start
+//
+//	eng, _ := skysr.Generate("tokyo", 0.5, 42)         // synthetic city
+//	ans, _ := eng.Search(skysr.Query{
+//		Start: eng.RandomVertex(1),
+//		Via: []skysr.Requirement{
+//			skysr.Category("Sushi Restaurant"),
+//			skysr.Category("Art Museum"),
+//			skysr.Category("Gift Shop"),
+//		},
+//	})
+//	for _, r := range ans.Routes {
+//		fmt.Println(r)
+//	}
+//
+// Datasets can also be built by hand (NewNetworkBuilder), loaded from
+// files (Open), or generated synthetically (Generate).
+package skysr
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+
+	"skysr/internal/dataset"
+	"skysr/internal/gen"
+	"skysr/internal/graph"
+	"skysr/internal/index"
+	"skysr/internal/taxonomy"
+)
+
+// VertexID identifies a vertex of the road network.
+type VertexID = int32
+
+// NoVertex is the sentinel for "no vertex", e.g. an unset destination.
+const NoVertex VertexID = graph.NoVertex
+
+// Engine answers SkySR queries over one dataset. An Engine is safe for
+// concurrent Search calls: the dataset is immutable and every search uses
+// its own transient state (the prototype HTTP service shares one Engine
+// across handlers).
+type Engine struct {
+	ds      *dataset.Dataset
+	idxOnce sync.Once
+	idx     *index.TreeDistances // lazily built, see SearchOptions.UseIndex
+}
+
+// treeIndex lazily builds and caches the per-tree distance index.
+func (e *Engine) treeIndex() *index.TreeDistances {
+	e.idxOnce.Do(func() { e.idx = index.Build(e.ds) })
+	return e.idx
+}
+
+// Dataset is an immutable road network with embedded PoIs and a category
+// forest.
+type Dataset struct {
+	ds *dataset.Dataset
+}
+
+// Open loads a dataset from a file in the skysr text format (as written by
+// Save or the skysr-gen tool).
+func Open(path string) (*Engine, error) {
+	ds, err := dataset.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{ds: ds}, nil
+}
+
+// Read loads a dataset from a reader in the skysr text format.
+func Read(r io.Reader) (*Engine, error) {
+	ds, err := dataset.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{ds: ds}, nil
+}
+
+// Save writes the engine's dataset to a file in the skysr text format.
+func (e *Engine) Save(path string) error {
+	return dataset.WriteFile(path, e.ds)
+}
+
+// Write writes the engine's dataset to a writer.
+func (e *Engine) Write(w io.Writer) error {
+	return dataset.Write(w, e.ds)
+}
+
+// Generate builds a synthetic city dataset. Preset is "tokyo", "nyc" or
+// "cal" (the shapes of the paper's three evaluation datasets, Table 5);
+// scale 1.0 is roughly 1:100 of the paper's sizes. Generation is
+// deterministic in seed.
+func Generate(preset string, scale float64, seed int64) (*Engine, error) {
+	ds, err := gen.BuildPreset(preset, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{ds: ds}, nil
+}
+
+// Presets lists the available Generate presets.
+func Presets() []string { return gen.PresetNames() }
+
+// PaperExample returns the paper's Figure 1 running-example network, its
+// start vertex, and the category names of the example query ⟨Asian
+// Restaurant, Arts & Entertainment, Gift Shop⟩.
+func PaperExample() (*Engine, VertexID, []string) {
+	ds, vq, cats := gen.PaperExample()
+	names := make([]string, len(cats))
+	for i, c := range cats {
+		names[i] = ds.Forest.Name(c)
+	}
+	return &Engine{ds: ds}, vq, names
+}
+
+// NumVertices returns the total vertex count (road + PoI).
+func (e *Engine) NumVertices() int { return e.ds.Graph.NumVertices() }
+
+// NumPoIs returns the PoI vertex count.
+func (e *Engine) NumPoIs() int { return e.ds.Graph.NumPoIs() }
+
+// NumEdges returns the edge count.
+func (e *Engine) NumEdges() int { return e.ds.Graph.NumEdges() }
+
+// Name returns the dataset name.
+func (e *Engine) Name() string { return e.ds.Name }
+
+// Stats returns a Table 5-style dataset summary line.
+func (e *Engine) Stats() string { return e.ds.Stats().String() }
+
+// Categories returns every category name in the forest, in id order.
+func (e *Engine) Categories() []string {
+	out := make([]string, e.ds.Forest.NumCategories())
+	for c := 0; c < e.ds.Forest.NumCategories(); c++ {
+		out[c] = e.ds.Forest.Name(taxonomy.CategoryID(c))
+	}
+	return out
+}
+
+// LeafCategories returns the leaf category names (the ones PoIs carry).
+func (e *Engine) LeafCategories() []string {
+	leaves := e.ds.Forest.Leaves()
+	out := make([]string, len(leaves))
+	for i, c := range leaves {
+		out[i] = e.ds.Forest.Name(c)
+	}
+	return out
+}
+
+// CategoryCount returns the number of PoIs carrying exactly the named
+// category.
+func (e *Engine) CategoryCount(name string) (int, error) {
+	c, ok := e.ds.Forest.Lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("skysr: unknown category %q", name)
+	}
+	return len(e.ds.PoIsExact(c)), nil
+}
+
+// PoIName describes a PoI vertex as "Category@id".
+func (e *Engine) PoIName(v VertexID) string {
+	if !e.ds.Graph.IsPoI(v) {
+		return fmt.Sprintf("v%d", v)
+	}
+	return fmt.Sprintf("%s@%d", e.ds.Forest.Name(e.ds.Graph.PrimaryCategory(v)), v)
+}
+
+// Position returns the lon/lat of a vertex.
+func (e *Engine) Position(v VertexID) (lon, lat float64) {
+	p := e.ds.Graph.Point(v)
+	return p.Lon, p.Lat
+}
+
+// RandomVertex returns a uniformly random vertex, deterministic in seed.
+// It is a convenience for examples and load generators.
+func (e *Engine) RandomVertex(seed int64) VertexID {
+	rng := rand.New(rand.NewSource(seed))
+	return VertexID(rng.Intn(e.ds.Graph.NumVertices()))
+}
+
+// Workload generates n query specs of the paper's §7.1 protocol: random
+// start vertices and popular leaf categories from distinct trees.
+func (e *Engine) Workload(n, seqLen int, seed int64) ([]Query, error) {
+	qs, err := gen.Queries(e.ds, n, seqLen, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Query, len(qs))
+	for i, q := range qs {
+		via := make([]Requirement, len(q.Categories))
+		for j, c := range q.Categories {
+			via[j] = Category(e.ds.Forest.Name(c))
+		}
+		out[i] = Query{Start: q.Start, Via: via}
+	}
+	return out, nil
+}
+
+// internalDataset exposes the underlying dataset to the benchmark harness
+// living in the same module.
+func (e *Engine) internalDataset() *dataset.Dataset { return e.ds }

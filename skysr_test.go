@@ -1,0 +1,394 @@
+package skysr
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPaperExampleThroughPublicAPI(t *testing.T) {
+	eng, vq, catNames := PaperExample()
+	via := make([]Requirement, len(catNames))
+	for i, n := range catNames {
+		via[i] = Category(n)
+	}
+	ans, err := eng.Search(Query{Start: vq, Via: via})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Routes) != 2 {
+		t.Fatalf("routes = %d, want 2 (Table 4)", len(ans.Routes))
+	}
+	if math.Abs(ans.Routes[0].LengthScore-10.5) > 1e-9 || math.Abs(ans.Routes[0].SemanticScore-0.5) > 1e-9 {
+		t.Errorf("first route = %v", ans.Routes[0])
+	}
+	if math.Abs(ans.Routes[1].LengthScore-13) > 1e-9 || ans.Routes[1].SemanticScore != 0 {
+		t.Errorf("second route = %v", ans.Routes[1])
+	}
+	if ans.Stats == nil || ans.Stats.Results != 2 {
+		t.Error("BSSR stats missing")
+	}
+	if !strings.Contains(ans.Routes[1].String(), "Gift Shop") {
+		t.Errorf("route rendering = %q", ans.Routes[1].String())
+	}
+}
+
+func TestAllAlgorithmsAgreeOnPaperExample(t *testing.T) {
+	eng, vq, catNames := PaperExample()
+	via := make([]Requirement, len(catNames))
+	for i, n := range catNames {
+		via[i] = Category(n)
+	}
+	q := Query{Start: vq, Via: via}
+	var base *Answer
+	for _, alg := range []Algorithm{BSSR, BSSRNoOpt, NaiveDijkstra, NaivePNE} {
+		ans, err := eng.SearchWith(q, SearchOptions{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if base == nil {
+			base = ans
+			continue
+		}
+		if len(ans.Routes) != len(base.Routes) {
+			t.Fatalf("%v returned %d routes, BSSR %d", alg, len(ans.Routes), len(base.Routes))
+		}
+		for i := range ans.Routes {
+			if math.Abs(ans.Routes[i].LengthScore-base.Routes[i].LengthScore) > 1e-9 ||
+				math.Abs(ans.Routes[i].SemanticScore-base.Routes[i].SemanticScore) > 1e-9 {
+				t.Fatalf("%v route %d = %v, BSSR %v", alg, i, ans.Routes[i], base.Routes[i])
+			}
+		}
+	}
+}
+
+func TestGenerateAndWorkload(t *testing.T) {
+	eng, err := Generate("tokyo", 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.NumVertices() == 0 || eng.NumPoIs() == 0 || eng.NumEdges() == 0 {
+		t.Fatal("degenerate generated engine")
+	}
+	if eng.Name() != "Tokyo" {
+		t.Errorf("name = %q", eng.Name())
+	}
+	if !strings.Contains(eng.Stats(), "Tokyo") {
+		t.Errorf("stats = %q", eng.Stats())
+	}
+	qs, err := eng.Workload(5, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 5 {
+		t.Fatalf("workload = %d queries", len(qs))
+	}
+	for _, q := range qs {
+		ans, err := eng.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ans.Routes) == 0 {
+			t.Error("workload query returned no routes")
+		}
+	}
+	if _, err := Generate("atlantis", 1, 1); err == nil {
+		t.Error("unknown preset should fail")
+	}
+	if len(Presets()) != 3 {
+		t.Error("want 3 presets")
+	}
+}
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	eng, vq, catNames := PaperExample()
+	path := t.TempDir() + "/paper.skysr"
+	if err := eng.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	via := make([]Requirement, len(catNames))
+	for i, n := range catNames {
+		via[i] = Category(n)
+	}
+	a, err := eng.Search(Query{Start: vq, Via: via})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Search(Query{Start: vq, Via: via})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Routes) != len(b.Routes) {
+		t.Fatal("round-tripped engine answers differently")
+	}
+	for i := range a.Routes {
+		if a.Routes[i].LengthScore != b.Routes[i].LengthScore {
+			t.Fatal("round-tripped route lengths differ")
+		}
+	}
+	if _, err := Open(t.TempDir() + "/missing"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestReadWriteStream(t *testing.T) {
+	eng, _, _ := PaperExample()
+	var sb strings.Builder
+	if err := eng.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumPoIs() != eng.NumPoIs() {
+		t.Error("stream round trip changed PoI count")
+	}
+	if _, err := Read(strings.NewReader("junk")); err == nil {
+		t.Error("junk input should fail")
+	}
+}
+
+func TestSearchOptionsAndErrors(t *testing.T) {
+	eng, vq, catNames := PaperExample()
+	via := []Requirement{Category(catNames[0])}
+
+	if _, err := eng.Search(Query{Start: vq}); err == nil {
+		t.Error("query without requirements should fail")
+	}
+	if _, err := eng.Search(Query{Start: vq, Via: []Requirement{Category("Nope")}}); err == nil {
+		t.Error("unknown category should fail")
+	}
+	if _, err := eng.SearchWith(Query{Start: vq, Via: via}, SearchOptions{Algorithm: Algorithm(99)}); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+	if _, err := eng.SearchWith(Query{Start: vq, Via: via}, SearchOptions{Similarity: Similarity(99)}); err == nil {
+		t.Error("unknown similarity should fail")
+	}
+	if _, err := eng.SearchWith(Query{Start: vq, Via: via, Unordered: true},
+		SearchOptions{Algorithm: NaivePNE}); err == nil {
+		t.Error("naive baselines should reject unordered queries")
+	}
+	complexQ := Query{Start: vq, Via: []Requirement{AnyOf(Category(catNames[0]), Category(catNames[1]))}}
+	if _, err := eng.SearchWith(complexQ, SearchOptions{Algorithm: NaiveDijkstra}); err == nil {
+		t.Error("naive baselines should reject complex requirements")
+	}
+	if _, err := eng.Search(Query{Start: vq, Via: []Requirement{AnyOf()}}); err == nil {
+		t.Error("empty AnyOf should fail")
+	}
+	if _, err := eng.Search(Query{Start: vq, Via: []Requirement{Excluding(Category(catNames[0]), "Nope")}}); err == nil {
+		t.Error("unknown excluded category should fail")
+	}
+}
+
+func TestDestinationQueryPublicAPI(t *testing.T) {
+	eng, vq, catNames := PaperExample()
+	via := make([]Requirement, len(catNames))
+	for i, n := range catNames {
+		via[i] = Category(n)
+	}
+	plain, err := eng.Search(Query{Start: vq, Via: via})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDest, err := eng.Search(Query{Start: vq, Via: via, Destination: vq, HasDestination: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Returning to the start can only lengthen routes.
+	if withDest.Routes[0].LengthScore < plain.Routes[0].LengthScore {
+		t.Errorf("destination shortened the best route: %v < %v",
+			withDest.Routes[0].LengthScore, plain.Routes[0].LengthScore)
+	}
+}
+
+func TestUnorderedQueryPublicAPI(t *testing.T) {
+	eng, vq, catNames := PaperExample()
+	via := make([]Requirement, len(catNames))
+	for i, n := range catNames {
+		via[i] = Category(n)
+	}
+	ordered, err := eng.Search(Query{Start: vq, Via: via})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unordered, err := eng.Search(Query{Start: vq, Via: via, Unordered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unordered.Routes[0].LengthScore > ordered.Routes[0].LengthScore {
+		t.Errorf("unordered best (%v) should not exceed ordered best (%v)",
+			unordered.Routes[0].LengthScore, ordered.Routes[0].LengthScore)
+	}
+}
+
+func TestExpandPathsOption(t *testing.T) {
+	eng, vq, catNames := PaperExample()
+	via := make([]Requirement, len(catNames))
+	for i, n := range catNames {
+		via[i] = Category(n)
+	}
+	ans, err := eng.SearchWith(Query{Start: vq, Via: via}, SearchOptions{ExpandPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ans.Routes {
+		if len(r.Path) == 0 {
+			t.Fatal("expected expanded paths")
+		}
+		if r.Path[0] != vq {
+			t.Errorf("path starts at %d", r.Path[0])
+		}
+		if r.Path[len(r.Path)-1] != r.PoIs[len(r.PoIs)-1] {
+			t.Error("path should end at the last PoI")
+		}
+	}
+}
+
+func TestBuilders(t *testing.T) {
+	tb := NewTaxonomyBuilder().
+		Root("Food").
+		Child("Food", "Ramen").
+		Child("Food", "Curry").
+		Root("Shopping").
+		Child("Shopping", "Books")
+	if tb.Err() != nil {
+		t.Fatal(tb.Err())
+	}
+	nb := NewNetworkBuilder("mini", tb)
+	v0 := nb.AddVertex(0, 0)
+	ramen, err := nb.AddPoI(1, 0, "Ramen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	books, err := nb.AddPoI(2, 0, "Books")
+	if err != nil {
+		t.Fatal(err)
+	}
+	curry, err := nb.AddPoI(3, 0, "Curry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]VertexID{{v0, ramen}, {ramen, books}, {books, curry}} {
+		if err := nb.AddRoad(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng, err := nb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := eng.Search(Query{Start: v0, Via: []Requirement{Category("Ramen"), Category("Books")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Routes) != 1 || ans.Routes[0].LengthScore != 2 {
+		t.Fatalf("routes = %v", ans.Routes)
+	}
+	// Curry is a semantic sibling of Ramen: querying Curry should surface
+	// both the exact and the flexible option.
+	ans, err = eng.Search(Query{Start: v0, Via: []Requirement{Category("Curry")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Routes) != 2 {
+		t.Fatalf("expected skyline of 2 (exact Curry + nearer Ramen), got %v", ans.Routes)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	tb := NewTaxonomyBuilder().Child("Missing", "X")
+	if tb.Err() == nil {
+		t.Error("child of unknown parent should fail")
+	}
+	if _, err := NewNetworkBuilder("bad", tb).Build(); err == nil {
+		t.Error("Build should surface taxonomy errors")
+	}
+
+	tb2 := NewTaxonomyBuilder().Root("A")
+	nb := NewNetworkBuilder("x", tb2)
+	if _, err := nb.AddPoI(0, 0); err == nil {
+		t.Error("AddPoI without categories should fail")
+	}
+	if _, err := nb.AddPoI(0, 0, "Unknown"); err == nil {
+		t.Error("AddPoI with unknown category should fail")
+	}
+	v0 := nb.AddVertex(0, 0)
+	v1 := nb.AddVertex(1, 0)
+	if err := nb.AddRoad(v0, v1, -1); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if err := nb.AddRoad(v0, v0, 1); err == nil {
+		t.Error("self-loop should fail")
+	}
+	if _, err := nb.EmbedPoI(0, 0, "A"); err == nil {
+		t.Error("EmbedPoI before any road should fail")
+	}
+}
+
+func TestFoursquareBuilderAndEmbedding(t *testing.T) {
+	nb := NewFoursquareNetworkBuilder("manhattan-ish")
+	a := nb.AddVertex(-73.99, 40.73)
+	b := nb.AddVertex(-73.97, 40.75)
+	c := nb.AddVertex(-73.95, 40.77)
+	if err := nb.AddRoad(a, b, 2500); err != nil {
+		t.Fatal(err)
+	}
+	if err := nb.AddRoad(b, c, 2500); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nb.EmbedPoI(-73.98, 40.74, "Cupcake Shop"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nb.EmbedPoI(-73.96, 40.76, "Jazz Club"); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := nb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.NumPoIs() != 2 {
+		t.Fatalf("PoIs = %d", eng.NumPoIs())
+	}
+	ans, err := eng.Search(Query{Start: a, Via: []Requirement{Category("Cupcake Shop"), Category("Jazz Club")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Routes) == 0 {
+		t.Fatal("expected at least one route")
+	}
+	n, err := eng.CategoryCount("Cupcake Shop")
+	if err != nil || n != 1 {
+		t.Errorf("CategoryCount = %d, %v", n, err)
+	}
+	if _, err := eng.CategoryCount("Nope"); err == nil {
+		t.Error("unknown category count should fail")
+	}
+	if len(eng.Categories()) == 0 || len(eng.LeafCategories()) == 0 {
+		t.Error("category listings empty")
+	}
+	lon, lat := eng.Position(a)
+	if lon != -73.99 || lat != 40.73 {
+		t.Error("Position wrong")
+	}
+	if eng.PoIName(a) != "v0" {
+		t.Errorf("road vertex name = %q", eng.PoIName(a))
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for alg, want := range map[Algorithm]string{
+		BSSR: "BSSR", BSSRNoOpt: "BSSR w/o Opt", NaiveDijkstra: "Dij", NaivePNE: "PNE",
+	} {
+		if alg.String() != want {
+			t.Errorf("%d → %q, want %q", alg, alg.String(), want)
+		}
+	}
+	if Algorithm(42).String() == "" {
+		t.Error("unknown algorithm should render")
+	}
+}
