@@ -1,0 +1,104 @@
+package skysr
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// BatchOptions tunes a SearchBatch. The zero value means: one worker per
+// CPU, default SearchOptions for every query, no cancellation.
+type BatchOptions struct {
+	// Workers bounds the number of queries answered concurrently; 0 means
+	// GOMAXPROCS. Each in-flight query holds one pooled searcher workspace,
+	// so Workers also bounds the batch's transient memory.
+	Workers int
+	// Options applies to every query.
+	Options SearchOptions
+	// PerQuery, when non-nil, overrides Options query by query; its length
+	// must equal the number of queries.
+	PerQuery []SearchOptions
+	// Context, when non-nil, cancels the batch: queries not yet started
+	// are abandoned and the context's error is returned (in-flight
+	// queries finish; a single BSSR search is short). Servers should pass
+	// the request context so disconnected clients stop consuming workers.
+	Context context.Context
+}
+
+// SearchBatch answers a whole workload over a bounded worker pool, reusing
+// pooled searcher workspaces and sharing cacheable state (the tree index,
+// compiled requirements, and m-Dijkstra results via ShareCache, which it
+// enables for every query) across the batch. Answers are returned in query
+// order and are identical to what a serial Search loop would produce.
+//
+// The batch fails fast: the first query error cancels the queries not yet
+// started and is returned with its query index; already-computed answers
+// are discarded.
+func (e *Engine) SearchBatch(queries []Query, opts BatchOptions) ([]*Answer, error) {
+	if opts.PerQuery != nil && len(opts.PerQuery) != len(queries) {
+		return nil, fmt.Errorf("skysr: PerQuery has %d options for %d queries", len(opts.PerQuery), len(queries))
+	}
+	answers := make([]*Answer, len(queries))
+	if len(queries) == 0 {
+		return answers, nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		mu      sync.Mutex
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) || failed.Load() {
+					return
+				}
+				if opts.Context != nil && opts.Context.Err() != nil {
+					failed.Store(true)
+					mu.Lock()
+					if firstEr == nil {
+						firstEr = fmt.Errorf("skysr: batch cancelled: %w", opts.Context.Err())
+					}
+					mu.Unlock()
+					return
+				}
+				so := opts.Options
+				if opts.PerQuery != nil {
+					so = opts.PerQuery[i]
+				}
+				so.ShareCache = true
+				ans, err := e.SearchWith(queries[i], so)
+				if err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if firstEr == nil {
+						firstEr = fmt.Errorf("skysr: batch query %d: %w", i, err)
+					}
+					mu.Unlock()
+					return
+				}
+				answers[i] = ans
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return answers, nil
+}

@@ -207,5 +207,5 @@ func (nb *NetworkBuilder) Build() (*Engine, error) {
 			return nil, err
 		}
 	}
-	return &Engine{ds: ds}, nil
+	return newEngine(ds), nil
 }

@@ -28,6 +28,7 @@ func main() {
 	budget := flag.Int64("budget", cfg.Budget, "naive-baseline work budget per query (0 = unlimited)")
 	verify := flag.Bool("verify", false, "cross-check all algorithms return identical skylines")
 	csvDir := flag.String("csv", "", "directory for machine-readable CSV exports (optional)")
+	throughputOnly := flag.Bool("throughput", false, "run only the batch-serving throughput sweep (queries/sec vs workers)")
 	flag.Parse()
 
 	cfg.Scale = *scale
@@ -47,6 +48,15 @@ func main() {
 	}
 
 	h := bench.New(cfg)
+	if *throughputOnly {
+		rows, err := h.Throughput()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skysr-bench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.RenderThroughput(os.Stdout, rows)
+		return
+	}
 	if err := h.AllWithCSV(os.Stdout, *csvDir); err != nil {
 		fmt.Fprintf(os.Stderr, "skysr-bench: %v\n", err)
 		os.Exit(1)

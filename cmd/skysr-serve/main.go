@@ -12,21 +12,30 @@
 //	GET  /                 HTML page with a query form
 //	GET  /api/categories   leaf categories as JSON
 //	GET  /api/route?start=17&via=Sushi+Restaurant,Gift+Shop&dest=3&unordered=1
+//	POST /api/batch        {"queries":[{"start":17,"via":["Gift Shop"]},...],"workers":4}
 //	POST /api/survey       {"question":"Q1","option":2}
 //	GET  /api/survey       current answer ratios (Figure 9 data)
+//
+// The server shares one Engine across all handlers: every request checks a
+// searcher workspace out of the Engine's pool instead of allocating one,
+// and /api/batch fans its queries out over Engine.SearchBatch, which also
+// shares m-Dijkstra results across the batch.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"html/template"
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"skysr"
 	"skysr/internal/bench"
@@ -68,14 +77,21 @@ func main() {
 
 	s := &server{eng: eng, survey: bench.NewSurvey(bench.PaperQuestions())}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /{$}", s.handleIndex)
-	mux.HandleFunc("GET /api/categories", s.handleCategories)
-	mux.HandleFunc("GET /api/route", s.handleRoute)
-	mux.HandleFunc("POST /api/survey", s.handleSurveyPost)
-	mux.HandleFunc("GET /api/survey", s.handleSurveyGet)
+	s.registerRoutes(mux)
 
 	log.Printf("skysr-serve: %s on %s", eng.Stats(), *addr)
 	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// registerRoutes wires every endpoint; the tests use it too, so a handler
+// cannot ship unregistered or untested.
+func (s *server) registerRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	mux.HandleFunc("GET /api/categories", s.handleCategories)
+	mux.HandleFunc("GET /api/route", s.handleRoute)
+	mux.HandleFunc("POST /api/batch", s.handleBatch)
+	mux.HandleFunc("POST /api/survey", s.handleSurveyPost)
+	mux.HandleFunc("GET /api/survey", s.handleSurveyGet)
 }
 
 var indexTmpl = template.Must(template.New("index").Parse(`<!doctype html>
@@ -129,31 +145,23 @@ type routeJSON struct {
 func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	qv := r.URL.Query()
 	start, err := strconv.Atoi(qv.Get("start"))
-	if err != nil || start < 0 || start >= s.eng.NumVertices() {
+	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad start vertex"})
 		return
 	}
-	viaRaw := qv.Get("via")
-	if strings.TrimSpace(viaRaw) == "" {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "via is required"})
-		return
-	}
-	var via []skysr.Requirement
-	for _, name := range strings.Split(viaRaw, ",") {
-		via = append(via, skysr.Category(strings.TrimSpace(name)))
-	}
-	q := skysr.Query{Start: int32(start), Via: via}
+	var dest *int
 	if destRaw := qv.Get("dest"); destRaw != "" {
-		dest, err := strconv.Atoi(destRaw)
-		if err != nil || dest < 0 || dest >= s.eng.NumVertices() {
+		d, err := strconv.Atoi(destRaw)
+		if err != nil {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad dest vertex"})
 			return
 		}
-		q.Destination = int32(dest)
-		q.HasDestination = true
+		dest = &d
 	}
-	if qv.Get("unordered") == "1" {
-		q.Unordered = true
+	q, err := s.makeQuery(start, strings.Split(qv.Get("via"), ","), dest, qv.Get("unordered") == "1")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
 	}
 	expand := qv.Get("expand") == "1"
 	ans, err := s.eng.SearchWith(q, skysr.SearchOptions{ExpandPaths: expand})
@@ -161,6 +169,114 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
+	writeJSON(w, http.StatusOK, s.routeResponseOf(ans))
+}
+
+// makeQuery validates and assembles one query from request parameters.
+func (s *server) makeQuery(start int, via []string, dest *int, unordered bool) (skysr.Query, error) {
+	if start < 0 || start >= s.eng.NumVertices() {
+		return skysr.Query{}, fmt.Errorf("bad start vertex")
+	}
+	q := skysr.Query{Start: int32(start), Unordered: unordered}
+	for _, name := range via {
+		if trimmed := strings.TrimSpace(name); trimmed != "" {
+			q.Via = append(q.Via, skysr.Category(trimmed))
+		}
+	}
+	if len(q.Via) == 0 {
+		return skysr.Query{}, fmt.Errorf("via is required")
+	}
+	if dest != nil {
+		if *dest < 0 || *dest >= s.eng.NumVertices() {
+			return skysr.Query{}, fmt.Errorf("bad dest vertex")
+		}
+		q.Destination = int32(*dest)
+		q.HasDestination = true
+	}
+	return q, nil
+}
+
+// maxBatch bounds one /api/batch request; production clients should chunk
+// larger workloads.
+const maxBatch = 4096
+
+type batchQueryJSON struct {
+	Start     int      `json:"start"`
+	Via       []string `json:"via"`
+	Dest      *int     `json:"dest,omitempty"`
+	Unordered bool     `json:"unordered,omitempty"`
+}
+
+type batchRequest struct {
+	// Workers bounds the batch's concurrency; 0 means one per CPU.
+	Workers int              `json:"workers"`
+	Queries []batchQueryJSON `json:"queries"`
+}
+
+type batchResponse struct {
+	ElapsedMS float64         `json:"elapsed_ms"`
+	Answers   []routeResponse `json:"answers"`
+}
+
+// maxBatchWorkers bounds one batch's concurrency (each worker holds a
+// graph-sized pooled searcher workspace); the default of 0 is clamped to
+// it too, so many-core hosts cannot exceed it implicitly.
+const maxBatchWorkers = 64
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	// A maxBatch-sized batch fits comfortably in 4 MB; refuse to buffer
+	// more than that before the query-count check can even run.
+	var body batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&body); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				map[string]string{"error": fmt.Sprintf("body exceeds %d bytes; chunk the batch", tooLarge.Limit)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON"})
+		return
+	}
+	if len(body.Queries) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "queries is required"})
+		return
+	}
+	if len(body.Queries) > maxBatch {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("batch exceeds %d queries", maxBatch)})
+		return
+	}
+	if body.Workers < 0 || body.Workers > maxBatchWorkers {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("workers must be in [0, %d]", maxBatchWorkers)})
+		return
+	}
+	workers := body.Workers
+	if workers == 0 {
+		workers = min(runtime.GOMAXPROCS(0), maxBatchWorkers)
+	}
+	queries := make([]skysr.Query, len(body.Queries))
+	for i, bq := range body.Queries {
+		q, err := s.makeQuery(bq.Start, bq.Via, bq.Dest, bq.Unordered)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("query %d: %v", i, err)})
+			return
+		}
+		queries[i] = q
+	}
+	began := time.Now()
+	answers, err := s.eng.SearchBatch(queries, skysr.BatchOptions{Workers: workers, Context: r.Context()})
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	resp := batchResponse{ElapsedMS: float64(time.Since(began).Microseconds()) / 1000}
+	for _, ans := range answers {
+		resp.Answers = append(resp.Answers, s.routeResponseOf(ans))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// routeResponseOf converts an answer into its JSON form.
+func (s *server) routeResponseOf(ans *skysr.Answer) routeResponse {
 	resp := routeResponse{Algorithm: ans.Algorithm.String(), ElapsedMS: float64(ans.Elapsed.Microseconds()) / 1000}
 	for _, rt := range ans.Routes {
 		rj := routeJSON{PoIs: rt.PoINames, Length: rt.LengthScore, Semantic: rt.SemanticScore, Path: rt.Path}
@@ -171,7 +287,7 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Routes = append(resp.Routes, rj)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 type surveyPost struct {

@@ -16,11 +16,7 @@ func testServer(t *testing.T) (*server, *http.ServeMux) {
 	eng, _, _ := skysr.PaperExample()
 	s := &server{eng: eng, survey: bench.NewSurvey(bench.PaperQuestions())}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /{$}", s.handleIndex)
-	mux.HandleFunc("GET /api/categories", s.handleCategories)
-	mux.HandleFunc("GET /api/route", s.handleRoute)
-	mux.HandleFunc("POST /api/survey", s.handleSurveyPost)
-	mux.HandleFunc("GET /api/survey", s.handleSurveyGet)
+	s.registerRoutes(mux)
 	return s, mux
 }
 
@@ -122,6 +118,71 @@ func TestRouteEndpointErrors(t *testing.T) {
 				t.Errorf("status = %d, want 400", rec.Code)
 			}
 		})
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	_, mux := testServer(t)
+	body := `{"workers":4,"queries":[
+		{"start":0,"via":["Asian Restaurant","Arts & Entertainment","Gift Shop"]},
+		{"start":0,"via":["Gift Shop"]},
+		{"start":0,"via":["Asian Restaurant","Arts & Entertainment","Gift Shop"]}]}`
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/api/batch", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var out batchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Answers) != 3 {
+		t.Fatalf("answers = %d, want 3", len(out.Answers))
+	}
+	// Answers arrive in query order: 1st and 3rd are the Table 4 query.
+	for _, i := range []int{0, 2} {
+		if len(out.Answers[i].Routes) != 2 ||
+			out.Answers[i].Routes[0].Length != 10.5 || out.Answers[i].Routes[1].Length != 13 {
+			t.Errorf("answer %d = %+v, want the Table 4 skyline", i, out.Answers[i].Routes)
+		}
+	}
+	if len(out.Answers[1].Routes) == 0 {
+		t.Error("single-category query returned no routes")
+	}
+}
+
+func TestBatchEndpointErrors(t *testing.T) {
+	_, mux := testServer(t)
+	cases := map[string]string{
+		"bad JSON":         `notjson`,
+		"no queries":       `{"queries":[]}`,
+		"bad start":        `{"queries":[{"start":9999,"via":["Gift Shop"]}]}`,
+		"missing via":      `{"queries":[{"start":0}]}`,
+		"unknown category": `{"queries":[{"start":0,"via":["Nonexistent"]}]}`,
+		"bad dest":         `{"queries":[{"start":0,"via":["Gift Shop"],"dest":-2}]}`,
+		"bad workers":      `{"workers":1000,"queries":[{"start":0,"via":["Gift Shop"]}]}`,
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			mux.ServeHTTP(rec, httptest.NewRequest("POST", "/api/batch", strings.NewReader(body)))
+			if rec.Code != http.StatusBadRequest {
+				t.Errorf("status = %d, want 400: %s", rec.Code, rec.Body.String())
+			}
+		})
+	}
+}
+
+func TestBatchEndpointBodyTooLarge(t *testing.T) {
+	_, mux := testServer(t)
+	big := `{"queries":[{"start":0,"via":["` + strings.Repeat("x", 4<<20) + `"]}]}`
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/api/batch", strings.NewReader(big)))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("status = %d, want 413", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "chunk the batch") {
+		t.Errorf("body = %s, want an oversized-body message", rec.Body.String())
 	}
 }
 

@@ -14,6 +14,10 @@ func TestExamplesRun(t *testing.T) {
 		t.Skip("examples are skipped in -short mode")
 	}
 	cases := map[string][]string{
+		"batch": {
+			"40 queries",
+			"batch answers match the serial answers",
+		},
 		"quickstart": {
 			"2 skyline sequenced routes",
 			"length 10.5", // Table 4: ⟨p6,p9,p8⟩

@@ -1,0 +1,3 @@
+module skysr
+
+go 1.22

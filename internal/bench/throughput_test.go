@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestThroughputSweepStructure: the experiment produces one row per worker
+// count per dataset, the workload repeats templates enough for the shared
+// cache to fire, and the renderer shows every row.
+func TestThroughputSweepStructure(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Datasets = []string{"cal"}
+	h := New(cfg)
+	rows, err := h.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ThroughputWorkers()) {
+		t.Fatalf("%d rows, want %d", len(rows), len(ThroughputWorkers()))
+	}
+	for i, workers := range ThroughputWorkers() {
+		r := rows[i]
+		if r.Workers != workers || r.Dataset != "cal" {
+			t.Errorf("row %d = %+v, want workers %d on cal", i, r, workers)
+		}
+		if r.Queries == 0 || r.QPS <= 0 || r.Elapsed <= 0 {
+			t.Errorf("row %d not measured: %+v", i, r)
+		}
+		if workers == 0 && (r.Speedup != 1 || r.SharedHitRate != 0) {
+			t.Errorf("baseline row %d carries batch-only fields: %+v", i, r)
+		}
+		if workers > 0 && r.SharedHitRate <= 0 {
+			t.Errorf("row %d: template workload produced no shared-cache hits", i)
+		}
+	}
+	var sb strings.Builder
+	RenderThroughput(&sb, rows)
+	for _, want := range []string{"Throughput", "serial", "qps", "speedup"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("rendering missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestThroughputBatchSpeedup is the acceptance check of the batch serving
+// layer: on the default tokyo workload, the batch path with 4 workers must
+// beat a serial Search loop by at least 2x in queries/sec. It measures the
+// core machinery skysr.SearchBatch is built on (SearcherPool, SharedCache,
+// the ShareCache serving profile) rather than the public method itself —
+// this package cannot import skysr without a cycle through the root
+// package's in-package tests; batch_test.go at the root pins SearchBatch's
+// answers to a serial loop's. The run retries to ride out scheduler noise;
+// under the race detector only direction, not magnitude, is asserted
+// (instrumented mutexes slow the sharing path disproportionately).
+func TestThroughputBatchSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment in -short mode")
+	}
+	cfg := DefaultConfig()
+	h := New(cfg)
+	d, err := h.Dataset("tokyo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := h.Workload("tokyo", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := throughputQueries(d, base, 50, cfg.Seed+101)
+
+	want := 2.0
+	if raceEnabled {
+		want = 1.1
+	}
+	best := 0.0
+	for attempt := 0; attempt < 3 && best < want; attempt++ {
+		serial, err := runThroughputSerial(d, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, hitRate, err := runThroughputBatch(d, qs, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speedup := serial.Seconds() / batch.Seconds()
+		t.Logf("attempt %d: serial %v, batch(4) %v → %.2fx (shared-hit %.1f%%)",
+			attempt, serial, batch, speedup, 100*hitRate)
+		if speedup > best {
+			best = speedup
+		}
+	}
+	if best < want {
+		t.Errorf("batch speedup %.2fx < %.1fx", best, want)
+	}
+}

@@ -42,6 +42,13 @@ type Options struct {
 	// 3.5); the paper evaluates with AggProduct (Eq. 7).
 	Aggregation route.Aggregation
 
+	// Shared, when non-nil, additionally serves modified-Dijkstra results
+	// from a cross-query cache (see SharedCache). Only plain Category
+	// positions participate; the caller must dedicate one SharedCache per
+	// (dataset, similarity function) pair. Sharing never changes results —
+	// a cached entry is a pure function of the immutable dataset.
+	Shared *SharedCache
+
 	// TreeIndex, when non-nil, supplies precomputed per-tree nearest-PoI
 	// distances (the §9 "preprocessing" future work, package index). It
 	// tightens the pruning of partial routes — the next hop costs at

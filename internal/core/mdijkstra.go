@@ -58,12 +58,38 @@ func (s *Searcher) nextPoIs(r *route.Route, from graph.VertexID) []candidate {
 			s.emit(EventCacheHit, nil)
 			return e.items
 		}
-		e := s.runMDijkstra(from, pos, radius)
+		e := s.sharedOrRun(from, pos, radius)
 		s.cache[key] = e
 		s.accountCacheBytes()
 		return e.items
 	}
-	return s.runMDijkstra(from, pos, radius).items
+	return s.sharedOrRun(from, pos, radius).items
+}
+
+// sharedOrRun serves a modified-Dijkstra request from the cross-query
+// SharedCache when the position is shareable, running (and publishing) the
+// search otherwise. A position is shareable when it is a plain Category
+// matcher and the Lemma 5.5 path filter is active: the cached candidates —
+// including their blocking-PoI annotations — then depend only on the
+// immutable dataset and the similarity function the cache is dedicated to.
+func (s *Searcher) sharedOrRun(from graph.VertexID, pos int, radius float64) *cacheEntry {
+	shared := s.opts.Shared
+	if shared == nil || s.opts.DisablePathFilter {
+		return s.runMDijkstra(from, pos, radius)
+	}
+	cat, ok := s.seq[pos].(*route.Category)
+	if !ok {
+		return s.runMDijkstra(from, pos, radius)
+	}
+	key := sharedKey{from: from, cat: cat.ID(), origin: pos == 0}
+	if e := shared.lookup(key, radius); e != nil {
+		s.stats.SharedCacheHits++
+		s.emit(EventCacheHit, nil)
+		return e
+	}
+	e := s.runMDijkstra(from, pos, radius)
+	shared.store(key, e)
+	return e
 }
 
 // mdWorkspace holds the epoch-stamped per-vertex state of the modified
@@ -103,6 +129,15 @@ func newMDWorkspace(n int) *mdWorkspace {
 
 func (w *mdWorkspace) begin() {
 	w.epoch++
+	if w.epoch == 0 {
+		// The epoch wrapped: stamps written 2^32 runs ago could collide
+		// with the new epoch and make unvisited vertices look settled.
+		// Pooled searchers live for the process lifetime, so a
+		// long-running server does reach this.
+		clear(w.stamp)
+		clear(w.done)
+		w.epoch = 1
+	}
 	w.heap.Reset()
 }
 

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"skysr/internal/dataset"
+	"skysr/internal/graph"
+	"skysr/internal/route"
+	"skysr/internal/taxonomy"
+)
+
+// SearcherPool recycles Searchers over one dataset so concurrent workloads
+// reuse the expensive per-searcher workspaces (the graph-sized Dijkstra
+// arrays and the epoch-stamped modified-Dijkstra workspace) instead of
+// allocating them per query. Get/Put are safe for concurrent use; the
+// Searchers themselves remain single-goroutine objects between a Get and
+// the matching Put.
+type SearcherPool struct {
+	d *dataset.Dataset
+	p sync.Pool
+}
+
+// NewSearcherPool returns an empty pool over d.
+func NewSearcherPool(d *dataset.Dataset) *SearcherPool {
+	return &SearcherPool{d: d}
+}
+
+// Get returns a Searcher configured with sim and opts, reusing a pooled
+// one when available.
+func (p *SearcherPool) Get(sim taxonomy.Similarity, opts Options) *Searcher {
+	if s, ok := p.p.Get().(*Searcher); ok {
+		s.Reconfigure(sim, opts)
+		return s
+	}
+	return NewSearcher(p.d, sim, opts)
+}
+
+// Put returns s to the pool. The caller must not use s afterwards.
+func (p *SearcherPool) Put(s *Searcher) {
+	if s == nil {
+		return
+	}
+	s.clearTransient()
+	p.p.Put(s)
+}
+
+// Reconfigure repoints the searcher at a new similarity function and
+// option set, keeping the reusable workspaces. The per-query state is
+// reset at the start of every query, so this is all a pooled searcher
+// needs between uses.
+func (s *Searcher) Reconfigure(sim taxonomy.Similarity, opts Options) {
+	s.sim = sim
+	s.opts = opts
+}
+
+// clearTransient drops the per-query references so a pooled searcher does
+// not pin routes, skylines or graph-sized tables while idle. The ws and md
+// workspaces are deliberately kept: reusing them is the point of pooling.
+func (s *Searcher) clearTransient() {
+	s.seq = nil
+	s.scorer = route.Scorer{}
+	s.sky = nil
+	s.cache = nil
+	s.bounds = nil
+	s.destDist = nil
+	s.posTree = nil
+	s.stats = Stats{}
+	s.opts.Trace = nil
+	s.opts.Shared = nil
+	s.opts.TreeIndex = nil
+}
+
+// sharedKey identifies one cacheable modified-Dijkstra run across queries.
+// Unlike the per-query cacheKey, the position index cannot identify the
+// requirement here — different queries place the same category at
+// different positions — so the key carries the category itself. Only plain
+// Category matchers are shared; the similarity function is fixed per
+// SharedCache (the caller keeps one cache per similarity). The origin flag
+// distinguishes position-0 runs, where the origin vertex is itself a
+// usable candidate (see runMDijkstra).
+type sharedKey struct {
+	from   graph.VertexID
+	cat    taxonomy.CategoryID
+	origin bool
+}
+
+// SharedCacheStats is a point-in-time snapshot of a SharedCache.
+type SharedCacheStats struct {
+	Hits    int64 // lookups served from the cache
+	Misses  int64 // lookups that fell through to a fresh run
+	Entries int   // current entry count
+	Bytes   int64 // approximate resident bytes of the entries
+	Flushes int64 // times the cache was emptied by the byte cap
+}
+
+// SharedCache caches modified-Dijkstra results across queries and across
+// goroutines (the cross-query extension of the paper's §5.3.4 on-the-fly
+// cache). The dataset is immutable, so an entry is a pure function of its
+// key and the explored radius and never goes stale; an entry serves any
+// request whose radius it covers. All methods are safe for concurrent use.
+//
+// Memory is bounded by an approximate byte cap: when an insert would
+// exceed it, the whole cache is flushed — a simple scheme whose worst case
+// (periodic cold restarts) is still strictly better than no sharing.
+type SharedCache struct {
+	mu       sync.RWMutex
+	entries  map[sharedKey]*cacheEntry
+	bytes    int64
+	maxBytes int64
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	flushes atomic.Int64
+}
+
+// DefaultSharedCacheBytes is the byte cap NewSharedCache applies when the
+// caller passes 0.
+const DefaultSharedCacheBytes = 64 << 20
+
+// NewSharedCache returns an empty cache capped at maxBytes (0 means
+// DefaultSharedCacheBytes).
+func NewSharedCache(maxBytes int64) *SharedCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultSharedCacheBytes
+	}
+	return &SharedCache{entries: make(map[sharedKey]*cacheEntry), maxBytes: maxBytes}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *SharedCache) Stats() SharedCacheStats {
+	c.mu.RLock()
+	entries, bytes := len(c.entries), c.bytes
+	c.mu.RUnlock()
+	return SharedCacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Entries: entries,
+		Bytes:   bytes,
+		Flushes: c.flushes.Load(),
+	}
+}
+
+// lookup returns the cached entry for key when it covers radius.
+func (c *SharedCache) lookup(key sharedKey, radius float64) *cacheEntry {
+	c.mu.RLock()
+	e := c.entries[key]
+	c.mu.RUnlock()
+	if e != nil && (e.complete || e.radius >= radius) {
+		c.hits.Add(1)
+		return e
+	}
+	c.misses.Add(1)
+	return nil
+}
+
+// store publishes e under key, keeping whichever entry covers the larger
+// radius when two goroutines raced on the same key. Entries are immutable
+// after publication, so readers holding an older entry stay correct.
+func (c *SharedCache) store(key sharedKey, e *cacheEntry) {
+	cost := entryBytes(e)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cost > c.maxBytes {
+		// Never admit an entry that alone busts the cap: flushing for it
+		// would degenerate into a flush per store on its key. Any smaller
+		// entry already cached for the key keeps serving smaller radii.
+		return
+	}
+	if old, ok := c.entries[key]; ok {
+		if old.complete || old.radius >= e.radius {
+			return
+		}
+		c.bytes -= entryBytes(old)
+		delete(c.entries, key)
+	}
+	if c.bytes+cost > c.maxBytes {
+		c.entries = make(map[sharedKey]*cacheEntry)
+		c.bytes = 0
+		c.flushes.Add(1)
+	}
+	c.entries[key] = e
+	c.bytes += cost
+}
+
+// entryBytes mirrors the per-query accounting of accountCacheBytes.
+func entryBytes(e *cacheEntry) int64 {
+	return 48 + int64(len(e.items))*40
+}

@@ -13,6 +13,9 @@ type Stats struct {
 	MDijkstraRequests int64
 	// CacheHits counts expansions served from the on-the-fly cache.
 	CacheHits int64
+	// SharedCacheHits counts expansions served from the cross-query
+	// SharedCache (Options.Shared); zero when no cache is attached.
+	SharedCacheHits int64
 
 	// SettledVertices totals graph vertices settled across all searches —
 	// the Table 8 "number of vertices visited" metric.

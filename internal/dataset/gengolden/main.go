@@ -7,6 +7,8 @@ package main
 
 import (
 	"log"
+	"os"
+	"path/filepath"
 
 	"skysr/internal/dataset"
 	"skysr/internal/gen"
@@ -23,7 +25,11 @@ func main() {
 	if err := ds.SetRatings(ratings); err != nil {
 		log.Fatal(err)
 	}
-	if err := dataset.WriteFile("internal/dataset/testdata/paper-example.skysr", ds); err != nil {
+	out := "internal/dataset/testdata/paper-example.skysr"
+	if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := dataset.WriteFile(out, ds); err != nil {
 		log.Fatal(err)
 	}
 }

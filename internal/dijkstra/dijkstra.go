@@ -113,6 +113,14 @@ func (w *Workspace) ResetStats() {
 // PathTo until the next Run.
 func (w *Workspace) Run(opts Options) int {
 	w.epoch++
+	if w.epoch == 0 {
+		// The epoch wrapped: stamps written 2^32 runs ago could collide
+		// with the new epoch. Workspaces now outlive single queries (they
+		// are pooled), so a long-running server does reach this.
+		clear(w.stamp)
+		clear(w.settled)
+		w.epoch = 1
+	}
 	w.runCount++
 	w.lastMaxSettle = 0
 	w.heap.Reset()

@@ -44,7 +44,9 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
+	"skysr/internal/core"
 	"skysr/internal/dataset"
 	"skysr/internal/gen"
 	"skysr/internal/graph"
@@ -59,13 +61,37 @@ type VertexID = int32
 const NoVertex VertexID = graph.NoVertex
 
 // Engine answers SkySR queries over one dataset. An Engine is safe for
-// concurrent Search calls: the dataset is immutable and every search uses
-// its own transient state (the prototype HTTP service shares one Engine
-// across handlers).
+// concurrent Search and SearchBatch calls: the dataset is immutable, each
+// in-flight search owns a pooled searcher workspace, and all cross-query
+// state (the tree index, compiled requirements, the shared m-Dijkstra
+// cache) is guarded for concurrent use. The prototype HTTP service shares
+// one Engine across handlers, and SearchBatch fans a whole workload out
+// over it.
 type Engine struct {
 	ds      *dataset.Dataset
 	idxOnce sync.Once
 	idx     *index.TreeDistances // lazily built, see SearchOptions.UseIndex
+
+	// pool recycles searcher workspaces (graph-sized Dijkstra arrays)
+	// across queries instead of allocating them per call.
+	pool *core.SearcherPool
+	// shared holds one cross-query m-Dijkstra cache per Similarity value
+	// (entries depend on the similarity function, so they cannot mix).
+	shared [2]*core.SharedCache
+	// matchers caches compiled requirements ("sim|key" → route.Matcher);
+	// compiled matchers are immutable, so cached ones are shared freely.
+	// numMatchers enforces maxCachedMatchers (see compiledMatcher).
+	matchers    sync.Map
+	numMatchers atomic.Int64
+}
+
+// newEngine wraps a dataset with the engine's cross-query machinery.
+func newEngine(ds *dataset.Dataset) *Engine {
+	e := &Engine{ds: ds, pool: core.NewSearcherPool(ds)}
+	for i := range e.shared {
+		e.shared[i] = core.NewSharedCache(0)
+	}
+	return e
 }
 
 // treeIndex lazily builds and caches the per-tree distance index.
@@ -87,7 +113,7 @@ func Open(path string) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{ds: ds}, nil
+	return newEngine(ds), nil
 }
 
 // Read loads a dataset from a reader in the skysr text format.
@@ -96,7 +122,7 @@ func Read(r io.Reader) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{ds: ds}, nil
+	return newEngine(ds), nil
 }
 
 // Save writes the engine's dataset to a file in the skysr text format.
@@ -118,7 +144,7 @@ func Generate(preset string, scale float64, seed int64) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{ds: ds}, nil
+	return newEngine(ds), nil
 }
 
 // Presets lists the available Generate presets.
@@ -133,7 +159,7 @@ func PaperExample() (*Engine, VertexID, []string) {
 	for i, c := range cats {
 		names[i] = ds.Forest.Name(c)
 	}
-	return &Engine{ds: ds}, vq, names
+	return newEngine(ds), vq, names
 }
 
 // NumVertices returns the total vertex count (road + PoI).
