@@ -22,8 +22,9 @@ func answersEqual(a, b *Answer) bool {
 
 // TestSearchBatchMatchesSerial: SearchBatch must return, in order, exactly
 // the answers a serial Search loop produces — across worker counts and
-// under mixed UseIndex options (run under -race; this also races the lazy
-// index build and the shared m-Dijkstra cache).
+// under mixed index options (run under -race; this also races the lazy
+// index and per-category row builds, the hop-bound cache, and the shared
+// m-Dijkstra cache).
 func TestSearchBatchMatchesSerial(t *testing.T) {
 	eng, err := Generate("tokyo", 0.2, 7)
 	if err != nil {
@@ -33,10 +34,11 @@ func TestSearchBatchMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Mixed options: alternate the index on and off across the batch.
+	// Mixed options: rotate through no-index, tree-index and
+	// category-index across the batch.
 	perQuery := make([]SearchOptions, len(queries))
 	for i := range perQuery {
-		perQuery[i] = SearchOptions{UseIndex: i%2 == 0}
+		perQuery[i] = SearchOptions{UseIndex: i%3 == 0, UseCategoryIndex: i%3 == 1}
 	}
 	want := make([]*Answer, len(queries))
 	for i, q := range queries {

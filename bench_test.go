@@ -340,7 +340,7 @@ func BenchmarkAblationTreeIndex(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			opts := core.DefaultOptions()
 			if mode.use {
-				opts.TreeIndex = idx
+				opts.Index = idx
 			}
 			for i := 0; i < b.N; i++ {
 				q := qs[i%len(qs)]

@@ -29,6 +29,9 @@ func main() {
 	verify := flag.Bool("verify", false, "cross-check all algorithms return identical skylines")
 	csvDir := flag.String("csv", "", "directory for machine-readable CSV exports (optional)")
 	throughputOnly := flag.Bool("throughput", false, "run only the batch-serving throughput sweep (queries/sec vs workers)")
+	latencyOnly := flag.Bool("latency", false, "run only the serving-profile latency comparison (baseline vs tree-index vs category-index)")
+	jsonOut := flag.String("json", "", "with -latency: write the machine-readable report (e.g. BENCH_PR2.json) to this path")
+	check := flag.Bool("check", false, "with -latency: exit non-zero unless the category-index profile is identical and at least as fast as the baseline")
 	flag.Parse()
 
 	cfg.Scale = *scale
@@ -48,6 +51,29 @@ func main() {
 	}
 
 	h := bench.New(cfg)
+	if *latencyOnly {
+		rows, err := h.Latency()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skysr-bench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.RenderLatency(os.Stdout, rows)
+		if *jsonOut != "" {
+			if err := bench.WriteLatencyJSON(*jsonOut, cfg, rows); err != nil {
+				fmt.Fprintf(os.Stderr, "skysr-bench: write %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		if *check {
+			if err := bench.CheckLatency(rows); err != nil {
+				fmt.Fprintf(os.Stderr, "skysr-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("latency check passed: category-index identical and at least as fast as baseline")
+		}
+		return
+	}
 	if *throughputOnly {
 		rows, err := h.Throughput()
 		if err != nil {

@@ -6,6 +6,12 @@
 //
 //	skysr-serve -data tokyo.skysr -addr :8080
 //	skysr-serve -preset tokyo -scale 0.25      # generate in memory
+//	skysr-serve -data tokyo.skysr -warm-index -write-index
+//
+// The -index flag selects the serving profile (none, tree or category —
+// see README, "Serving profiles"); -data automatically adopts a matching
+// index sidecar (<file>.cidx) so cold-starts skip the index rebuild, and
+// -warm-index/-write-index build and persist one.
 //
 // Endpoints:
 //
@@ -43,6 +49,9 @@ import (
 
 type server struct {
 	eng *skysr.Engine
+	// baseOpts is the serving profile applied to every query (the -index
+	// flag); per-request parameters layer on top of it.
+	baseOpts skysr.SearchOptions
 
 	mu     sync.Mutex
 	survey *bench.Survey
@@ -54,6 +63,10 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "scale for -preset")
 	seed := flag.Int64("seed", 42, "seed for -preset")
 	addr := flag.String("addr", ":8080", "listen address")
+	indexProfile := flag.String("index", "category", "serving profile: none, tree or category (see README, Serving profiles)")
+	indexBudgetMB := flag.Int64("index-budget-mb", 0, "category-index row budget in MiB (0 = default)")
+	warmIndex := flag.Bool("warm-index", false, "build index rows for all roots and populated leaf categories at startup")
+	writeIndex := flag.Bool("write-index", false, "with -data: persist the built index to the dataset's sidecar so later cold-starts skip the rebuild")
 	flag.Parse()
 
 	var eng *skysr.Engine
@@ -74,12 +87,60 @@ func main() {
 		fmt.Fprintf(os.Stderr, "skysr-serve: %v\n", err)
 		os.Exit(1)
 	}
+	if *indexBudgetMB > 0 {
+		eng.ConfigureCategoryIndex(*indexBudgetMB << 20)
+	}
+	var baseOpts skysr.SearchOptions
+	switch *indexProfile {
+	case "none":
+	case "tree":
+		baseOpts.UseIndex = true
+	case "category":
+		baseOpts.UseCategoryIndex = true
+	default:
+		fmt.Fprintln(os.Stderr, "skysr-serve: -index must be none, tree or category")
+		os.Exit(2)
+	}
+	if *writeIndex && *data == "" {
+		fmt.Fprintln(os.Stderr, "skysr-serve: -write-index requires -data")
+		os.Exit(2)
+	}
+	if st := eng.CategoryIndexStats(); st.FromSidecar {
+		log.Printf("skysr-serve: index cold-start skipped: %d rows (%d KiB) loaded from %s",
+			st.RowsBuilt, st.Bytes>>10, skysr.IndexSidecarPath(*data))
+	}
+	if *warmIndex {
+		began := time.Now()
+		var n int
+		var err error
+		if baseOpts.UseCategoryIndex {
+			n, err = eng.WarmCategoryIndex() // roots + populated leaves
+		} else {
+			// The none/tree profiles only ever read tree-root rows, so
+			// warming leaf rows would just pin budget they never use.
+			n, err = eng.WarmCategoryIndex(eng.RootCategories()...)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skysr-serve: warm index: %v\n", err)
+			os.Exit(1)
+		}
+		st := eng.CategoryIndexStats()
+		log.Printf("skysr-serve: index warmed: %d rows (%d KiB) in %s", n, st.Bytes>>10, time.Since(began).Round(time.Millisecond))
+	}
+	if *writeIndex {
+		sidecar := skysr.IndexSidecarPath(*data)
+		if err := eng.SaveIndex(sidecar); err != nil {
+			fmt.Fprintf(os.Stderr, "skysr-serve: write index: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("skysr-serve: index persisted to %s", sidecar)
+	}
 
-	s := &server{eng: eng, survey: bench.NewSurvey(bench.PaperQuestions())}
+	s := &server{eng: eng, baseOpts: baseOpts, survey: bench.NewSurvey(bench.PaperQuestions())}
 	mux := http.NewServeMux()
 	s.registerRoutes(mux)
 
-	log.Printf("skysr-serve: %s on %s", eng.Stats(), *addr)
+	log.Printf("skysr-serve: %s on %s (index profile: %s)", eng.Stats(), *addr, *indexProfile)
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
@@ -163,8 +224,9 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
-	expand := qv.Get("expand") == "1"
-	ans, err := s.eng.SearchWith(q, skysr.SearchOptions{ExpandPaths: expand})
+	opts := s.baseOpts
+	opts.ExpandPaths = qv.Get("expand") == "1"
+	ans, err := s.eng.SearchWith(q, opts)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
@@ -263,7 +325,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		queries[i] = q
 	}
 	began := time.Now()
-	answers, err := s.eng.SearchBatch(queries, skysr.BatchOptions{Workers: workers, Context: r.Context()})
+	answers, err := s.eng.SearchBatch(queries, skysr.BatchOptions{Workers: workers, Options: s.baseOpts, Context: r.Context()})
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLatencyExperiment(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.05
+	cfg.Queries = 4
+	cfg.Datasets = []string{"tokyo"}
+	h := New(cfg)
+	rows, err := h.Latency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(LatencyProfiles()) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(LatencyProfiles()))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Fatalf("profile %s: answers differ from baseline", r.Profile)
+		}
+		if r.MedianMicros <= 0 || r.QPS <= 0 {
+			t.Fatalf("profile %s: empty measurement %+v", r.Profile, r)
+		}
+		if r.Profile == ProfileBaseline && (r.IndexBytes != 0 || r.IndexBuildMillis != 0) {
+			t.Fatalf("baseline row carries index cost: %+v", r)
+		}
+		if r.Profile == ProfileCategoryIndex && r.IndexBytes == 0 {
+			t.Fatalf("category-index row has no resident rows: %+v", r)
+		}
+	}
+
+	// JSON report round-trip.
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := WriteLatencyJSON(path, cfg, rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{`"category-index"`, `"median_us"`, `"identical_to_baseline": true`} {
+		if !strings.Contains(string(data), needle) {
+			t.Fatalf("report missing %s:\n%s", needle, data)
+		}
+	}
+}
+
+func TestCheckLatency(t *testing.T) {
+	good := []LatencyRow{
+		{Dataset: "tokyo", Profile: ProfileBaseline, MedianMicros: 100, Identical: true},
+		{Dataset: "tokyo", Profile: ProfileCategoryIndex, MedianMicros: 50, Identical: true},
+	}
+	if err := CheckLatency(good); err != nil {
+		t.Fatalf("good rows rejected: %v", err)
+	}
+	slow := []LatencyRow{
+		{Dataset: "tokyo", Profile: ProfileBaseline, MedianMicros: 100, Identical: true},
+		{Dataset: "tokyo", Profile: ProfileCategoryIndex, MedianMicros: 150, Identical: true},
+	}
+	if err := CheckLatency(slow); err == nil {
+		t.Fatal("slower indexed profile must fail the check")
+	}
+	wrong := []LatencyRow{
+		{Dataset: "tokyo", Profile: ProfileBaseline, MedianMicros: 100, Identical: true},
+		{Dataset: "tokyo", Profile: ProfileCategoryIndex, MedianMicros: 50, Identical: false},
+	}
+	if err := CheckLatency(wrong); err == nil {
+		t.Fatal("non-identical answers must fail the check")
+	}
+	if err := CheckLatency(good[:1]); err == nil {
+		t.Fatal("missing category-index row must fail the check")
+	}
+	if err := CheckLatency(good[1:]); err == nil {
+		t.Fatal("missing baseline row must fail the check")
+	}
+}

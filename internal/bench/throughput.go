@@ -147,7 +147,7 @@ func runThroughputBatch(d *dataset.Dataset, qs []gen.Query, workers int) (time.D
 		firstErr error
 	)
 	began := time.Now()
-	opts.TreeIndex = index.Build(d)
+	opts.Index = index.Build(d)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {

@@ -12,7 +12,7 @@ import (
 
 // TestConcurrentSearchersShareDataset: the documented concurrency model is
 // one Searcher per goroutine over a shared immutable Dataset (and shared
-// TreeDistances index). Run under -race this verifies there is no hidden
+// CategoryDistances index). Run under -race this verifies there is no hidden
 // shared mutable state.
 func TestConcurrentSearchersShareDataset(t *testing.T) {
 	rng := rand.New(rand.NewSource(91))
@@ -51,7 +51,7 @@ func TestConcurrentSearchersShareDataset(t *testing.T) {
 		go func(i int, j job) {
 			defer wg.Done()
 			opts := DefaultOptions()
-			opts.TreeIndex = idx
+			opts.Index = idx
 			s := NewSearcher(d, f.WuPalmer, opts)
 			for rep := 0; rep < 3; rep++ {
 				res, err := s.QueryCategories(j.start, j.cats...)

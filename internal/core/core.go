@@ -49,13 +49,22 @@ type Options struct {
 	// a cached entry is a pure function of the immutable dataset.
 	Shared *SharedCache
 
-	// TreeIndex, when non-nil, supplies precomputed per-tree nearest-PoI
-	// distances (the §9 "preprocessing" future work, package index). It
-	// tightens the pruning of partial routes — the next hop costs at
-	// least the distance to the nearest PoI of the next category's tree —
-	// without affecting exactness. Build one with index.Build and share
-	// it across searchers.
-	TreeIndex *index.TreeDistances
+	// Index, when non-nil, supplies the precomputed category-level
+	// nearest-matching-PoI distance index (the §9 "preprocessing" future
+	// work, package index). Resident rows tighten the pruning of partial
+	// routes — the next hop costs at least the distance to the nearest
+	// PoI of the next position's tree — without affecting exactness.
+	// Build one with index.Build or index.New and share it across
+	// searchers.
+	Index *index.CategoryDistances
+
+	// IndexCategories additionally lets queries build per-category index
+	// rows on demand (within the index's memory budget). When every
+	// position's rows are resident, the §5.3.3 lower bounds are derived
+	// from index lookups instead of per-query Dijkstras — the
+	// category-index serving profile. Answers are identical either way;
+	// only latency changes.
+	IndexCategories bool
 
 	// DisablePathFilter turns off the Lemma 5.5 path filtering inside the
 	// modified Dijkstra. It exists for the ablation benchmarks; leave it
@@ -111,7 +120,92 @@ type Searcher struct {
 	bounds   *bounds
 	destDist []float64         // distance from each vertex to the destination; nil when no destination
 	posTree  []taxonomy.TreeID // per-position category tree, -1 for non-Category matchers
+	idxRows  indexRows         // per-position index rows resolved for this query
 	md       *mdWorkspace      // reusable modified-Dijkstra arrays, lazily sized
+	scr      *boundsScratch    // epoch-stamped §5.3.3 scratch arrays, lazily sized
+}
+
+// indexRows is the per-query view of Options.Index: the distance rows each
+// position can use, resolved once per query so hot-path lookups are plain
+// slice indexing.
+type indexRows struct {
+	// covered reports that every position is a plain Category matcher
+	// with both rows resident — the precondition for deriving the §5.3.3
+	// bounds from the index instead of per-query Dijkstras.
+	covered bool
+	any     bool                  // at least one sem row is available
+	sem     []index.Row           // per position: tree-root row (semantic-match LB), nil if absent
+	perf    []index.Row           // per position: the category's own row, nil if absent
+	cats    []taxonomy.CategoryID // per position: category id, NoCategory for non-Category matchers
+	roots   []taxonomy.CategoryID // per position: tree root of cats, NoCategory likewise
+}
+
+// prepareIndexRows resolves the per-position index rows for the current
+// sequence. Under IndexCategories missing rows are built now (one
+// multi-source Dijkstra each, amortized across every later query naming
+// the category); otherwise only already-resident rows are consulted so the
+// hot path never pays build latency.
+func (s *Searcher) prepareIndexRows() {
+	s.idxRows = indexRows{}
+	ci := s.opts.Index
+	if ci == nil {
+		return
+	}
+	k := len(s.seq)
+	ir := &s.idxRows
+	ir.sem = make([]index.Row, k)
+	ir.perf = make([]index.Row, k)
+	ir.cats = make([]taxonomy.CategoryID, k)
+	ir.roots = make([]taxonomy.CategoryID, k)
+	ir.covered = s.opts.IndexCategories
+	for i, m := range s.seq {
+		ir.cats[i], ir.roots[i] = taxonomy.NoCategory, taxonomy.NoCategory
+		c, ok := m.(*route.Category)
+		if !ok {
+			ir.covered = false
+			continue
+		}
+		cat := c.ID()
+		root := s.d.Forest.Root(cat)
+		ir.cats[i], ir.roots[i] = cat, root
+		if s.opts.IndexCategories {
+			ir.sem[i] = ci.Row(root)
+			ir.perf[i] = ci.Row(cat)
+		} else {
+			ir.sem[i] = ci.RowIfBuilt(root)
+		}
+		if ir.sem[i] == nil || ir.perf[i] == nil {
+			ir.covered = false
+		}
+		if ir.sem[i] != nil {
+			ir.any = true
+		}
+	}
+}
+
+// noSemanticReachable reports that the index proves no semantically
+// matching PoI of position i is reachable from v (tree-row entry +Inf).
+// False when no row is available — absence of a row never prunes.
+func (ir *indexRows) noSemanticReachable(i int, v graph.VertexID) bool {
+	if i >= len(ir.sem) {
+		return false
+	}
+	row := ir.sem[i]
+	return row != nil && math.IsInf(float64(row[v]), 1)
+}
+
+// noPerfectReachable reports that the index proves no perfectly matching
+// PoI of position i is reachable from v: perfect matches are a subset of
+// the category's associated PoIs (its own row) and of the tree's (the sem
+// row), so +Inf in either row suffices.
+func (ir *indexRows) noPerfectReachable(i int, v graph.VertexID) bool {
+	if i >= len(ir.perf) {
+		return false
+	}
+	if row := ir.perf[i]; row != nil && math.IsInf(float64(row[v]), 1) {
+		return true
+	}
+	return ir.noSemanticReachable(i, v)
 }
 
 // NewSearcher returns a Searcher with the given options, scoring category
@@ -169,6 +263,7 @@ func (s *Searcher) query(start graph.VertexID, seq route.Sequence, dest graph.Ve
 			s.posTree[i] = s.d.Forest.Tree(c.ID())
 		}
 	}
+	s.prepareIndexRows()
 	s.ws.ResetStats()
 	if dest != graph.NoVertex {
 		s.computeDestDistances(dest)
@@ -197,7 +292,7 @@ func (s *Searcher) query(start graph.VertexID, seq route.Sequence, dest graph.Ve
 			s.emit(EventPruneThreshold, r)
 			continue
 		}
-		if s.opts.TreeIndex != nil && s.pruneByIndex(r) {
+		if s.idxRows.any && s.pruneByIndex(r) {
 			s.stats.PrunedByIndex++
 			s.emit(EventPruneIndex, r)
 			continue
@@ -287,6 +382,14 @@ func (s *Searcher) expand(r *route.Route, from graph.VertexID, qb *pq.Heap[*rout
 				s.emit(EventSkylineReject, rt)
 			}
 		} else {
+			// Enqueue-time form of the index prune: a route the index
+			// bound already condemns would be pruned at pop (the threshold
+			// only shrinks in the meantime), so don't queue it at all.
+			if s.idxRows.any && s.pruneByIndex(rt) {
+				s.stats.PrunedByIndex++
+				s.emit(EventPruneIndex, rt)
+				continue
+			}
 			qb.Push(rt)
 			s.stats.RoutesEnqueued++
 			s.emit(EventEnqueue, rt)
@@ -297,20 +400,20 @@ func (s *Searcher) expand(r *route.Route, from graph.VertexID, qb *pq.Heap[*rout
 	}
 }
 
-// pruneByIndex applies the precomputed tree-distance lower bound: the next
-// hop of any completion of r costs at least the distance from r's end to
-// the nearest PoI of the next position's tree; later hops are additionally
-// bounded by the §5.3.3 suffix when available.
+// pruneByIndex applies the precomputed index lower bound: the next hop of
+// any completion of r costs at least the distance from r's end to the
+// nearest PoI of the next position's tree (a row lookup); later hops are
+// additionally bounded by the §5.3.3 suffix when available.
 func (s *Searcher) pruneByIndex(r *route.Route) bool {
 	m := r.Size()
 	if m == 0 || m >= len(s.seq) {
 		return false
 	}
-	tree := s.posTree[m]
-	if tree < 0 {
+	row := s.idxRows.sem[m]
+	if row == nil {
 		return false
 	}
-	bound := r.Length() + s.opts.TreeIndex.To(tree, r.Last())
+	bound := r.Length() + float64(row[r.Last()])
 	if s.bounds != nil {
 		bound += s.bounds.lsSuffix[m] // hops after the first
 	}

@@ -25,7 +25,7 @@ func TestIndexPreservesExactness(t *testing.T) {
 		seq := route.NewCategorySequence(f, f.WuPalmer, cats...)
 		want := osr.BruteForceSkySR(d, start, seq, route.AggProduct)
 		for name, opts := range optionVariants() {
-			opts.TreeIndex = idx
+			opts.Index = idx
 			s := NewSearcher(d, f.WuPalmer, opts)
 			res, err := s.QueryCategories(start, cats...)
 			if err != nil {
@@ -35,6 +35,105 @@ func TestIndexPreservesExactness(t *testing.T) {
 				t.Fatalf("trial %d %s+index: mismatch\ngot:  %v\nwant: %v",
 					trial, name, res.Routes, want.Routes())
 			}
+		}
+	}
+}
+
+// TestCategoryIndexPreservesExactness: the category-index profile — index
+// rows built per category, §5.3.3 bounds derived from lookups, tightened
+// expansion radii — must return the exact brute-force skyline under every
+// optimization variant, on directed and undirected graphs.
+func TestCategoryIndexPreservesExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	f := taxonomy.Generated(3, 2, 3)
+	for trial := 0; trial < 12; trial++ {
+		d := randomDataset(rng, f, 24, 18)
+		idx := index.New(d, 0)
+		cats := pickCats(rng, f, 2+rng.Intn(3))
+		start := graph.VertexID(rng.Intn(24))
+		seq := route.NewCategorySequence(f, f.WuPalmer, cats...)
+		want := osr.BruteForceSkySR(d, start, seq, route.AggProduct)
+		for name, opts := range optionVariants() {
+			opts.Index = idx
+			opts.IndexCategories = true
+			s := NewSearcher(d, f.WuPalmer, opts)
+			res, err := s.QueryCategories(start, cats...)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !sameSkyline(res.Routes, want) {
+				t.Fatalf("trial %d %s+catindex: mismatch\ngot:  %v\nwant: %v",
+					trial, name, res.Routes, want.Routes())
+			}
+		}
+	}
+}
+
+// TestCategoryIndexAnswersIdenticalToBaseline: beyond score equality, the
+// indexed profile must return byte-identical answers — same PoI ids in the
+// same order with bit-equal scores — as the no-index default.
+func TestCategoryIndexAnswersIdenticalToBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	f := taxonomy.Generated(4, 2, 3)
+	for trial := 0; trial < 15; trial++ {
+		d := randomDataset(rng, f, 40, 25)
+		idx := index.New(d, 0)
+		cats := pickCats(rng, f, 2+rng.Intn(3))
+		start := graph.VertexID(rng.Intn(40))
+
+		base := NewSearcher(d, f.WuPalmer, DefaultOptions())
+		want, err := base.QueryCategories(start, cats...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := DefaultOptions()
+		opts.Index = idx
+		opts.IndexCategories = true
+		s := NewSearcher(d, f.WuPalmer, opts)
+		got, err := s.QueryCategories(start, cats...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Routes) != len(want.Routes) {
+			t.Fatalf("trial %d: %d routes vs %d", trial, len(got.Routes), len(want.Routes))
+		}
+		for i := range want.Routes {
+			if got.Routes[i].Length() != want.Routes[i].Length() ||
+				got.Routes[i].Semantic() != want.Routes[i].Semantic() {
+				t.Fatalf("trial %d route %d: scores differ bit-for-bit", trial, i)
+			}
+			gp, wp := got.Routes[i].PoIs(), want.Routes[i].PoIs()
+			for j := range wp {
+				if gp[j] != wp[j] {
+					t.Fatalf("trial %d route %d: PoIs %v vs %v", trial, i, gp, wp)
+				}
+			}
+		}
+	}
+}
+
+// TestCategoryIndexBudgetFallback: when the budget denies rows, queries
+// must transparently fall back to the per-query path with exact answers.
+func TestCategoryIndexBudgetFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	f := taxonomy.Generated(3, 2, 3)
+	for trial := 0; trial < 6; trial++ {
+		d := randomDataset(rng, f, 24, 16)
+		idx := index.New(d, int64(d.Graph.NumVertices())*4) // one row only
+		cats := pickCats(rng, f, 3)
+		start := graph.VertexID(rng.Intn(24))
+		seq := route.NewCategorySequence(f, f.WuPalmer, cats...)
+		want := osr.BruteForceSkySR(d, start, seq, route.AggProduct)
+		opts := DefaultOptions()
+		opts.Index = idx
+		opts.IndexCategories = true
+		s := NewSearcher(d, f.WuPalmer, opts)
+		res, err := s.QueryCategories(start, cats...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameSkyline(res.Routes, want) {
+			t.Fatalf("trial %d: budget fallback mismatch\ngot:  %v\nwant: %v", trial, res.Routes, want.Routes())
 		}
 	}
 }
@@ -50,7 +149,7 @@ func TestIndexPrunes(t *testing.T) {
 		idx := index.Build(d)
 		cats := pickCats(rng, f, 3)
 		opts := DefaultOptions()
-		opts.TreeIndex = idx
+		opts.Index = idx
 		s := NewSearcher(d, f.WuPalmer, opts)
 		res, err := s.QueryCategories(0, cats...)
 		if err != nil {
@@ -83,7 +182,7 @@ func TestIndexNeverIncreasesWork(t *testing.T) {
 		}
 		without += res.Stats.SettledVertices
 
-		opts.TreeIndex = idx
+		opts.Index = idx
 		s2 := NewSearcher(d, f.WuPalmer, opts)
 		res2, err := s2.QueryCategories(0, cats...)
 		if err != nil {

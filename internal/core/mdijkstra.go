@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"skysr/internal/graph"
+	"skysr/internal/index"
 	"skysr/internal/pq"
 	"skysr/internal/route"
 )
@@ -46,6 +47,22 @@ func (s *Searcher) nextPoIs(r *route.Route, from graph.VertexID) []candidate {
 	// l(Rt) = l(Rd) + dist ≥ l̄(Rd).
 	threshold := s.sky.Threshold(r.Semantic())
 	radius := threshold - r.Length()
+	if s.bounds != nil && s.bounds.fromIndex {
+		// Tighten the radius by the §5.3.3 suffix: a candidate found here
+		// sits at position pos, and completing the route from it costs at
+		// least lsSuffix[pos] more, so any candidate beyond
+		// threshold − lsSuffix[pos] yields a route the semantic rule would
+		// prune at pop (the threshold only shrinks in the meantime, and
+		// extension only raises the semantic score) — don't explore it.
+		// Final-position candidates (lsSuffix = 0) are unaffected, so
+		// skyline entries are byte-identical with or without the cut.
+		if rem := s.bounds.lsSuffix[pos]; rem > 0 {
+			if math.IsInf(rem, 1) {
+				return nil
+			}
+			radius -= rem
+		}
+	}
 	if radius <= 0 {
 		return nil
 	}
@@ -161,6 +178,20 @@ func (s *Searcher) runMDijkstra(from graph.VertexID, pos int, radius float64) *c
 	matcher := s.seq[pos]
 	g := s.d.Graph
 
+	// Goal-directed frontier pruning from the category index: goalRow[u]
+	// lower-bounds u's distance to the nearest PoI matching this position
+	// (its tree row), so once d + goalRow[u] ≥ radius nothing reachable
+	// through u can be an in-radius candidate and u's expansion is skipped.
+	// The candidate set is unchanged: every in-radius candidate x satisfies
+	// D(from,x) ≥ d_u + goalRow[u] for each u on any path to it, so none of
+	// its shortest paths — nor its Lemma 5.5 annotation chain — can pass
+	// through a skipped vertex. A matching vertex itself has goalRow = 0
+	// and is never skipped.
+	var goalRow index.Row
+	if pos < len(s.idxRows.sem) {
+		goalRow = s.idxRows.sem[pos]
+	}
+
 	if s.md == nil {
 		s.md = newMDWorkspace(g.NumVertices())
 	}
@@ -190,6 +221,17 @@ func (s *Searcher) runMDijkstra(from graph.VertexID, pos int, radius float64) *c
 		w.done[u] = w.epoch
 		settled++
 		maxSettled = d
+		if goalRow != nil {
+			if lb := float64(goalRow[u]); d+lb >= radius {
+				if !math.IsInf(lb, 1) {
+					// A larger radius could reach candidates through u, so
+					// the cache entry is only complete up to this radius; a
+					// +Inf bound proves u leads to no candidate ever.
+					cut = true
+				}
+				continue
+			}
+		}
 		uBlockSim, uBlockV := w.blockSim[u], w.blockV[u]
 
 		sim := 0.0
@@ -224,6 +266,17 @@ func (s *Searcher) runMDijkstra(from graph.VertexID, pos int, radius float64) *c
 			if nd >= radius {
 				cut = true
 				continue
+			}
+			if goalRow != nil {
+				// Same goal bound at relax time: skip queueing t when no
+				// candidate can lie within the radius through it. Any later
+				// path to t is longer still, so t can never expand anyway.
+				if lb := float64(goalRow[t]); nd+lb >= radius {
+					if !math.IsInf(lb, 1) {
+						cut = true
+					}
+					continue
+				}
 			}
 			if w.stamp[t] != w.epoch || nd < w.dist[t] {
 				w.dist[t] = nd

@@ -44,6 +44,18 @@ func (s *Searcher) runNNinit(start graph.VertexID) {
 	for i := 0; i < k; i++ {
 		matcher := s.seq[i]
 		last := i == k-1
+		// Index fast path: a +Inf row entry proves no matching PoI is
+		// reachable from the chain's current end, so the stage's search
+		// would sweep its whole reachable component and find nothing —
+		// skip it. (Perfect matches are a subset of the category's
+		// associated PoIs, which are a subset of the tree's.)
+		if last {
+			if s.idxRows.noSemanticReachable(i, from) {
+				break
+			}
+		} else if s.idxRows.noPerfectReachable(i, from) {
+			break
+		}
 		next := graph.NoVertex
 		nextDist := 0.0
 		s.ws.Run(dijkstra.Options{

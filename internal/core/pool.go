@@ -68,7 +68,8 @@ func (s *Searcher) clearTransient() {
 	s.stats = Stats{}
 	s.opts.Trace = nil
 	s.opts.Shared = nil
-	s.opts.TreeIndex = nil
+	s.opts.Index = nil
+	s.idxRows = indexRows{}
 }
 
 // sharedKey identifies one cacheable modified-Dijkstra run across queries.

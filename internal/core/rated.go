@@ -66,6 +66,7 @@ func (s *Searcher) QueryRated(start graph.VertexID, seq route.Sequence) (*RatedR
 			s.posTree[i] = s.d.Forest.Tree(c.ID())
 		}
 	}
+	s.prepareIndexRows()
 	s.ws.ResetStats()
 
 	// Unsound for three criteria — force the unfiltered modified Dijkstra
@@ -164,19 +165,22 @@ func (s *Searcher) QueryRated(start graph.VertexID, seq route.Sequence) (*RatedR
 			s.stats.PrunedThreshold++
 			continue
 		}
-		// Tree-distance index, three-criteria form: the next hop costs at
-		// least the distance to the nearest PoI of the next position's
-		// tree (sound because completions only worsen both other scores).
-		if s.opts.TreeIndex != nil {
+		// Category-index lower bound, three-criteria form: the next hop
+		// costs at least the distance to the nearest PoI of the next
+		// position's tree (sound because completions only worsen both
+		// other scores).
+		if s.idxRows.any {
 			m := e.r.Size()
-			if m >= 1 && m < k && s.posTree[m] >= 0 {
-				bound := e.r.Length() + s.opts.TreeIndex.To(s.posTree[m], e.r.Last())
-				if s.bounds != nil {
-					bound += s.bounds.lsSuffix[m]
-				}
-				if bound >= sky3.Threshold(e.r.Semantic(), r) {
-					s.stats.PrunedByIndex++
-					continue
+			if m >= 1 && m < k {
+				if row := s.idxRows.sem[m]; row != nil {
+					bound := e.r.Length() + float64(row[e.r.Last()])
+					if s.bounds != nil {
+						bound += s.bounds.lsSuffix[m]
+					}
+					if bound >= sky3.Threshold(e.r.Semantic(), r) {
+						s.stats.PrunedByIndex++
+						continue
+					}
 				}
 			}
 		}

@@ -61,9 +61,9 @@ func TestRatedMatchesBruteForce(t *testing.T) {
 		want := osr.BruteForceRated(d, start, seq, route.AggProduct)
 		for name, opts := range optionVariants() {
 			for _, useIdx := range []bool{false, true} {
-				opts.TreeIndex = nil
+				opts.Index = nil
 				if useIdx {
-					opts.TreeIndex = idx
+					opts.Index = idx
 				}
 				s := NewSearcher(d, f.WuPalmer, opts)
 				res, err := s.QueryRated(start, seq)

@@ -42,6 +42,7 @@ func (s *Searcher) QueryUnordered(start graph.VertexID, seq route.Sequence) (*Re
 	s.stats = Stats{InitPerfectL: math.Inf(1)}
 	s.bounds = nil
 	s.destDist = nil
+	s.idxRows = indexRows{} // the unordered loop takes no index shortcuts
 	s.ws.ResetStats()
 
 	if s.opts.InitialSearch {

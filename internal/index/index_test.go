@@ -36,65 +36,167 @@ func randomDataset(rng *rand.Rand, f *taxonomy.Forest, vertices, pois int, direc
 	return dataset.MustNew("idx", b.Build(), f)
 }
 
-func TestTreeDistancesMatchBruteForce(t *testing.T) {
+// bruteNearest computes the exact nearest-associated-PoI distance from v
+// for category c with per-target Dijkstras on the forward graph.
+func bruteNearest(d *dataset.Dataset, ws *dijkstra.Workspace, c taxonomy.CategoryID, v graph.VertexID) float64 {
+	want := math.Inf(1)
+	for _, p := range d.PoIsAssociated(c) {
+		if dd := ws.Distance(v, p); dd < want {
+			want = dd
+		}
+	}
+	return want
+}
+
+// TestRowsMatchBruteForce is the satellite property test at index level:
+// for random directed and undirected graphs, every row entry must equal
+// the float32 round-down of the brute-force nearest-matching-PoI distance,
+// for every vertex and every taxonomy node (roots, inner nodes, leaves).
+func TestRowsMatchBruteForce(t *testing.T) {
 	rng := rand.New(rand.NewSource(61))
 	f := taxonomy.Generated(3, 2, 2)
 	for _, directed := range []bool{false, true} {
 		d := randomDataset(rng, f, 25, 15, directed)
-		td := Build(d)
-		if td.NumTrees() != 3 {
-			t.Fatalf("NumTrees = %d", td.NumTrees())
-		}
+		ci := New(d, 0)
 		ws := dijkstra.New(d.Graph)
-		for v := graph.VertexID(0); int(v) < d.Graph.NumVertices(); v++ {
-			for tr := 0; tr < 3; tr++ {
-				root := d.Forest.Roots()[tr]
-				want := math.Inf(1)
-				for _, p := range d.PoIsAssociated(root) {
-					if dd := ws.Distance(v, p); dd < want {
-						want = dd
+		for c := taxonomy.CategoryID(0); int(c) < f.NumCategories(); c++ {
+			row := ci.Row(c)
+			if row == nil {
+				t.Fatalf("row %d not built", c)
+			}
+			for v := graph.VertexID(0); int(v) < d.Graph.NumVertices(); v++ {
+				want := bruteNearest(d, ws, c, v)
+				got := row[v]
+				if math.IsInf(want, 1) {
+					if !math.IsInf(float64(got), 1) {
+						t.Fatalf("directed=%v cat %d vertex %d: index %v, brute force +Inf", directed, c, v, got)
 					}
+					continue
 				}
-				got := td.To(taxonomy.TreeID(tr), v)
-				if math.IsInf(want, 1) != math.IsInf(got, 1) || (!math.IsInf(want, 1) && math.Abs(got-want) > 1e-9) {
-					t.Fatalf("directed=%v tree %d vertex %d: index %v, brute force %v", directed, tr, v, got, want)
+				if got != roundDown32(want) {
+					t.Fatalf("directed=%v cat %d vertex %d: index %v, want round-down(%v) = %v",
+						directed, c, v, got, want, roundDown32(want))
+				}
+				if float64(got) > want {
+					t.Fatalf("directed=%v cat %d vertex %d: stored %v exceeds exact %v (not a lower bound)",
+						directed, c, v, got, want)
 				}
 			}
 		}
 	}
 }
 
-func TestTreeDistancesEmptyTree(t *testing.T) {
+func TestRoundDown32(t *testing.T) {
+	for _, d := range []float64{0, 1, 2, 0.1, 1e-8, 123456.789, 1e30, math.Pi} {
+		f := roundDown32(d)
+		if float64(f) > d {
+			t.Fatalf("roundDown32(%v) = %v exceeds input", d, f)
+		}
+		if up := math.Nextafter32(f, float32(math.Inf(1))); float64(up) <= d && float64(f) < d {
+			// f must be the LARGEST float32 not exceeding d.
+			t.Fatalf("roundDown32(%v) = %v is not tight (next up %v still ≤)", d, f, up)
+		}
+	}
+	if !math.IsInf(float64(roundDown32(math.Inf(1))), 1) {
+		t.Fatal("+Inf must stay +Inf")
+	}
+}
+
+func TestEmptyTreeRowIsInf(t *testing.T) {
 	fb := taxonomy.NewForestBuilder()
 	a := fb.MustAddRoot("A")
-	fb.MustAddRoot("EmptyTree")
+	empty := fb.MustAddRoot("EmptyTree")
 	f := fb.Build()
 	b := graph.NewBuilder(false)
 	v := b.AddVertex(geo.Point{})
 	p := b.AddPoI(geo.Point{Lon: 1}, a)
 	b.AddEdge(v, p, 2)
 	d := dataset.MustNew("e", b.Build(), f)
-	td := Build(d)
-	if got := td.To(0, v); got != 2 {
+	ci := Build(d)
+	if got := ci.RowIfBuilt(a); got == nil || got[v] != 2 {
 		t.Errorf("tree A distance = %v, want 2", got)
 	}
-	if got := td.To(1, v); !math.IsInf(got, 1) {
+	if got := ci.RowIfBuilt(empty); got == nil || !math.IsInf(float64(got[v]), 1) {
 		t.Errorf("empty tree distance = %v, want +Inf", got)
 	}
-	if td.MemoryFootprintBytes() <= 0 {
+	if ci.MemoryFootprintBytes() <= 0 {
 		t.Error("footprint should be positive")
 	}
 }
 
-func TestTreeDistanceAtPoIIsZero(t *testing.T) {
+func TestRowAtPoIIsZero(t *testing.T) {
 	rng := rand.New(rand.NewSource(62))
 	f := taxonomy.Generated(2, 2, 2)
 	d := randomDataset(rng, f, 20, 12, false)
-	td := Build(d)
+	ci := Build(d)
 	for _, p := range d.Graph.PoIVertices() {
-		tr := d.Forest.Tree(d.Graph.PrimaryCategory(p))
-		if got := td.To(tr, p); got != 0 {
+		root := d.Forest.Root(d.Graph.PrimaryCategory(p))
+		if got := ci.RowIfBuilt(root)[p]; got != 0 {
 			t.Fatalf("PoI %d distance to own tree = %v, want 0", p, got)
 		}
+	}
+}
+
+// TestBudgetDeniesBuilds: lazy building must respect the configured
+// memory budget, deny rows beyond it, and report the denials.
+func TestBudgetDeniesBuilds(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	f := taxonomy.Generated(3, 2, 2)
+	d := randomDataset(rng, f, 30, 12, false)
+	rowCost := int64(d.Graph.NumVertices()) * 4
+
+	ci := New(d, 2*rowCost)
+	if ci.Row(f.Roots()[0]) == nil || ci.Row(f.Roots()[1]) == nil {
+		t.Fatal("first two rows must fit the budget")
+	}
+	if ci.Row(f.Roots()[2]) != nil {
+		t.Fatal("third row must be denied by the budget")
+	}
+	st := ci.Stats()
+	if st.RowsBuilt != 2 || st.Bytes != 2*rowCost || st.SkippedBuilds != 1 {
+		t.Fatalf("stats = %+v, want 2 rows, %d bytes, 1 skip", st, 2*rowCost)
+	}
+	if ci.MemoryFootprintBytes() > ci.MaxBytes() {
+		t.Fatalf("footprint %d exceeds budget %d", ci.MemoryFootprintBytes(), ci.MaxBytes())
+	}
+	// RowIfBuilt never builds.
+	if ci.RowIfBuilt(f.Roots()[2]) != nil {
+		t.Fatal("RowIfBuilt must not build")
+	}
+	// Raising the budget admits the denied row.
+	ci.SetMaxBytes(3 * rowCost)
+	if ci.Row(f.Roots()[2]) == nil {
+		t.Fatal("row must build after the budget was raised")
+	}
+}
+
+// TestMinOverAssociated: the cached hop lower bound must equal the
+// brute-force minimum over source PoIs of the destination row.
+func TestMinOverAssociated(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	f := taxonomy.Generated(3, 2, 2)
+	d := randomDataset(rng, f, 30, 18, true)
+	ci := New(d, 0)
+	for _, src := range f.Roots() {
+		for c := taxonomy.CategoryID(0); int(c) < f.NumCategories(); c++ {
+			row := ci.Row(c)
+			want := math.Inf(1)
+			for _, p := range d.PoIsAssociated(src) {
+				if dd := float64(row[p]); dd < want {
+					want = dd
+				}
+			}
+			for pass := 0; pass < 2; pass++ { // second pass exercises the cache
+				got, ok := ci.MinOverAssociated(src, c)
+				if !ok || got != want {
+					t.Fatalf("MinOverAssociated(%d, %d) pass %d = %v ok=%v, want %v", src, c, pass, got, ok, want)
+				}
+			}
+		}
+	}
+	// Unavailable destination rows report ok=false.
+	ci2 := New(d, 1) // budget too small for any row
+	if _, ok := ci2.MinOverAssociated(f.Roots()[0], f.Roots()[1]); ok {
+		t.Fatal("MinOverAssociated must report ok=false without a destination row")
 	}
 }

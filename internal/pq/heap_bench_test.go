@@ -1,0 +1,154 @@
+package pq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchGraph is a synthetic road-like graph (bounded degree, positive
+// weights) exercising the heaps with a realistic Dijkstra workload: many
+// decrease-keys per pop.
+type benchGraph struct {
+	off []int32
+	to  []int32
+	w   []float64
+}
+
+func makeBenchGraph(n, degree int, seed int64) *benchGraph {
+	rng := rand.New(rand.NewSource(seed))
+	g := &benchGraph{off: make([]int32, n+1)}
+	for v := 0; v < n; v++ {
+		g.off[v] = int32(len(g.to))
+		for d := 0; d < degree; d++ {
+			g.to = append(g.to, int32(rng.Intn(n)))
+			g.w = append(g.w, 1+rng.Float64()*9)
+		}
+		g.off[v+1] = int32(len(g.to))
+	}
+	return g
+}
+
+// dijkstraIndexed runs Dijkstra with the IndexedHeap (4-ary,
+// decrease-key). Returns a checksum so the work cannot be optimized away.
+func dijkstraIndexed(g *benchGraph, n int, h *IndexedHeap, dist []float64, done []bool, src int32) float64 {
+	for i := 0; i < n; i++ {
+		dist[i] = 1e18
+		done[i] = false
+	}
+	h.Reset()
+	dist[src] = 0
+	h.PushOrDecrease(src, 0)
+	sum := 0.0
+	for h.Len() > 0 {
+		v, d := h.Pop()
+		done[v] = true
+		sum += d
+		for i := g.off[v]; i < g.off[v+1]; i++ {
+			t := g.to[i]
+			if done[t] {
+				continue
+			}
+			if nd := d + g.w[i]; nd < dist[t] {
+				dist[t] = nd
+				h.PushOrDecrease(t, nd)
+			}
+		}
+	}
+	return sum
+}
+
+type lazyItem struct {
+	v int32
+	d float64
+}
+
+// dijkstraLazyBinary runs Dijkstra with the generic binary route heap and
+// lazy deletion (duplicates pushed, stale entries skipped at pop) — the
+// standard way to use a heap without decrease-key.
+func dijkstraLazyBinary(g *benchGraph, n int, h *Heap[lazyItem], dist []float64, done []bool, src int32) float64 {
+	for i := 0; i < n; i++ {
+		dist[i] = 1e18
+		done[i] = false
+	}
+	h.Reset()
+	dist[src] = 0
+	h.Push(lazyItem{v: src, d: 0})
+	sum := 0.0
+	for h.Len() > 0 {
+		it := h.Pop()
+		if done[it.v] || it.d > dist[it.v] {
+			continue // stale duplicate
+		}
+		done[it.v] = true
+		sum += it.d
+		for i := g.off[it.v]; i < g.off[it.v+1]; i++ {
+			t := g.to[i]
+			if done[t] {
+				continue
+			}
+			if nd := it.d + g.w[i]; nd < dist[t] {
+				dist[t] = nd
+				h.Push(lazyItem{v: t, d: nd})
+			}
+		}
+	}
+	return sum
+}
+
+// BenchmarkHeapDijkstra compares the 4-ary IndexedHeap against the generic
+// binary heap on identical Dijkstra sweeps (satellite of the category-index
+// PR: decrease-key is the hot operation of every index build and every
+// modified-Dijkstra run).
+func BenchmarkHeapDijkstra(b *testing.B) {
+	const n, degree = 20000, 4
+	g := makeBenchGraph(n, degree, 7)
+	var sink float64
+
+	b.Run("indexed-4ary", func(b *testing.B) {
+		h := NewIndexedHeap(n)
+		dist := make([]float64, n)
+		done := make([]bool, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sink += dijkstraIndexed(g, n, h, dist, done, int32(i%n))
+		}
+	})
+	b.Run("generic-binary-lazy", func(b *testing.B) {
+		h := NewHeap(func(a, x lazyItem) bool {
+			if a.d != x.d {
+				return a.d < x.d
+			}
+			return a.v < x.v
+		})
+		dist := make([]float64, n)
+		done := make([]bool, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sink += dijkstraLazyBinary(g, n, h, dist, done, int32(i%n))
+		}
+	})
+	_ = sink
+}
+
+// TestIndexedHeapMatchesLazyBinary pins the two benchmark competitors to
+// identical results, so the benchmark compares equal work.
+func TestIndexedHeapMatchesLazyBinary(t *testing.T) {
+	const n, degree = 3000, 4
+	g := makeBenchGraph(n, degree, 11)
+	ih := NewIndexedHeap(n)
+	bh := NewHeap(func(a, x lazyItem) bool {
+		if a.d != x.d {
+			return a.d < x.d
+		}
+		return a.v < x.v
+	})
+	dist := make([]float64, n)
+	done := make([]bool, n)
+	for src := int32(0); src < 20; src++ {
+		a := dijkstraIndexed(g, n, ih, dist, done, src)
+		b := dijkstraLazyBinary(g, n, bh, dist, done, src)
+		if a != b {
+			t.Fatalf("src %d: indexed sum %v != lazy binary sum %v", src, a, b)
+		}
+	}
+}

@@ -104,6 +104,13 @@ func (h *Heap[T]) down(i int) {
 // keyed by dense non-negative integer ids (vertex indices). It is the
 // workhorse of the Dijkstra implementations: Push/DecreaseKey/Pop are all
 // O(log n) and id lookup is O(1) via a position table.
+//
+// The heap is 4-ary rather than binary: Dijkstra's decrease-key workload
+// performs far more up-sifts (every relaxation) than down-sifts (one per
+// pop), and a wider node halves the up-sift depth while keeping the four
+// child slots of a down-sift step in one or two cache lines. The generic
+// route Heap stays binary — route queues are small and pop-dominated. See
+// BenchmarkHeapDijkstra for the comparison.
 type IndexedHeap struct {
 	ids  []int32   // heap slot -> id
 	prio []float64 // heap slot -> priority
@@ -196,9 +203,12 @@ func (h *IndexedHeap) swap(i, j int) {
 	h.pos[h.ids[j]] = int32(j)
 }
 
+// arity is the branching factor of the indexed heap.
+const arity = 4
+
 func (h *IndexedHeap) up(i int) {
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / arity
 		if !h.lessAt(i, parent) {
 			break
 		}
@@ -210,13 +220,19 @@ func (h *IndexedHeap) up(i int) {
 func (h *IndexedHeap) down(i int) {
 	n := len(h.ids)
 	for {
-		left := 2*i + 1
-		if left >= n {
+		first := arity*i + 1
+		if first >= n {
 			return
 		}
-		smallest := left
-		if right := left + 1; right < n && h.lessAt(right, left) {
-			smallest = right
+		last := first + arity
+		if last > n {
+			last = n
+		}
+		smallest := first
+		for j := first + 1; j < last; j++ {
+			if h.lessAt(j, smallest) {
+				smallest = j
+			}
 		}
 		if !h.lessAt(smallest, i) {
 			return

@@ -217,11 +217,23 @@ type SearchOptions struct {
 	// vertices); 0 means unlimited. BSSR ignores it (it does not need
 	// one).
 	Budget int64
-	// UseIndex enables the precomputed per-tree nearest-PoI distance
-	// index (the §9 preprocessing extension). The index is built lazily
-	// on first use and cached on the Engine; it tightens BSSR's pruning
-	// on repeated queries over the same dataset.
+	// UseIndex enables the tree-index serving profile: the precomputed
+	// per-tree nearest-PoI distance rows (the §9 preprocessing extension,
+	// built lazily on first use and cached on the Engine) tighten BSSR's
+	// pruning on repeated queries over the same dataset. The per-query
+	// §5.3.3 lower-bound Dijkstras still run.
 	UseIndex bool
+	// UseCategoryIndex enables the category-index serving profile: per-
+	// category distance rows are built on demand (within the Engine's
+	// index memory budget, see ConfigureCategoryIndex) and, once a
+	// query's categories are covered, the §5.3.3 lower bounds and the
+	// expansion pruning radii come from index lookups instead of
+	// per-query Dijkstras. Answers are identical to a plain Search —
+	// every substituted bound is a proven lower bound — while median
+	// latency drops substantially on repeated-category workloads.
+	// Queries the index cannot cover (non-Category requirements, budget
+	// exhausted) transparently fall back to the per-query path.
+	UseCategoryIndex bool
 	// ShareCache switches the default BSSR algorithm to the Engine's
 	// multi-query serving profile: modified-Dijkstra results are reused
 	// across queries (one concurrency-safe cache per Similarity), the
@@ -350,13 +362,19 @@ func (e *Engine) SearchWith(q Query, opts SearchOptions) (*Answer, error) {
 			copts = core.WithoutOptimizations()
 		}
 		copts.Aggregation = opts.Aggregation
-		if opts.UseIndex {
-			copts.TreeIndex = e.treeIndex()
+		if opts.UseIndex || opts.UseCategoryIndex {
+			copts.Index = e.categoryIndex()
+			copts.IndexCategories = opts.UseCategoryIndex
 		}
 		if opts.ShareCache && opts.Algorithm == BSSR {
 			copts.Shared = e.shared[opts.Similarity]
-			copts.TreeIndex = e.treeIndex()
-			copts.LowerBounds = false
+			copts.Index = e.categoryIndex()
+			if !opts.UseCategoryIndex {
+				// The PR-1 batch profile: the tree rows stand in for the
+				// per-query §5.3.3 bounds entirely. With the category
+				// index the bounds are nearly free, so they stay on.
+				copts.LowerBounds = false
+			}
 		}
 		s := e.pool.Get(sim, copts)
 		defer e.pool.Put(s)

@@ -68,9 +68,16 @@ const NoVertex VertexID = graph.NoVertex
 // one Engine across handlers, and SearchBatch fans a whole workload out
 // over it.
 type Engine struct {
-	ds      *dataset.Dataset
-	idxOnce sync.Once
-	idx     *index.TreeDistances // lazily built, see SearchOptions.UseIndex
+	ds *dataset.Dataset
+
+	// idxMu guards idx and idxBudget. idx is the category-level distance
+	// index shared by every searcher; it is created lazily (first indexed
+	// search), adopted from a sidecar file by Open, or prewarmed by
+	// WarmCategoryIndex.
+	idxMu     sync.Mutex
+	idx       *index.CategoryDistances
+	idxBudget int64 // 0 = index.DefaultMaxBytes
+	idxLoaded bool  // idx was loaded from a sidecar rather than built
 
 	// pool recycles searcher workspaces (graph-sized Dijkstra arrays)
 	// across queries instead of allocating them per call.
@@ -94,10 +101,110 @@ func newEngine(ds *dataset.Dataset) *Engine {
 	return e
 }
 
-// treeIndex lazily builds and caches the per-tree distance index.
-func (e *Engine) treeIndex() *index.TreeDistances {
-	e.idxOnce.Do(func() { e.idx = index.Build(e.ds) })
+// categoryIndex returns the engine's category-level distance index,
+// creating it (with every tree-root row resident) on first use.
+func (e *Engine) categoryIndex() *index.CategoryDistances {
+	e.idxMu.Lock()
+	defer e.idxMu.Unlock()
+	if e.idx == nil {
+		e.idx = index.New(e.ds, e.idxBudget)
+		e.idx.EnsureRoots()
+	}
 	return e.idx
+}
+
+// ConfigureCategoryIndex sets the memory budget (in bytes; <= 0 restores
+// the default) for the category-level distance index. Shrinking the budget
+// below the current footprint stops further row builds without evicting
+// resident rows.
+func (e *Engine) ConfigureCategoryIndex(maxBytes int64) {
+	e.idxMu.Lock()
+	defer e.idxMu.Unlock()
+	e.idxBudget = maxBytes
+	if e.idx != nil {
+		e.idx.SetMaxBytes(maxBytes)
+	}
+}
+
+// WarmCategoryIndex builds index rows ahead of serving, moving build cost
+// out of the query path. With no arguments it warms every tree root plus
+// every leaf category that has at least one PoI; otherwise it warms the
+// named categories. It reports how many of the requested rows are resident
+// afterwards (the memory budget may deny some).
+func (e *Engine) WarmCategoryIndex(names ...string) (int, error) {
+	var cats []taxonomy.CategoryID
+	if len(names) == 0 {
+		cats = append(cats, e.ds.Forest.Roots()...)
+		for _, c := range e.ds.Forest.Leaves() {
+			if len(e.ds.PoIsExact(c)) > 0 {
+				cats = append(cats, c)
+			}
+		}
+	} else {
+		for _, name := range names {
+			c, ok := e.ds.Forest.Lookup(name)
+			if !ok {
+				return 0, fmt.Errorf("skysr: unknown category %q", name)
+			}
+			cats = append(cats, c)
+		}
+	}
+	return e.categoryIndex().Prewarm(cats...), nil
+}
+
+// CategoryIndexStats reports the state of the category-level distance
+// index: rows resident, bytes held, the configured budget, builds denied
+// by the budget, and whether the index came from a sidecar file. A zero
+// Stats with FromSidecar false means the index has not been created yet.
+type CategoryIndexStats struct {
+	RowsBuilt     int
+	Bytes         int64
+	MaxBytes      int64
+	SkippedBuilds int64
+	FromSidecar   bool
+}
+
+// CategoryIndexStats returns a snapshot of the engine's index state.
+func (e *Engine) CategoryIndexStats() CategoryIndexStats {
+	e.idxMu.Lock()
+	defer e.idxMu.Unlock()
+	if e.idx == nil {
+		return CategoryIndexStats{}
+	}
+	st := e.idx.Stats()
+	return CategoryIndexStats{
+		RowsBuilt:     st.RowsBuilt,
+		Bytes:         st.Bytes,
+		MaxBytes:      st.MaxBytes,
+		SkippedBuilds: st.SkippedBuilds,
+		FromSidecar:   e.idxLoaded,
+	}
+}
+
+// IndexSidecarPath returns the sidecar file path Save and Open use for the
+// category index of a dataset stored at path.
+func IndexSidecarPath(path string) string { return path + ".cidx" }
+
+// SaveIndex writes the built rows of the category index to a sidecar file
+// at the given path (creating the index if needed). The sidecar round-trips
+// bit-exactly: an engine that Opens it serves identical bounds and answers
+// without rebuilding.
+func (e *Engine) SaveIndex(path string) error {
+	return e.categoryIndex().WriteFile(path)
+}
+
+// loadIndexSidecar adopts a sidecar index if one exists next to the
+// dataset and matches it; a missing, stale or corrupt sidecar is ignored
+// (the index is then rebuilt lazily as usual).
+func (e *Engine) loadIndexSidecar(datasetPath string) {
+	ci, err := index.ReadFile(IndexSidecarPath(datasetPath), e.ds, e.idxBudget)
+	if err != nil {
+		return
+	}
+	e.idxMu.Lock()
+	e.idx = ci
+	e.idxLoaded = true
+	e.idxMu.Unlock()
 }
 
 // Dataset is an immutable road network with embedded PoIs and a category
@@ -107,13 +214,18 @@ type Dataset struct {
 }
 
 // Open loads a dataset from a file in the skysr text format (as written by
-// Save or the skysr-gen tool).
+// Save or the skysr-gen tool). When an index sidecar (IndexSidecarPath)
+// written by Save or SaveIndex sits next to the dataset and matches it,
+// the category-level distance index is loaded from it, so a server
+// cold-start skips the rebuild; a missing or stale sidecar is ignored.
 func Open(path string) (*Engine, error) {
 	ds, err := dataset.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return newEngine(ds), nil
+	e := newEngine(ds)
+	e.loadIndexSidecar(path)
+	return e, nil
 }
 
 // Read loads a dataset from a reader in the skysr text format.
@@ -126,8 +238,20 @@ func Read(r io.Reader) (*Engine, error) {
 }
 
 // Save writes the engine's dataset to a file in the skysr text format.
+// When the category-level distance index has resident rows, they are also
+// persisted to the sidecar file IndexSidecarPath(path), which a later Open
+// picks up to skip the index rebuild.
 func (e *Engine) Save(path string) error {
-	return dataset.WriteFile(path, e.ds)
+	if err := dataset.WriteFile(path, e.ds); err != nil {
+		return err
+	}
+	e.idxMu.Lock()
+	idx := e.idx
+	e.idxMu.Unlock()
+	if idx != nil && idx.NumBuiltRows() > 0 {
+		return idx.WriteFile(IndexSidecarPath(path))
+	}
+	return nil
 }
 
 // Write writes the engine's dataset to a writer.
@@ -182,6 +306,17 @@ func (e *Engine) Categories() []string {
 	out := make([]string, e.ds.Forest.NumCategories())
 	for c := 0; c < e.ds.Forest.NumCategories(); c++ {
 		out[c] = e.ds.Forest.Name(taxonomy.CategoryID(c))
+	}
+	return out
+}
+
+// RootCategories returns the name of every tree root — the categories the
+// tree-index profile reads.
+func (e *Engine) RootCategories() []string {
+	roots := e.ds.Forest.Roots()
+	out := make([]string, len(roots))
+	for i, c := range roots {
+		out[i] = e.ds.Forest.Name(c)
 	}
 	return out
 }
