@@ -31,7 +31,10 @@ type BatchOptions struct {
 // pooled searcher workspaces and sharing cacheable state (the tree index,
 // compiled requirements, and m-Dijkstra results via ShareCache, which it
 // enables for every query) across the batch. Answers are returned in query
-// order and are identical to what a serial Search loop would produce.
+// order and are identical to what a serial Search loop would produce. The
+// whole batch runs against the dataset version current when the call
+// starts: a concurrent ApplyUpdates never splits one batch across two
+// epochs.
 //
 // The batch fails fast: the first query error cancels the queries not yet
 // started and is returned with its query index; already-computed answers
@@ -51,6 +54,8 @@ func (e *Engine) SearchBatch(queries []Query, opts BatchOptions) ([]*Answer, err
 	if workers > len(queries) {
 		workers = len(queries)
 	}
+	sn := e.pin()
+	defer sn.release()
 
 	var (
 		next    atomic.Int64
@@ -82,7 +87,7 @@ func (e *Engine) SearchBatch(queries []Query, opts BatchOptions) ([]*Answer, err
 					so = opts.PerQuery[i]
 				}
 				so.ShareCache = true
-				ans, err := e.SearchWith(queries[i], so)
+				ans, err := e.searchOn(sn, queries[i], so)
 				if err != nil {
 					failed.Store(true)
 					mu.Lock()

@@ -1,11 +1,18 @@
 // Command skysr-bench regenerates every table and figure of the paper's
-// evaluation (§7–§8) on synthetic datasets. The output is the source
-// material of EXPERIMENTS.md.
+// evaluation (§7–§8) on synthetic datasets, and measures the engine's
+// serving extensions: batch throughput, serving-profile latency, and the
+// live-update churn scenario. The full-suite output is the source material
+// of EXPERIMENTS.md; the -latency and -churn modes write the
+// machine-readable reports CI tracks per PR (BENCH_PR2.json,
+// BENCH_PR3.json) and gate regressions with -check.
 //
 // Usage:
 //
-//	skysr-bench                     # laptop-sized defaults
+//	skysr-bench                     # full suite, laptop-sized defaults
 //	skysr-bench -scale 1 -queries 100 -sizes 2,3,4,5
+//	skysr-bench -throughput         # batch serving: queries/sec vs workers
+//	skysr-bench -latency -json BENCH_PR2.json -check
+//	skysr-bench -churn -json BENCH_PR3.json -check
 package main
 
 import (
@@ -30,8 +37,9 @@ func main() {
 	csvDir := flag.String("csv", "", "directory for machine-readable CSV exports (optional)")
 	throughputOnly := flag.Bool("throughput", false, "run only the batch-serving throughput sweep (queries/sec vs workers)")
 	latencyOnly := flag.Bool("latency", false, "run only the serving-profile latency comparison (baseline vs tree-index vs category-index)")
-	jsonOut := flag.String("json", "", "with -latency: write the machine-readable report (e.g. BENCH_PR2.json) to this path")
-	check := flag.Bool("check", false, "with -latency: exit non-zero unless the category-index profile is identical and at least as fast as the baseline")
+	churnOnly := flag.Bool("churn", false, "run only the mixed read/write live-update scenario (queries interleaved with ApplyUpdates batches)")
+	jsonOut := flag.String("json", "", "with -latency or -churn: write the machine-readable report (e.g. BENCH_PR2.json, BENCH_PR3.json) to this path")
+	check := flag.Bool("check", false, "with -latency or -churn: exit non-zero if the profile regresses (identical answers, latency / incremental-repair gates)")
 	flag.Parse()
 
 	cfg.Scale = *scale
@@ -51,6 +59,29 @@ func main() {
 	}
 
 	h := bench.New(cfg)
+	if *churnOnly {
+		rows, err := runChurn(h.Config())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skysr-bench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.RenderChurn(os.Stdout, rows)
+		if *jsonOut != "" {
+			if err := bench.WriteChurnJSON(*jsonOut, h.Config(), rows); err != nil {
+				fmt.Fprintf(os.Stderr, "skysr-bench: write %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		if *check {
+			if err := bench.CheckChurn(rows); err != nil {
+				fmt.Fprintf(os.Stderr, "skysr-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("churn check passed: answers identical after updates, repairs below full-rebuild work")
+		}
+		return
+	}
 	if *latencyOnly {
 		rows, err := h.Latency()
 		if err != nil {

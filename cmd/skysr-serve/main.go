@@ -19,13 +19,18 @@
 //	GET  /api/categories   leaf categories as JSON
 //	GET  /api/route?start=17&via=Sushi+Restaurant,Gift+Shop&dest=3&unordered=1
 //	POST /api/batch        {"queries":[{"start":17,"via":["Gift Shop"]},...],"workers":4}
+//	POST /api/update       {"set_weights":[{"u":1,"v":2,"w":9.5}],"remove_pois":[4],...}
+//	GET  /api/epoch        current dataset epoch and index repair counters
 //	POST /api/survey       {"question":"Q1","option":2}
 //	GET  /api/survey       current answer ratios (Figure 9 data)
 //
 // The server shares one Engine across all handlers: every request checks a
 // searcher workspace out of the Engine's pool instead of allocating one,
 // and /api/batch fans its queries out over Engine.SearchBatch, which also
-// shares m-Dijkstra results across the batch.
+// shares m-Dijkstra results across the batch. /api/update mutates the
+// dataset while the server keeps answering: updates publish a new snapshot
+// epoch, in-flight queries finish on the epoch they started on, and the
+// category index is repaired incrementally (see README, "Live updates").
 package main
 
 import (
@@ -151,6 +156,8 @@ func (s *server) registerRoutes(mux *http.ServeMux) {
 	mux.HandleFunc("GET /api/categories", s.handleCategories)
 	mux.HandleFunc("GET /api/route", s.handleRoute)
 	mux.HandleFunc("POST /api/batch", s.handleBatch)
+	mux.HandleFunc("POST /api/update", s.handleUpdate)
+	mux.HandleFunc("GET /api/epoch", s.handleEpoch)
 	mux.HandleFunc("POST /api/survey", s.handleSurveyPost)
 	mux.HandleFunc("GET /api/survey", s.handleSurveyGet)
 }
@@ -350,6 +357,116 @@ func (s *server) routeResponseOf(ans *skysr.Answer) routeResponse {
 		resp.Routes = append(resp.Routes, rj)
 	}
 	return resp
+}
+
+// edgeJSON is one edge operand of an update request.
+type edgeJSON struct {
+	U int32   `json:"u"`
+	V int32   `json:"v"`
+	W float64 `json:"w,omitempty"`
+}
+
+// poiJSON is one PoI operand of an update request.
+type poiJSON struct {
+	V          int32    `json:"v"`
+	Categories []string `json:"categories"`
+}
+
+// updateRequest is the JSON form of one skysr.UpdateBatch.
+type updateRequest struct {
+	SetWeights   []edgeJSON `json:"set_weights,omitempty"`
+	AddEdges     []edgeJSON `json:"add_edges,omitempty"`
+	RemoveEdges  []edgeJSON `json:"remove_edges,omitempty"`
+	AddPoIs      []poiJSON  `json:"add_pois,omitempty"`
+	RemovePoIs   []int32    `json:"remove_pois,omitempty"`
+	Recategorize []poiJSON  `json:"recategorize,omitempty"`
+}
+
+// updateResponse echoes skysr.UpdateResult.
+type updateResponse struct {
+	Epoch             int64 `json:"epoch"`
+	WeightsChanged    int   `json:"weights_changed"`
+	EdgesAdded        int   `json:"edges_added"`
+	EdgesRemoved      int   `json:"edges_removed"`
+	PoIsAdded         int   `json:"pois_added"`
+	PoIsRemoved       int   `json:"pois_removed"`
+	PoIsRecategorized int   `json:"pois_recategorized"`
+	GraphRebuilt      bool  `json:"graph_rebuilt"`
+	IndexInvalidated  bool  `json:"index_invalidated"`
+	RowsCarried       int   `json:"rows_carried"`
+	RowsDirtied       int   `json:"rows_dirtied"`
+}
+
+// maxUpdateEdits bounds one /api/update request.
+const maxUpdateEdits = 4096
+
+func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var body updateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON"})
+		return
+	}
+	batch := new(skysr.UpdateBatch)
+	for _, e := range body.SetWeights {
+		batch.SetEdgeWeight(e.U, e.V, e.W)
+	}
+	for _, e := range body.AddEdges {
+		batch.AddEdge(e.U, e.V, e.W)
+	}
+	for _, e := range body.RemoveEdges {
+		batch.RemoveEdge(e.U, e.V)
+	}
+	for _, p := range body.AddPoIs {
+		batch.AddPoI(p.V, p.Categories...)
+	}
+	for _, v := range body.RemovePoIs {
+		batch.RemovePoI(v)
+	}
+	for _, p := range body.Recategorize {
+		batch.Recategorize(p.V, p.Categories...)
+	}
+	if batch.Len() == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "empty update batch"})
+		return
+	}
+	if batch.Len() > maxUpdateEdits {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("batch exceeds %d edits", maxUpdateEdits)})
+		return
+	}
+	res, err := s.eng.ApplyUpdates(batch)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	log.Printf("skysr-serve: update applied: epoch %d (%d edits, %d rows carried, %d dirtied)",
+		res.Epoch, batch.Len(), res.RowsCarried, res.RowsDirtied)
+	writeJSON(w, http.StatusOK, updateResponse{
+		Epoch:             res.Epoch,
+		WeightsChanged:    res.WeightsChanged,
+		EdgesAdded:        res.EdgesAdded,
+		EdgesRemoved:      res.EdgesRemoved,
+		PoIsAdded:         res.PoIsAdded,
+		PoIsRemoved:       res.PoIsRemoved,
+		PoIsRecategorized: res.PoIsRecategorized,
+		GraphRebuilt:      res.GraphRebuilt,
+		IndexInvalidated:  res.IndexInvalidated,
+		RowsCarried:       res.RowsCarried,
+		RowsDirtied:       res.RowsDirtied,
+	})
+}
+
+func (s *server) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.CategoryIndexStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":          s.eng.Epoch(),
+		"live_snapshots": s.eng.LiveSnapshots(),
+		"index": map[string]any{
+			"rows_built":    st.RowsBuilt,
+			"rows_carried":  st.RowsCarried,
+			"rows_repaired": st.RowsRepaired,
+			"from_sidecar":  st.FromSidecar,
+		},
+	})
 }
 
 type surveyPost struct {

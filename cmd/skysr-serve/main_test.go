@@ -241,3 +241,77 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+func TestUpdateEndpoint(t *testing.T) {
+	_, mux := testServer(t)
+
+	// The paper example's Table 4 skyline before any update.
+	query := func() routeResponse {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET",
+			"/api/route?start=0&via=Asian+Restaurant,Arts+%26+Entertainment,Gift+Shop", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("route status = %d: %s", rec.Code, rec.Body.String())
+		}
+		var out routeResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	before := query()
+	if len(before.Routes) != 2 || before.Routes[0].Length != 10.5 {
+		t.Fatalf("pre-update skyline = %+v, want the Table 4 shape", before.Routes)
+	}
+
+	// Raise one road weight; the server keeps serving on the new epoch.
+	rec := httptest.NewRecorder()
+	body := `{"set_weights":[{"u":0,"v":1,"w":100}]}`
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/api/update", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("update status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var res updateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 1 || res.WeightsChanged != 1 {
+		t.Fatalf("update response = %+v, want epoch 1 with one weight change", res)
+	}
+
+	// The epoch endpoint reflects the new version.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/epoch", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("epoch status = %d", rec.Code)
+	}
+	var epochOut struct {
+		Epoch int64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &epochOut); err != nil {
+		t.Fatal(err)
+	}
+	if epochOut.Epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", epochOut.Epoch)
+	}
+}
+
+func TestUpdateEndpointErrors(t *testing.T) {
+	_, mux := testServer(t)
+	cases := map[string]string{
+		"bad JSON":         `notjson`,
+		"empty batch":      `{}`,
+		"unknown vertex":   `{"set_weights":[{"u":0,"v":9999,"w":1}]}`,
+		"missing edge":     `{"remove_edges":[{"u":0,"v":0}]}`,
+		"unknown category": `{"recategorize":[{"v":6,"categories":["No Such Place"]}]}`,
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			mux.ServeHTTP(rec, httptest.NewRequest("POST", "/api/update", strings.NewReader(body)))
+			if rec.Code != http.StatusBadRequest {
+				t.Errorf("status = %d, want 400: %s", rec.Code, rec.Body.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,61 @@
+package skysr
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocs is the documentation gate CI runs: every package in the
+// module — including the cmd tools and the examples — must carry a package
+// doc comment. A package passes when any of its non-test files documents
+// the package clause; the failure message lists every offender so a new
+// package cannot ship silently undocumented.
+func TestPackageDocs(t *testing.T) {
+	documented := map[string]bool{} // package dir → has a doc comment
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") && name != "." {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if documented[dir] {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		if _, seen := documented[dir]; !seen {
+			documented[dir] = false
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			documented[dir] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(documented) < 20 {
+		t.Fatalf("walked only %d package dirs — the gate is not seeing the module", len(documented))
+	}
+	for dir, ok := range documented {
+		if !ok {
+			t.Errorf("package %s has no package documentation (add a doc comment above the package clause)", dir)
+		}
+	}
+}

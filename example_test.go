@@ -1,0 +1,83 @@
+package skysr_test
+
+import (
+	"fmt"
+	"log"
+
+	"skysr"
+)
+
+// ExampleEngine_Search answers the paper's running example (Figure 1,
+// Table 4): from vq, visit an Asian restaurant, an arts & entertainment
+// venue and a gift shop. The skyline holds the literal match and a
+// shorter route that substitutes an Italian restaurant (same Food tree).
+func ExampleEngine_Search() {
+	eng, start, categories := skysr.PaperExample()
+	via := make([]skysr.Requirement, len(categories))
+	for i, c := range categories {
+		via[i] = skysr.Category(c)
+	}
+	ans, err := eng.Search(skysr.Query{Start: start, Via: via})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range ans.Routes {
+		fmt.Println(r)
+	}
+	// Output:
+	// Italian Restaurant@6 → Arts & Entertainment@9 → Gift Shop@8  (length 10.5, semantic 0.500)
+	// Asian Restaurant@10 → Arts & Entertainment@12 → Gift Shop@13  (length 13.0, semantic 0.000)
+}
+
+// ExampleEngine_SearchBatch fans a small workload out over a worker pool.
+// Batch answers are identical to a serial Search loop's, in query order.
+func ExampleEngine_SearchBatch() {
+	eng, start, categories := skysr.PaperExample()
+	queries := []skysr.Query{
+		{Start: start, Via: []skysr.Requirement{skysr.Category(categories[0])}},
+		{Start: start, Via: []skysr.Requirement{skysr.Category("Gift Shop")}},
+	}
+	answers, err := eng.SearchBatch(queries, skysr.BatchOptions{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, ans := range answers {
+		fmt.Printf("query %d: %d route(s), best %s\n", i, len(ans.Routes), ans.Routes[0])
+	}
+	// Output:
+	// query 0: 1 route(s), best Asian Restaurant@2  (length 6.0, semantic 0.000)
+	// query 1: 1 route(s), best Gift Shop@8  (length 10.5, semantic 0.000)
+}
+
+// ExampleEngine_ApplyUpdates mutates a serving engine: congestion triples
+// a road weight, a later query reroutes, and the dataset epoch advances
+// while in-flight queries keep the snapshot they started on.
+func ExampleEngine_ApplyUpdates() {
+	nb := skysr.NewFoursquareNetworkBuilder("example-town")
+	start := nb.AddVertex(0, 0)
+	near, _ := nb.AddPoI(1, 0, "Sushi Restaurant")
+	far, _ := nb.AddPoI(0, 1, "Sushi Restaurant")
+	if err := nb.AddRoad(start, near, 1); err != nil {
+		log.Fatal(err)
+	}
+	if err := nb.AddRoad(start, far, 4); err != nil {
+		log.Fatal(err)
+	}
+	eng, err := nb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q := skysr.Query{Start: start, Via: []skysr.Requirement{skysr.Category("Sushi Restaurant")}}
+	ans, _ := eng.Search(q)
+	fmt.Printf("epoch %d: %s\n", eng.Epoch(), ans.Routes[0])
+
+	if _, err := eng.ApplyUpdates(new(skysr.UpdateBatch).SetEdgeWeight(start, near, 9)); err != nil {
+		log.Fatal(err)
+	}
+	ans, _ = eng.Search(q)
+	fmt.Printf("epoch %d: %s\n", eng.Epoch(), ans.Routes[0])
+	// Output:
+	// epoch 0: Sushi Restaurant@1  (length 1.0, semantic 0.000)
+	// epoch 1: Sushi Restaurant@2  (length 4.0, semantic 0.000)
+}

@@ -1,10 +1,24 @@
 package skysr
 
 import (
+	"os"
 	"os/exec"
 	"strings"
 	"testing"
 )
+
+// TestExamplesCompile type-checks every example program (and the cmd
+// tools) in one pass. Unlike TestExamplesRun it is cheap enough to keep in
+// -short mode, so `go test -short ./...` still catches an example drifting
+// off the public API.
+func TestExamplesCompile(t *testing.T) {
+	cmd := exec.Command("go", "build", "./examples/...", "./cmd/...")
+	cmd.Dir = "."
+	cmd.Env = append(os.Environ(), "GOBIN=")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("examples failed to compile: %v\n%s", err, out)
+	}
+}
 
 // TestExamplesRun executes every example program and checks the key fact
 // each one documents, so the examples cannot silently rot. Skipped in
@@ -39,6 +53,12 @@ func TestExamplesRun(t *testing.T) {
 		},
 		"ratedcafe": {
 			"rating penalty 0.100", // the five-star café's route
+		},
+		"liveupdate": {
+			"epoch 2",         // both update batches published
+			"12 rows carried", // weight increase carried every index row
+			"2 repaired",      // the closure dirtied only the sushi ancestors
+			"1 snapshot(s) live",
 		},
 	}
 	for name, wants := range cases {

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSharedCacheEpochIsolation: entries stamped with one epoch must not
+// serve lookups from another, and DropStale must evict them.
+func TestSharedCacheEpochIsolation(t *testing.T) {
+	c := NewSharedCache(1 << 20)
+	key := sharedKey{from: 7, cat: 3}
+	entry := &cacheEntry{radius: math.Inf(1), complete: true}
+
+	c.store(key, entry, 0)
+	if got := c.lookup(key, 10, 0); got != entry {
+		t.Fatal("same-epoch lookup missed")
+	}
+	if got := c.lookup(key, 10, 1); got != nil {
+		t.Fatal("lookup with a newer epoch served a stale entry")
+	}
+
+	// Storing under the new epoch replaces the stale entry even though the
+	// old one covered a larger radius.
+	smaller := &cacheEntry{radius: 5}
+	c.store(key, smaller, 1)
+	if got := c.lookup(key, 4, 1); got != smaller {
+		t.Fatal("new-epoch store did not replace the stale entry")
+	}
+	if c.Stats().StaleDrops != 1 {
+		t.Fatalf("StaleDrops = %d, want 1", c.Stats().StaleDrops)
+	}
+
+	c.store(sharedKey{from: 8, cat: 1}, entry, 0)
+	c.DropStale(1)
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("entries after DropStale = %d, want 1", st.Entries)
+	}
+	if got := c.lookup(key, 4, 1); got != smaller {
+		t.Fatal("DropStale evicted a current-epoch entry")
+	}
+}

@@ -99,13 +99,13 @@ func (s *Searcher) sharedOrRun(from graph.VertexID, pos int, radius float64) *ca
 		return s.runMDijkstra(from, pos, radius)
 	}
 	key := sharedKey{from: from, cat: cat.ID(), origin: pos == 0}
-	if e := shared.lookup(key, radius); e != nil {
+	if e := shared.lookup(key, radius, s.opts.Epoch); e != nil {
 		s.stats.SharedCacheHits++
 		s.emit(EventCacheHit, nil)
 		return e
 	}
 	e := s.runMDijkstra(from, pos, radius)
-	shared.store(key, e)
+	shared.store(key, e, s.opts.Epoch)
 	return e
 }
 

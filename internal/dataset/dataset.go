@@ -108,6 +108,36 @@ func (d *Dataset) Rating(v graph.VertexID) float64 {
 // third skyline criterion: 0 for a top-rated PoI, 1 for the worst.
 func RatingPenalty(rating float64) float64 { return 1 - rating/MaxRating }
 
+// Apply returns a new Dataset over the graph produced by applying the
+// edit batch (see graph.Edits); the receiver is untouched, so concurrent
+// readers of the old dataset stay correct. The forest is shared (live
+// updates never change the taxonomy), the PoI indexes are re-derived from
+// the new graph, and ratings carry over vertex by vertex. Category ids in
+// the batch are validated against the forest.
+func (d *Dataset) Apply(edits graph.Edits) (*Dataset, error) {
+	n := taxonomy.CategoryID(d.Forest.NumCategories())
+	for _, c := range edits.SetCategories {
+		for _, cat := range c.Categories {
+			if cat < 0 || cat >= n {
+				return nil, fmt.Errorf("dataset %s: category edit of vertex %d names category %d outside forest (%d categories)",
+					d.Name, c.V, cat, n)
+			}
+		}
+	}
+	g, err := d.Graph.Apply(edits)
+	if err != nil {
+		return nil, err
+	}
+	out, err := New(d.Name, g, d.Forest)
+	if err != nil {
+		return nil, err
+	}
+	if d.ratings != nil {
+		out.ratings = append([]float64(nil), d.ratings...)
+	}
+	return out, nil
+}
+
 // PoIsAssociated returns P_c: every PoI associated with c directly or
 // through a descendant category. The slice is shared; do not mutate.
 func (d *Dataset) PoIsAssociated(c taxonomy.CategoryID) []graph.VertexID {

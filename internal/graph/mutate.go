@@ -1,0 +1,271 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"skysr/internal/geo"
+)
+
+// EdgeChange names one edge (or arc, on directed graphs) and a weight. It
+// is the operand of the weight-set and edge-add/remove entries of Edits;
+// RemoveEdges ignores the Weight field.
+type EdgeChange struct {
+	U, V   VertexID
+	Weight float64
+}
+
+// CategoryChange reassigns the category list of an existing vertex. An
+// empty Categories list turns a PoI back into a plain road vertex; a
+// non-empty list makes the vertex a PoI with Categories[0] as its primary
+// category.
+type CategoryChange struct {
+	V          VertexID
+	Categories []CategoryID
+}
+
+// Edits is an atomic batch of graph modifications. Apply validates the
+// whole batch against the receiver before building anything, so a graph is
+// never half-updated.
+//
+// The vertex set is fixed: edits change weights, arcs and categories of
+// existing vertices. (Growing the network is a dataset rebuild, not a live
+// update — every distance row and searcher workspace is sized to the
+// vertex count.)
+type Edits struct {
+	// SetWeights assigns a new weight to existing edges. On undirected
+	// graphs the edge is matched in either orientation; parallel edges
+	// between the same endpoints all receive the new weight.
+	SetWeights []EdgeChange
+	// AddEdges appends new edges (both arcs on undirected graphs).
+	AddEdges []EdgeChange
+	// RemoveEdges deletes existing edges (all parallel edges between the
+	// named endpoints; both orientations on undirected graphs).
+	RemoveEdges []EdgeChange
+	// SetCategories replaces vertex category lists (PoI add, remove and
+	// recategorize).
+	SetCategories []CategoryChange
+}
+
+// Empty reports whether the batch contains no edits.
+func (e *Edits) Empty() bool {
+	return len(e.SetWeights) == 0 && len(e.AddEdges) == 0 &&
+		len(e.RemoveEdges) == 0 && len(e.SetCategories) == 0
+}
+
+// Structural reports whether the batch changes the arc structure (edge
+// additions or removals) rather than just weights and categories.
+func (e *Edits) Structural() bool {
+	return len(e.AddEdges) > 0 || len(e.RemoveEdges) > 0
+}
+
+// pairKey canonicalizes an edge endpoint pair: order-sensitive on directed
+// graphs, order-free on undirected ones (where u→v and v→u are the same
+// edge).
+func (g *Graph) pairKey(u, v VertexID) [2]VertexID {
+	if !g.directed && u > v {
+		u, v = v, u
+	}
+	return [2]VertexID{u, v}
+}
+
+// validate checks every edit against g. It returns the canonical-pair maps
+// the application paths reuse, so validation and application cannot drift.
+func (g *Graph) validate(e Edits) (setW map[[2]VertexID]float64, removed map[[2]VertexID]bool, err error) {
+	n := VertexID(g.NumVertices())
+	checkVertex := func(v VertexID, what string) error {
+		if v < 0 || v >= n {
+			return fmt.Errorf("graph: %s names unknown vertex %d", what, v)
+		}
+		return nil
+	}
+	checkEdgeOperand := func(c EdgeChange, what string, needWeight, mustExist bool) error {
+		if err := checkVertex(c.U, what); err != nil {
+			return err
+		}
+		if err := checkVertex(c.V, what); err != nil {
+			return err
+		}
+		if c.U == c.V {
+			return fmt.Errorf("graph: %s (%d,%d) is a self-loop", what, c.U, c.V)
+		}
+		if needWeight && (c.Weight < 0 || math.IsNaN(c.Weight) || math.IsInf(c.Weight, 0)) {
+			return fmt.Errorf("graph: %s (%d,%d) has invalid weight %v", what, c.U, c.V, c.Weight)
+		}
+		if mustExist {
+			if _, ok := g.EdgeWeight(c.U, c.V); !ok {
+				return fmt.Errorf("graph: %s names missing edge (%d,%d)", what, c.U, c.V)
+			}
+		}
+		return nil
+	}
+
+	touched := map[[2]VertexID]string{}
+	claim := func(u, v VertexID, what string) error {
+		key := g.pairKey(u, v)
+		if prev, ok := touched[key]; ok {
+			return fmt.Errorf("graph: edge (%d,%d) appears in both %s and %s edits", u, v, prev, what)
+		}
+		touched[key] = what
+		return nil
+	}
+
+	setW = make(map[[2]VertexID]float64, len(e.SetWeights))
+	for _, c := range e.SetWeights {
+		if err := checkEdgeOperand(c, "weight edit", true, true); err != nil {
+			return nil, nil, err
+		}
+		if err := claim(c.U, c.V, "weight"); err != nil {
+			return nil, nil, err
+		}
+		setW[g.pairKey(c.U, c.V)] = c.Weight
+	}
+	for _, c := range e.AddEdges {
+		if err := checkEdgeOperand(c, "edge addition", true, false); err != nil {
+			return nil, nil, err
+		}
+		if err := claim(c.U, c.V, "add"); err != nil {
+			return nil, nil, err
+		}
+	}
+	removed = make(map[[2]VertexID]bool, len(e.RemoveEdges))
+	for _, c := range e.RemoveEdges {
+		if err := checkEdgeOperand(c, "edge removal", false, true); err != nil {
+			return nil, nil, err
+		}
+		if err := claim(c.U, c.V, "remove"); err != nil {
+			return nil, nil, err
+		}
+		removed[g.pairKey(c.U, c.V)] = true
+	}
+
+	seenV := map[VertexID]bool{}
+	for _, c := range e.SetCategories {
+		if err := checkVertex(c.V, "category edit"); err != nil {
+			return nil, nil, err
+		}
+		if seenV[c.V] {
+			return nil, nil, fmt.Errorf("graph: vertex %d appears in two category edits", c.V)
+		}
+		seenV[c.V] = true
+		seenC := map[CategoryID]bool{}
+		for _, cat := range c.Categories {
+			if cat == NoCategory {
+				return nil, nil, fmt.Errorf("graph: category edit of vertex %d lists NoCategory", c.V)
+			}
+			if seenC[cat] {
+				return nil, nil, fmt.Errorf("graph: category edit of vertex %d repeats category %d", c.V, cat)
+			}
+			seenC[cat] = true
+		}
+	}
+	return setW, removed, nil
+}
+
+// Apply returns a new graph with the batch applied; the receiver is
+// untouched, so snapshots holding it stay valid (copy-on-write). Weight-
+// and category-only batches share the receiver's points and CSR structure
+// and clone just the arrays they patch; batches that add or remove edges
+// rebuild the adjacency in the same canonical order the text serialization
+// uses (ascending source vertex, then stored arc order, additions last),
+// which keeps an applied graph arc-for-arc identical to a save/load round
+// trip of itself.
+func (g *Graph) Apply(e Edits) (*Graph, error) {
+	setW, removed, err := g.validate(e)
+	if err != nil {
+		return nil, err
+	}
+
+	out := *g // shallow copy: immutable fields are shared
+
+	if !e.Structural() {
+		if len(e.SetWeights) > 0 {
+			weights := append([]float64(nil), g.weights...)
+			for lo, u := int32(0), VertexID(0); int(u) < g.NumVertices(); u++ {
+				hi := g.offsets[u+1]
+				for i := lo; i < hi; i++ {
+					if w, ok := setW[g.pairKey(u, g.targets[i])]; ok {
+						weights[i] = w
+					}
+				}
+				lo = hi
+			}
+			out.weights = weights
+		}
+	} else {
+		if err := out.rebuildArcs(g, e, setW, removed); err != nil {
+			return nil, err
+		}
+	}
+
+	if len(e.SetCategories) > 0 {
+		cat := append([]CategoryID(nil), g.cat...)
+		var extra map[VertexID][]CategoryID
+		if g.extraCats != nil {
+			extra = make(map[VertexID][]CategoryID, len(g.extraCats))
+			for v, cs := range g.extraCats {
+				extra[v] = cs // shared: replaced wholesale below when edited
+			}
+		}
+		for _, c := range e.SetCategories {
+			delete(extra, c.V)
+			if len(c.Categories) == 0 {
+				cat[c.V] = NoCategory
+				continue
+			}
+			cat[c.V] = c.Categories[0]
+			if len(c.Categories) > 1 {
+				if extra == nil {
+					extra = make(map[VertexID][]CategoryID)
+				}
+				extra[c.V] = append([]CategoryID(nil), c.Categories...)
+			}
+		}
+		if len(extra) == 0 {
+			extra = nil
+		}
+		var pois []VertexID
+		for v := VertexID(0); int(v) < len(cat); v++ {
+			if cat[v] != NoCategory {
+				pois = append(pois, v)
+			}
+		}
+		out.cat, out.extraCats, out.pois = cat, extra, pois
+	}
+	return &out, nil
+}
+
+// rebuildArcs regenerates the CSR arrays of out from g's logical edge list
+// with removals, weight edits and additions applied, in canonical order.
+func (out *Graph) rebuildArcs(g *Graph, e Edits, setW map[[2]VertexID]float64, removed map[[2]VertexID]bool) error {
+	b := NewBuilder(g.directed)
+	for v := VertexID(0); int(v) < g.NumVertices(); v++ {
+		// Category state is patched separately; the builder only needs the
+		// vertex slots so edge ids line up.
+		b.AddVertex(geo.Point{})
+	}
+	for u := VertexID(0); int(u) < g.NumVertices(); u++ {
+		ts, ws := g.Neighbors(u)
+		for i, t := range ts {
+			if !g.directed && u > t {
+				continue // the u < t arc already emitted this logical edge
+			}
+			key := g.pairKey(u, t)
+			if removed[key] {
+				continue
+			}
+			w := ws[i]
+			if nw, ok := setW[key]; ok {
+				w = nw
+			}
+			b.AddEdge(u, t, w)
+		}
+	}
+	for _, c := range e.AddEdges {
+		b.AddEdge(c.U, c.V, c.Weight)
+	}
+	built := b.Build()
+	out.offsets, out.targets, out.weights, out.numEdges =
+		built.offsets, built.targets, built.weights, built.numEdges
+	return nil
+}

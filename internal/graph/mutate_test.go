@@ -1,0 +1,212 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"skysr/internal/geo"
+)
+
+// randomGraph builds a connected random graph with some PoIs.
+func randomGraph(rng *rand.Rand, n int, directed bool) *Graph {
+	b := NewBuilder(directed)
+	for i := 0; i < n; i++ {
+		p := geo.Point{Lon: rng.Float64(), Lat: rng.Float64()}
+		if rng.Intn(3) == 0 {
+			v := b.AddPoI(p, CategoryID(rng.Intn(4)))
+			if rng.Intn(4) == 0 {
+				b.AddCategory(v, CategoryID(4+rng.Intn(2)))
+			}
+		} else {
+			b.AddVertex(p)
+		}
+	}
+	for i := 1; i < n; i++ {
+		b.AddEdge(VertexID(i), VertexID(rng.Intn(i)), 1+rng.Float64())
+	}
+	for i := 0; i < n; i++ {
+		u, v := VertexID(rng.Intn(n)), VertexID(rng.Intn(n))
+		if u != v {
+			b.AddEdge(u, v, 1+rng.Float64())
+		}
+	}
+	return b.Build()
+}
+
+// allArcs flattens a graph's adjacency into comparable (u, v, w) triples.
+func allArcs(g *Graph) [][3]float64 {
+	var out [][3]float64
+	for u := VertexID(0); int(u) < g.NumVertices(); u++ {
+		ts, ws := g.Neighbors(u)
+		for i := range ts {
+			out = append(out, [3]float64{float64(u), float64(ts[i]), ws[i]})
+		}
+	}
+	return out
+}
+
+func TestApplyWeightOnlySharesStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, directed := range []bool{false, true} {
+		g := randomGraph(rng, 30, directed)
+		u := VertexID(5)
+		ts, ws := g.Neighbors(u)
+		if len(ts) == 0 {
+			t.Fatal("vertex 5 has no arcs")
+		}
+		v, oldW := ts[0], ws[0]
+		g2, err := g.Apply(Edits{SetWeights: []EdgeChange{{U: u, V: v, Weight: oldW + 7}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if &g2.targets[0] != &g.targets[0] || &g2.offsets[0] != &g.offsets[0] {
+			t.Error("weight-only apply should share CSR structure arrays")
+		}
+		if w, _ := g.EdgeWeight(u, v); w != oldW {
+			t.Errorf("original graph mutated: weight %v, want %v", w, oldW)
+		}
+		if w, _ := g2.EdgeWeight(u, v); w != oldW+7 {
+			t.Errorf("new weight = %v, want %v", w, oldW+7)
+		}
+		if !directed {
+			if w, _ := g2.EdgeWeight(v, u); w != oldW+7 {
+				t.Errorf("reverse arc weight = %v, want %v (undirected)", w, oldW+7)
+			}
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Errorf("edge count changed: %d != %d", g2.NumEdges(), g.NumEdges())
+		}
+	}
+}
+
+func TestApplyStructuralMatchesBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, directed := range []bool{false, true} {
+		g := randomGraph(rng, 25, directed)
+		ts, _ := g.Neighbors(3)
+		if len(ts) == 0 {
+			t.Fatal("vertex 3 has no arcs")
+		}
+		rm := ts[0]
+		edits := Edits{
+			RemoveEdges: []EdgeChange{{U: 3, V: rm}},
+			AddEdges:    []EdgeChange{{U: 0, V: 24, Weight: 9.25}},
+		}
+		g2, err := g.Apply(edits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w, ok := g2.EdgeWeight(0, 24); !ok || w > 9.25 {
+			t.Errorf("added edge weight = %v ok=%v, want <= 9.25 present", w, ok)
+		}
+		if _, ok := g2.EdgeWeight(3, rm); ok {
+			t.Errorf("removed edge (3,%d) still present", rm)
+		}
+
+		// The rebuilt graph must be arc-for-arc identical to one built from
+		// scratch in canonical order with the same logical edges.
+		b := NewBuilder(directed)
+		for i := 0; i < g.NumVertices(); i++ {
+			b.AddVertex(g.Point(VertexID(i)))
+		}
+		for u := VertexID(0); int(u) < g.NumVertices(); u++ {
+			nts, nws := g.Neighbors(u)
+			for i, v := range nts {
+				if !directed && u > v {
+					continue
+				}
+				if u == 3 && v == rm || (!directed && u == rm && v == 3) {
+					continue
+				}
+				b.AddEdge(u, v, nws[i])
+			}
+		}
+		b.AddEdge(0, 24, 9.25)
+		want := b.Build()
+		got, exp := allArcs(g2), allArcs(want)
+		if len(got) != len(exp) {
+			t.Fatalf("arc count %d != %d", len(got), len(exp))
+		}
+		for i := range got {
+			if got[i] != exp[i] {
+				t.Fatalf("arc %d: %v != %v", i, got[i], exp[i])
+			}
+		}
+	}
+}
+
+func TestApplyCategories(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 20, false)
+	var road, poi VertexID = -1, -1
+	for v := VertexID(0); int(v) < g.NumVertices(); v++ {
+		if g.IsPoI(v) && poi < 0 {
+			poi = v
+		}
+		if !g.IsPoI(v) && road < 0 {
+			road = v
+		}
+	}
+	g2, err := g.Apply(Edits{SetCategories: []CategoryChange{
+		{V: road, Categories: []CategoryID{2, 5}}, // road → multi-category PoI
+		{V: poi, Categories: nil},                 // PoI → road
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.IsPoI(road) || g2.PrimaryCategory(road) != 2 || len(g2.Categories(road)) != 2 {
+		t.Errorf("vertex %d: cats = %v, want [2 5]", road, g2.Categories(road))
+	}
+	if g2.IsPoI(poi) {
+		t.Errorf("vertex %d still a PoI after removal", poi)
+	}
+	if g2.NumPoIs() != g.NumPoIs() {
+		t.Errorf("PoI count = %d, want %d", g2.NumPoIs(), g.NumPoIs())
+	}
+	if !g.IsPoI(poi) || g.IsPoI(road) {
+		t.Error("original graph category state mutated")
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomGraph(rng, 10, false)
+	ts, _ := g.Neighbors(1)
+	v := ts[0]
+	cases := []struct {
+		name  string
+		edits Edits
+	}{
+		{"unknown vertex", Edits{SetWeights: []EdgeChange{{U: 1, V: 99, Weight: 1}}}},
+		{"missing edge", Edits{RemoveEdges: []EdgeChange{{U: 1, V: findNonNeighbor(g, 1)}}}},
+		{"negative weight", Edits{SetWeights: []EdgeChange{{U: 1, V: v, Weight: -1}}}},
+		{"nan weight", Edits{AddEdges: []EdgeChange{{U: 0, V: 9, Weight: math.NaN()}}}},
+		{"self loop", Edits{AddEdges: []EdgeChange{{U: 3, V: 3, Weight: 1}}}},
+		{"conflicting ops", Edits{
+			SetWeights:  []EdgeChange{{U: 1, V: v, Weight: 1}},
+			RemoveEdges: []EdgeChange{{U: v, V: 1}},
+		}},
+		{"no-category entry", Edits{SetCategories: []CategoryChange{{V: 1, Categories: []CategoryID{NoCategory}}}}},
+		{"duplicate category vertex", Edits{SetCategories: []CategoryChange{
+			{V: 1, Categories: []CategoryID{1}}, {V: 1, Categories: nil},
+		}}},
+	}
+	for _, tc := range cases {
+		if _, err := g.Apply(tc.edits); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func findNonNeighbor(g *Graph, u VertexID) VertexID {
+	for v := VertexID(0); int(v) < g.NumVertices(); v++ {
+		if v == u {
+			continue
+		}
+		if _, ok := g.EdgeWeight(u, v); !ok {
+			return v
+		}
+	}
+	return -1
+}

@@ -59,7 +59,17 @@ type CategoryDistances struct {
 	skipped  atomic.Int64 // builds denied by the budget
 	built    atomic.Int64 // rows built or adopted
 
-	buildMu sync.Mutex // serializes builds; guards ws
+	// Live-update bookkeeping (see Evolve). epoch identifies the dataset
+	// version the index serves; carried counts rows adopted unchanged from
+	// the previous epoch; repaired counts lazy rebuilds of rows an update
+	// batch invalidated. needRepair (guarded by buildMu) marks the invalid
+	// categories still awaiting their rebuild.
+	epoch      atomic.Int64
+	carried    atomic.Int64
+	repaired   atomic.Int64
+	needRepair []bool
+
+	buildMu sync.Mutex // serializes builds; guards ws and needRepair
 	ws      *dijkstra.Workspace
 
 	hopMu sync.RWMutex // guards hops
@@ -146,6 +156,10 @@ func (ci *CategoryDistances) Row(c taxonomy.CategoryID) Row {
 		return nil
 	}
 	row := ci.buildRowLocked(c)
+	if ci.needRepair != nil && ci.needRepair[c] {
+		ci.needRepair[c] = false
+		ci.repaired.Add(1)
+	}
 	ci.publishLocked(c, row)
 	return row
 }
@@ -251,6 +265,9 @@ type Stats struct {
 	Bytes         int64 // row storage held
 	MaxBytes      int64 // configured budget
 	SkippedBuilds int64 // build requests denied by the budget
+	Epoch         int64 // dataset version the rows describe
+	RowsCarried   int   // rows adopted unchanged across the last Evolve
+	RowsRepaired  int64 // invalidated rows rebuilt lazily since the last Evolve
 }
 
 // Stats returns a snapshot of the index counters.
@@ -260,8 +277,20 @@ func (ci *CategoryDistances) Stats() Stats {
 		Bytes:         ci.bytes.Load(),
 		MaxBytes:      ci.maxBytes.Load(),
 		SkippedBuilds: ci.skipped.Load(),
+		Epoch:         ci.epoch.Load(),
+		RowsCarried:   int(ci.carried.Load()),
+		RowsRepaired:  ci.repaired.Load(),
 	}
 }
+
+// Epoch returns the dataset version the index serves (0 for an index that
+// never evolved; see Evolve and SetEpoch).
+func (ci *CategoryDistances) Epoch() int64 { return ci.epoch.Load() }
+
+// SetEpoch records the dataset version the index serves. The engine stamps
+// every index with its snapshot's epoch so the sidecar records which
+// version it persisted.
+func (ci *CategoryDistances) SetEpoch(epoch int64) { ci.epoch.Store(epoch) }
 
 // NumBuiltRows returns the number of resident rows.
 func (ci *CategoryDistances) NumBuiltRows() int { return int(ci.built.Load()) }

@@ -14,23 +14,32 @@ import (
 	"skysr/internal/taxonomy"
 )
 
-// The sidecar format is binary, little-endian:
+// The sidecar format is binary, little-endian (see ARCHITECTURE.md for
+// the authoritative byte-level specification):
 //
-//	magic   "SKYSRCI1"
+//	magic   "SKYSRCI2"   (the trailing digit is the format version)
 //	header  directed(u8) numVertices(u32) numCategories(u32)
-//	        numPoIs(u32) numEdges(u32) numTrees(u32)
+//	        numPoIs(u32) numEdges(u32) numTrees(u32) checksum(u32)
+//	        epoch(u64)
 //	rows    rowCount(u32), then per row:
 //	        category(u32) followed by numVertices float32 bit patterns
 //	footer  crc32-IEEE(u32) of everything after the magic
 //
 // Distances travel as raw float32 bit patterns, so a build → Write → Read
 // round-trip is bit-exact. The header fingerprints the dataset the rows
-// were computed over; Read refuses a sidecar whose fingerprint does not
-// match the dataset it is being attached to (ErrDatasetMismatch), which is
-// what makes a stale sidecar next to a regenerated dataset safe: the
-// loader falls back to rebuilding.
+// were computed over — shape counts plus a crc32 of its canonical text
+// serialization — and Read refuses a sidecar whose fingerprint does not
+// match the dataset it is being attached to (ErrDatasetMismatch). That is
+// what makes a stale sidecar safe, including one orphaned by a live-update
+// batch: ApplyUpdates changes the dataset's serialization, so a sidecar
+// persisted before the update no longer matches the dataset saved after
+// it, and the loader falls back to rebuilding. The epoch field records the
+// engine's update epoch at Save time for observability; it does not
+// participate in the match (an engine restarted from disk legitimately
+// starts counting epochs at the persisted state). Sidecars written by
+// earlier format versions fail the magic check and are likewise rebuilt.
 
-var indexMagic = [8]byte{'S', 'K', 'Y', 'S', 'R', 'C', 'I', '1'}
+var indexMagic = [8]byte{'S', 'K', 'Y', 'S', 'R', 'C', 'I', '2'}
 
 // ErrBadFormat wraps structural parse failures of a sidecar file.
 var ErrBadFormat = errors.New("index: bad sidecar format")
@@ -89,6 +98,9 @@ func (ci *CategoryDistances) Write(w io.Writer) error {
 	if err := binary.Write(out, binary.LittleEndian, fingerprintOf(ci.d)); err != nil {
 		return err
 	}
+	if err := binary.Write(out, binary.LittleEndian, uint64(ci.epoch.Load())); err != nil {
+		return err
+	}
 	var cats []taxonomy.CategoryID
 	for c := range ci.rows {
 		if ci.rows[c].Load() != nil {
@@ -140,6 +152,10 @@ func Read(r io.Reader, d *dataset.Dataset, maxBytes int64) (*CategoryDistances, 
 	if fp != fingerprintOf(d) {
 		return nil, ErrDatasetMismatch
 	}
+	var epoch uint64
+	if err := binary.Read(in, binary.LittleEndian, &epoch); err != nil {
+		return nil, fmt.Errorf("%w: truncated epoch: %v", ErrBadFormat, err)
+	}
 	var rowCount uint32
 	if err := binary.Read(in, binary.LittleEndian, &rowCount); err != nil {
 		return nil, fmt.Errorf("%w: truncated row count: %v", ErrBadFormat, err)
@@ -187,6 +203,7 @@ func Read(r io.Reader, d *dataset.Dataset, maxBytes int64) (*CategoryDistances, 
 	if b := ci.bytes.Load(); b > ci.maxBytes.Load() {
 		ci.maxBytes.Store(b)
 	}
+	ci.epoch.Store(int64(epoch))
 	return ci, nil
 }
 

@@ -133,9 +133,9 @@ func TestSidecarRejectsHighBitCategory(t *testing.T) {
 		t.Fatal(err)
 	}
 	raw := append([]byte(nil), buf.Bytes()...)
-	// Layout: magic(8) + fingerprint(1 + 6*4 = 25) + rowCount(4), then the
-	// first row's category id.
-	catOff := 8 + 25 + 4
+	// Layout: magic(8) + fingerprint(1 + 6*4 = 25) + epoch(8) + rowCount(4),
+	// then the first row's category id.
+	catOff := 8 + 25 + 8 + 4
 	raw[catOff], raw[catOff+1], raw[catOff+2], raw[catOff+3] = 0xFF, 0xFF, 0xFF, 0xFF
 	if _, err := Read(bytes.NewReader(raw), d, 0); !errors.Is(err, ErrBadFormat) {
 		t.Fatalf("err = %v, want ErrBadFormat for high-bit category id", err)

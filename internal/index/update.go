@@ -1,0 +1,86 @@
+package index
+
+import (
+	"skysr/internal/dataset"
+	"skysr/internal/taxonomy"
+)
+
+// Dirty names the category rows an update batch invalidated — the rows
+// whose stored values may no longer be lower bounds of the new dataset's
+// distances. The engine derives it from the batch:
+//
+//   - a decreased edge weight or an added edge can shorten any path, so it
+//     invalidates every row (All);
+//   - an added, removed or recategorized PoI invalidates the rows of every
+//     category the PoI enters or leaves (the ancestors of its old and new
+//     categories — exactly the P_c sets whose membership changed);
+//   - edge-weight increases and edge removals invalidate nothing: they can
+//     only lengthen distances, and a rounded-down row stays a true lower
+//     bound when distances grow.
+type Dirty struct {
+	// All invalidates every row regardless of Cats.
+	All bool
+	// Cats lists invalidated categories (duplicates are fine).
+	Cats []taxonomy.CategoryID
+}
+
+// Evolve derives an index over the next version of the dataset from the
+// receiver: rows not named by dirty are carried over as-is (they remain
+// valid lower bounds, see Dirty), dirty rows are dropped and marked so the
+// next Row call rebuilds them against the new dataset — the lazy
+// incremental-repair path. The hop-minimum cache is discarded (its minima
+// range over PoI sets that may have changed), the budget is inherited, and
+// the receiver is left untouched for searchers still pinned to the old
+// snapshot.
+//
+// next must have the same vertex count and category forest as the dataset
+// the receiver was built over; the engine guarantees this (live updates
+// never grow the vertex set or alter the taxonomy).
+func (ci *CategoryDistances) Evolve(next *dataset.Dataset, dirty Dirty) *CategoryDistances {
+	out := New(next, ci.maxBytes.Load())
+	out.needRepair = make([]bool, len(out.rows))
+
+	isDirty := make([]bool, len(out.rows))
+	if dirty.All {
+		for c := range isDirty {
+			isDirty[c] = true
+		}
+	}
+	for _, c := range dirty.Cats {
+		if int(c) >= 0 && int(c) < len(isDirty) {
+			isDirty[c] = true
+		}
+	}
+
+	carried := 0
+	for c := range ci.rows {
+		p := ci.rows[c].Load()
+		if p == nil {
+			continue
+		}
+		if isDirty[c] {
+			out.needRepair[c] = true
+			continue
+		}
+		out.rows[c].Store(p) // rows are immutable, so sharing is safe
+		out.bytes.Add(out.rowBytes())
+		out.built.Add(1)
+		carried++
+	}
+	out.carried.Store(int64(carried))
+	out.epoch.Store(ci.epoch.Load() + 1)
+	return out
+}
+
+// PendingRepairs returns the number of invalidated rows not yet rebuilt.
+func (ci *CategoryDistances) PendingRepairs() int {
+	ci.buildMu.Lock()
+	defer ci.buildMu.Unlock()
+	n := 0
+	for _, d := range ci.needRepair {
+		if d {
+			n++
+		}
+	}
+	return n
+}

@@ -130,13 +130,15 @@ const maxCachedMatchers = 4096
 // from the Engine's matcher cache. Compilation builds a dense similarity
 // row per category (route.NewCategory), which recurs for every query of a
 // production workload naming the same categories; matchers are immutable
-// after construction, so one compiled instance serves all goroutines.
-func (e *Engine) compiledMatcher(r Requirement, simID Similarity, sim taxonomy.Similarity) (route.Matcher, error) {
+// after construction and depend only on the category forest — which live
+// updates never change — so one compiled instance serves all goroutines
+// across every snapshot.
+func (e *Engine) compiledMatcher(f *taxonomy.Forest, r Requirement, simID Similarity, sim taxonomy.Similarity) (route.Matcher, error) {
 	key := fmt.Sprintf("%d|%s", simID, r.key())
 	if m, ok := e.matchers.Load(key); ok {
 		return m.(route.Matcher), nil
 	}
-	m, err := r.compile(e.ds.Forest, sim)
+	m, err := r.compile(f, sim)
 	if err != nil {
 		return nil, err
 	}
@@ -328,12 +330,22 @@ func (e *Engine) Search(q Query) (*Answer, error) {
 	return e.SearchWith(q, SearchOptions{})
 }
 
-// SearchWith answers q with explicit options.
+// SearchWith answers q with explicit options. The query runs against the
+// dataset version current when the call starts: a concurrent ApplyUpdates
+// publishes a new snapshot for later queries but never changes the data an
+// in-flight search reads.
 func (e *Engine) SearchWith(q Query, opts SearchOptions) (*Answer, error) {
+	sn := e.pin()
+	defer sn.release()
+	return e.searchOn(sn, q, opts)
+}
+
+// searchOn answers q against one pinned snapshot.
+func (e *Engine) searchOn(sn *snapshot, q Query, opts SearchOptions) (*Answer, error) {
 	if len(q.Via) == 0 {
 		return nil, fmt.Errorf("skysr: query has no requirements")
 	}
-	f := e.ds.Forest
+	f := sn.ds.Forest
 	var sim taxonomy.Similarity
 	switch opts.Similarity {
 	case WuPalmer:
@@ -345,7 +357,7 @@ func (e *Engine) SearchWith(q Query, opts SearchOptions) (*Answer, error) {
 	}
 	seq := make(route.Sequence, len(q.Via))
 	for i, r := range q.Via {
-		m, err := e.compiledMatcher(r, opts.Similarity, sim)
+		m, err := e.compiledMatcher(f, r, opts.Similarity, sim)
 		if err != nil {
 			return nil, err
 		}
@@ -362,13 +374,14 @@ func (e *Engine) SearchWith(q Query, opts SearchOptions) (*Answer, error) {
 			copts = core.WithoutOptimizations()
 		}
 		copts.Aggregation = opts.Aggregation
+		copts.Epoch = sn.epoch
 		if opts.UseIndex || opts.UseCategoryIndex {
-			copts.Index = e.categoryIndex()
+			copts.Index = e.categoryIndex(sn)
 			copts.IndexCategories = opts.UseCategoryIndex
 		}
 		if opts.ShareCache && opts.Algorithm == BSSR {
 			copts.Shared = e.shared[opts.Similarity]
-			copts.Index = e.categoryIndex()
+			copts.Index = e.categoryIndex(sn)
 			if !opts.UseCategoryIndex {
 				// The PR-1 batch profile: the tree rows stand in for the
 				// per-query §5.3.3 bounds entirely. With the category
@@ -376,8 +389,8 @@ func (e *Engine) SearchWith(q Query, opts SearchOptions) (*Answer, error) {
 				copts.LowerBounds = false
 			}
 		}
-		s := e.pool.Get(sim, copts)
-		defer e.pool.Put(s)
+		s := sn.pool.Get(sim, copts)
+		defer sn.pool.Put(s)
 		if q.IncludeRatings {
 			if q.Unordered || q.HasDestination {
 				return nil, fmt.Errorf("skysr: IncludeRatings cannot combine with Unordered or Destination")
@@ -386,7 +399,7 @@ func (e *Engine) SearchWith(q Query, opts SearchOptions) (*Answer, error) {
 			if err != nil {
 				return nil, err
 			}
-			return e.buildRatedAnswer(q, opts, res, began, s)
+			return buildRatedAnswer(sn, q, opts, res, began, s)
 		}
 		var res *core.Result
 		var err error
@@ -410,7 +423,7 @@ func (e *Engine) SearchWith(q Query, opts SearchOptions) (*Answer, error) {
 			if q.HasDestination {
 				dest = q.Destination
 			}
-			return e.buildAnswer(q, opts, routes, stats, began, s, dest)
+			return buildAnswer(sn, q, opts, routes, stats, began, s, dest)
 		}
 	case NaiveDijkstra, NaivePNE:
 		if q.Unordered || q.HasDestination || q.IncludeRatings {
@@ -424,7 +437,7 @@ func (e *Engine) SearchWith(q Query, opts SearchOptions) (*Answer, error) {
 		if opts.Algorithm == NaivePNE {
 			engine = osr.EnginePNE
 		}
-		solver := osr.NewSolver(e.ds, engine, sim, opts.Aggregation)
+		solver := osr.NewSolver(sn.ds, engine, sim, opts.Aggregation)
 		solver.Budget = opts.Budget
 		sky, err := solver.SkySRExact(q.Start, cats)
 		if err != nil {
@@ -434,11 +447,11 @@ func (e *Engine) SearchWith(q Query, opts SearchOptions) (*Answer, error) {
 	default:
 		return nil, fmt.Errorf("skysr: unknown algorithm %d", opts.Algorithm)
 	}
-	return e.buildAnswer(q, opts, routes, stats, began, nil, graph.NoVertex)
+	return buildAnswer(sn, q, opts, routes, stats, began, nil, graph.NoVertex)
 }
 
 // buildRatedAnswer converts a three-criteria result into an Answer.
-func (e *Engine) buildRatedAnswer(q Query, opts SearchOptions, res *core.RatedResult, began time.Time, s *core.Searcher) (*Answer, error) {
+func buildRatedAnswer(sn *snapshot, q Query, opts SearchOptions, res *core.RatedResult, began time.Time, s *core.Searcher) (*Answer, error) {
 	ans := &Answer{Algorithm: opts.Algorithm, Stats: &res.Stats}
 	for _, rr := range res.Routes {
 		info := RouteInfo{
@@ -448,7 +461,7 @@ func (e *Engine) buildRatedAnswer(q Query, opts SearchOptions, res *core.RatedRe
 			RatingScore:   rr.Rating,
 		}
 		for _, p := range info.PoIs {
-			info.PoINames = append(info.PoINames, e.PoIName(p))
+			info.PoINames = append(info.PoINames, poiName(sn.ds, p))
 		}
 		if opts.ExpandPaths {
 			path, err := s.ExpandPath(q.Start, rr.Route, graph.NoVertex)
@@ -463,7 +476,7 @@ func (e *Engine) buildRatedAnswer(q Query, opts SearchOptions, res *core.RatedRe
 	return ans, nil
 }
 
-func (e *Engine) buildAnswer(q Query, opts SearchOptions, routes []*route.Route, stats *core.Stats, began time.Time, s *core.Searcher, dest VertexID) (*Answer, error) {
+func buildAnswer(sn *snapshot, q Query, opts SearchOptions, routes []*route.Route, stats *core.Stats, began time.Time, s *core.Searcher, dest VertexID) (*Answer, error) {
 	ans := &Answer{Algorithm: opts.Algorithm, Stats: stats}
 	for _, r := range routes {
 		info := RouteInfo{
@@ -473,7 +486,7 @@ func (e *Engine) buildAnswer(q Query, opts SearchOptions, routes []*route.Route,
 			RatingScore:   -1,
 		}
 		for _, p := range info.PoIs {
-			info.PoINames = append(info.PoINames, e.PoIName(p))
+			info.PoINames = append(info.PoINames, poiName(sn.ds, p))
 		}
 		if opts.ExpandPaths && s != nil {
 			path, err := s.ExpandPath(q.Start, r, dest)

@@ -22,8 +22,11 @@
 //
 // # Quick start
 //
-//	eng, _ := skysr.Generate("tokyo", 0.5, 42)         // synthetic city
-//	ans, _ := eng.Search(skysr.Query{
+//	eng, err := skysr.Generate("tokyo", 0.5, 42) // synthetic city
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	ans, err := eng.Search(skysr.Query{
 //		Start: eng.RandomVertex(1),
 //		Via: []skysr.Requirement{
 //			skysr.Category("Sushi Restaurant"),
@@ -31,12 +34,25 @@
 //			skysr.Category("Gift Shop"),
 //		},
 //	})
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	for _, r := range ans.Routes {
 //		fmt.Println(r)
 //	}
 //
 // Datasets can also be built by hand (NewNetworkBuilder), loaded from
 // files (Open), or generated synthetically (Generate).
+//
+// # Serving and live updates
+//
+// One Engine serves any number of goroutines: Search and SearchBatch run
+// against immutable dataset snapshots, and ApplyUpdates mutates the
+// network (edge weights, edges, PoI lifecycle) copy-on-write — each batch
+// publishes a new epoch, in-flight queries finish on the snapshot they
+// started on, and the precomputed category-distance index is repaired
+// incrementally rather than rebuilt. See ARCHITECTURE.md for the layer
+// map, the snapshot/epoch lifecycle, and the index sidecar format.
 package skysr
 
 import (
@@ -60,69 +76,171 @@ type VertexID = int32
 // NoVertex is the sentinel for "no vertex", e.g. an unset destination.
 const NoVertex VertexID = graph.NoVertex
 
-// Engine answers SkySR queries over one dataset. An Engine is safe for
-// concurrent Search and SearchBatch calls: the dataset is immutable, each
-// in-flight search owns a pooled searcher workspace, and all cross-query
-// state (the tree index, compiled requirements, the shared m-Dijkstra
-// cache) is guarded for concurrent use. The prototype HTTP service shares
-// one Engine across handlers, and SearchBatch fans a whole workload out
-// over it.
+// Engine answers SkySR queries over one dataset and applies live updates
+// to it. An Engine is safe for concurrent Search, SearchBatch and
+// ApplyUpdates calls: queries run against immutable copy-on-write
+// snapshots of the dataset (see snapshot), each in-flight search owns a
+// pooled searcher workspace, and all cross-query state (the category
+// index, compiled requirements, the shared m-Dijkstra cache) is guarded
+// for concurrent use. The prototype HTTP service shares one Engine across
+// handlers, SearchBatch fans a whole workload out over it, and
+// POST /api/update mutates it while it serves.
 type Engine struct {
-	ds *dataset.Dataset
+	// cur is the current snapshot; searches pin it (see pin) so an update
+	// published mid-search never changes the data a search runs against.
+	cur atomic.Pointer[snapshot]
+	// live counts snapshots not yet fully released — 1 in steady state,
+	// transiently higher while searches still hold superseded epochs.
+	live atomic.Int64
 
-	// idxMu guards idx and idxBudget. idx is the category-level distance
-	// index shared by every searcher; it is created lazily (first indexed
-	// search), adopted from a sidecar file by Open, or prewarmed by
-	// WarmCategoryIndex.
-	idxMu     sync.Mutex
-	idx       *index.CategoryDistances
-	idxBudget int64 // 0 = index.DefaultMaxBytes
-	idxLoaded bool  // idx was loaded from a sidecar rather than built
+	// updateMu serializes ApplyUpdates (snapshot construction and swap);
+	// searches never take it.
+	updateMu sync.Mutex
 
-	// pool recycles searcher workspaces (graph-sized Dijkstra arrays)
-	// across queries instead of allocating them per call.
-	pool *core.SearcherPool
+	// idxBudget is the category-index row budget applied to every
+	// snapshot's index (0 = index.DefaultMaxBytes).
+	idxBudget atomic.Int64
+
 	// shared holds one cross-query m-Dijkstra cache per Similarity value
 	// (entries depend on the similarity function, so they cannot mix).
+	// Entries are epoch-stamped, so the caches safely span updates.
 	shared [2]*core.SharedCache
 	// matchers caches compiled requirements ("sim|key" → route.Matcher);
-	// compiled matchers are immutable, so cached ones are shared freely.
-	// numMatchers enforces maxCachedMatchers (see compiledMatcher).
+	// compiled matchers depend only on the immutable category forest —
+	// which live updates never alter — so they are shared across snapshots
+	// freely. numMatchers enforces maxCachedMatchers (see compiledMatcher).
 	matchers    sync.Map
 	numMatchers atomic.Int64
 }
 
+// snapshot is one immutable version of the engine's dataset plus the
+// version-bound serving state: the searcher pool (whose workspaces are
+// sized to the graph) and the category-level distance index (whose rows
+// are lower bounds of this version's distances). ApplyUpdates builds a new
+// snapshot copy-on-write and publishes it atomically; searches pin the
+// snapshot they start on, and a superseded snapshot is released when its
+// last searcher checks in.
+type snapshot struct {
+	owner *Engine
+	// epoch is the dataset version: 0 at construction, +1 per update batch.
+	epoch int64
+	ds    *dataset.Dataset
+	// pool recycles searcher workspaces (graph-sized Dijkstra arrays)
+	// across queries on this snapshot instead of allocating them per call.
+	pool *core.SearcherPool
+
+	// refs counts pins: 1 for being the current snapshot plus 1 per
+	// in-flight search. dead latches the final release so the live-
+	// snapshot accounting decrements exactly once.
+	refs atomic.Int64
+	dead atomic.Bool
+
+	// idxMu guards idx and idxLoaded. idx is created lazily (first indexed
+	// search), adopted from a sidecar file by Open, evolved from the
+	// previous snapshot's index by ApplyUpdates, or prewarmed by
+	// WarmCategoryIndex.
+	idxMu     sync.Mutex
+	idx       *index.CategoryDistances
+	idxLoaded bool // idx was loaded from a sidecar rather than built
+}
+
+// newSnapshot wraps a dataset version. The caller owns installing it.
+func (e *Engine) newSnapshot(epoch int64, ds *dataset.Dataset) *snapshot {
+	sn := &snapshot{owner: e, epoch: epoch, ds: ds, pool: core.NewSearcherPool(ds)}
+	sn.refs.Store(1) // the "current" reference, dropped when superseded
+	e.live.Add(1)
+	return sn
+}
+
+// pin acquires the current snapshot for the duration of one search (or
+// save). The load-increment-recheck loop handles the race with a
+// concurrent ApplyUpdates swap: if the snapshot was superseded between the
+// load and the increment, the pin is undone and retried on the new
+// current, so a successful pin always returns a snapshot whose data the
+// engine still serves (or served when the pin started).
+func (e *Engine) pin() *snapshot {
+	for {
+		sn := e.cur.Load()
+		sn.refs.Add(1)
+		if e.cur.Load() == sn {
+			return sn
+		}
+		sn.release()
+	}
+}
+
+// release drops one pin. The final release of a superseded snapshot
+// retires it: the dead latch makes the live-count decrement idempotent
+// against pin/release races, and dropping the pool and index references
+// lets the garbage collector reclaim the graph-sized workspaces promptly
+// even if something still holds the snapshot struct itself. No search can
+// observe the cleared fields: a pin taken after the snapshot was
+// superseded always fails its recheck without touching them.
+func (sn *snapshot) release() {
+	if sn.refs.Add(-1) != 0 {
+		return
+	}
+	if sn.dead.CompareAndSwap(false, true) {
+		sn.owner.live.Add(-1)
+		sn.pool = nil
+		sn.idxMu.Lock()
+		sn.idx = nil
+		sn.idxMu.Unlock()
+	}
+}
+
+// snap returns the current snapshot without pinning it — only for reads of
+// immutable per-version state (the dataset pointer keeps its data alive).
+func (e *Engine) snap() *snapshot { return e.cur.Load() }
+
 // newEngine wraps a dataset with the engine's cross-query machinery.
 func newEngine(ds *dataset.Dataset) *Engine {
-	e := &Engine{ds: ds, pool: core.NewSearcherPool(ds)}
+	e := &Engine{}
 	for i := range e.shared {
 		e.shared[i] = core.NewSharedCache(0)
 	}
+	e.cur.Store(e.newSnapshot(0, ds))
 	return e
 }
 
-// categoryIndex returns the engine's category-level distance index,
+// Epoch returns the current dataset version: 0 at construction,
+// incremented by every successful ApplyUpdates batch.
+func (e *Engine) Epoch() int64 { return e.snap().epoch }
+
+// LiveSnapshots reports how many dataset versions are still referenced: 1
+// in steady state, transiently more while searches pinned to superseded
+// epochs drain. It exists for monitoring and the snapshot-lifecycle tests.
+func (e *Engine) LiveSnapshots() int { return int(e.live.Load()) }
+
+// categoryIndex returns the snapshot's category-level distance index,
 // creating it (with every tree-root row resident) on first use.
-func (e *Engine) categoryIndex() *index.CategoryDistances {
-	e.idxMu.Lock()
-	defer e.idxMu.Unlock()
-	if e.idx == nil {
-		e.idx = index.New(e.ds, e.idxBudget)
-		e.idx.EnsureRoots()
+func (e *Engine) categoryIndex(sn *snapshot) *index.CategoryDistances {
+	sn.idxMu.Lock()
+	defer sn.idxMu.Unlock()
+	if sn.idx == nil {
+		sn.idx = index.New(sn.ds, e.idxBudget.Load())
+		sn.idx.SetEpoch(sn.epoch)
+		sn.idx.EnsureRoots()
 	}
-	return e.idx
+	return sn.idx
 }
 
 // ConfigureCategoryIndex sets the memory budget (in bytes; <= 0 restores
-// the default) for the category-level distance index. Shrinking the budget
-// below the current footprint stops further row builds without evicting
-// resident rows.
+// the default) for the category-level distance index, now and for every
+// future snapshot. Shrinking the budget below the current footprint stops
+// further row builds without evicting resident rows. It serializes with
+// ApplyUpdates (which evolves the index, inheriting its budget), so the
+// new budget can never land on a snapshot that is being superseded and
+// miss the one that replaces it.
 func (e *Engine) ConfigureCategoryIndex(maxBytes int64) {
-	e.idxMu.Lock()
-	defer e.idxMu.Unlock()
-	e.idxBudget = maxBytes
-	if e.idx != nil {
-		e.idx.SetMaxBytes(maxBytes)
+	e.updateMu.Lock()
+	defer e.updateMu.Unlock()
+	e.idxBudget.Store(maxBytes)
+	sn := e.cur.Load()
+	sn.idxMu.Lock()
+	defer sn.idxMu.Unlock()
+	if sn.idx != nil {
+		sn.idx.SetMaxBytes(maxBytes)
 	}
 }
 
@@ -132,52 +250,64 @@ func (e *Engine) ConfigureCategoryIndex(maxBytes int64) {
 // named categories. It reports how many of the requested rows are resident
 // afterwards (the memory budget may deny some).
 func (e *Engine) WarmCategoryIndex(names ...string) (int, error) {
+	sn := e.pin()
+	defer sn.release()
 	var cats []taxonomy.CategoryID
 	if len(names) == 0 {
-		cats = append(cats, e.ds.Forest.Roots()...)
-		for _, c := range e.ds.Forest.Leaves() {
-			if len(e.ds.PoIsExact(c)) > 0 {
+		cats = append(cats, sn.ds.Forest.Roots()...)
+		for _, c := range sn.ds.Forest.Leaves() {
+			if len(sn.ds.PoIsExact(c)) > 0 {
 				cats = append(cats, c)
 			}
 		}
 	} else {
 		for _, name := range names {
-			c, ok := e.ds.Forest.Lookup(name)
+			c, ok := sn.ds.Forest.Lookup(name)
 			if !ok {
 				return 0, fmt.Errorf("skysr: unknown category %q", name)
 			}
 			cats = append(cats, c)
 		}
 	}
-	return e.categoryIndex().Prewarm(cats...), nil
+	return e.categoryIndex(sn).Prewarm(cats...), nil
 }
 
 // CategoryIndexStats reports the state of the category-level distance
 // index: rows resident, bytes held, the configured budget, builds denied
-// by the budget, and whether the index came from a sidecar file. A zero
-// Stats with FromSidecar false means the index has not been created yet.
+// by the budget, whether the index came from a sidecar file, and the
+// live-update repair counters (rows carried across the last ApplyUpdates,
+// invalidated rows rebuilt lazily since then). A zero Stats with
+// FromSidecar false means the index has not been created yet.
 type CategoryIndexStats struct {
 	RowsBuilt     int
 	Bytes         int64
 	MaxBytes      int64
 	SkippedBuilds int64
 	FromSidecar   bool
+	Epoch         int64
+	RowsCarried   int
+	RowsRepaired  int64
 }
 
 // CategoryIndexStats returns a snapshot of the engine's index state.
 func (e *Engine) CategoryIndexStats() CategoryIndexStats {
-	e.idxMu.Lock()
-	defer e.idxMu.Unlock()
-	if e.idx == nil {
+	sn := e.snap()
+	sn.idxMu.Lock()
+	idx, loaded := sn.idx, sn.idxLoaded
+	sn.idxMu.Unlock()
+	if idx == nil {
 		return CategoryIndexStats{}
 	}
-	st := e.idx.Stats()
+	st := idx.Stats()
 	return CategoryIndexStats{
 		RowsBuilt:     st.RowsBuilt,
 		Bytes:         st.Bytes,
 		MaxBytes:      st.MaxBytes,
 		SkippedBuilds: st.SkippedBuilds,
-		FromSidecar:   e.idxLoaded,
+		FromSidecar:   loaded,
+		Epoch:         st.Epoch,
+		RowsCarried:   st.RowsCarried,
+		RowsRepaired:  st.RowsRepaired,
 	}
 }
 
@@ -188,23 +318,28 @@ func IndexSidecarPath(path string) string { return path + ".cidx" }
 // SaveIndex writes the built rows of the category index to a sidecar file
 // at the given path (creating the index if needed). The sidecar round-trips
 // bit-exactly: an engine that Opens it serves identical bounds and answers
-// without rebuilding.
+// without rebuilding. The sidecar is stamped with the engine's current
+// epoch and fingerprints the dataset version it was built from, so a
+// sidecar persisted before an ApplyUpdates batch never loads against the
+// dataset saved after it.
 func (e *Engine) SaveIndex(path string) error {
-	return e.categoryIndex().WriteFile(path)
+	sn := e.pin()
+	defer sn.release()
+	return e.categoryIndex(sn).WriteFile(path)
 }
 
 // loadIndexSidecar adopts a sidecar index if one exists next to the
 // dataset and matches it; a missing, stale or corrupt sidecar is ignored
 // (the index is then rebuilt lazily as usual).
-func (e *Engine) loadIndexSidecar(datasetPath string) {
-	ci, err := index.ReadFile(IndexSidecarPath(datasetPath), e.ds, e.idxBudget)
+func (sn *snapshot) loadIndexSidecar(datasetPath string, budget int64) {
+	ci, err := index.ReadFile(IndexSidecarPath(datasetPath), sn.ds, budget)
 	if err != nil {
 		return
 	}
-	e.idxMu.Lock()
-	e.idx = ci
-	e.idxLoaded = true
-	e.idxMu.Unlock()
+	sn.idxMu.Lock()
+	sn.idx = ci
+	sn.idxLoaded = true
+	sn.idxMu.Unlock()
 }
 
 // Dataset is an immutable road network with embedded PoIs and a category
@@ -224,7 +359,7 @@ func Open(path string) (*Engine, error) {
 		return nil, err
 	}
 	e := newEngine(ds)
-	e.loadIndexSidecar(path)
+	e.snap().loadIndexSidecar(path, e.idxBudget.Load())
 	return e, nil
 }
 
@@ -240,14 +375,18 @@ func Read(r io.Reader) (*Engine, error) {
 // Save writes the engine's dataset to a file in the skysr text format.
 // When the category-level distance index has resident rows, they are also
 // persisted to the sidecar file IndexSidecarPath(path), which a later Open
-// picks up to skip the index rebuild.
+// picks up to skip the index rebuild. Dataset and sidecar are taken from
+// one pinned snapshot, so a concurrent ApplyUpdates can never make them
+// describe different versions.
 func (e *Engine) Save(path string) error {
-	if err := dataset.WriteFile(path, e.ds); err != nil {
+	sn := e.pin()
+	defer sn.release()
+	if err := dataset.WriteFile(path, sn.ds); err != nil {
 		return err
 	}
-	e.idxMu.Lock()
-	idx := e.idx
-	e.idxMu.Unlock()
+	sn.idxMu.Lock()
+	idx := sn.idx
+	sn.idxMu.Unlock()
 	if idx != nil && idx.NumBuiltRows() > 0 {
 		return idx.WriteFile(IndexSidecarPath(path))
 	}
@@ -256,7 +395,7 @@ func (e *Engine) Save(path string) error {
 
 // Write writes the engine's dataset to a writer.
 func (e *Engine) Write(w io.Writer) error {
-	return dataset.Write(w, e.ds)
+	return dataset.Write(w, e.snap().ds)
 }
 
 // Generate builds a synthetic city dataset. Preset is "tokyo", "nyc" or
@@ -287,25 +426,26 @@ func PaperExample() (*Engine, VertexID, []string) {
 }
 
 // NumVertices returns the total vertex count (road + PoI).
-func (e *Engine) NumVertices() int { return e.ds.Graph.NumVertices() }
+func (e *Engine) NumVertices() int { return e.snap().ds.Graph.NumVertices() }
 
 // NumPoIs returns the PoI vertex count.
-func (e *Engine) NumPoIs() int { return e.ds.Graph.NumPoIs() }
+func (e *Engine) NumPoIs() int { return e.snap().ds.Graph.NumPoIs() }
 
 // NumEdges returns the edge count.
-func (e *Engine) NumEdges() int { return e.ds.Graph.NumEdges() }
+func (e *Engine) NumEdges() int { return e.snap().ds.Graph.NumEdges() }
 
 // Name returns the dataset name.
-func (e *Engine) Name() string { return e.ds.Name }
+func (e *Engine) Name() string { return e.snap().ds.Name }
 
 // Stats returns a Table 5-style dataset summary line.
-func (e *Engine) Stats() string { return e.ds.Stats().String() }
+func (e *Engine) Stats() string { return e.snap().ds.Stats().String() }
 
 // Categories returns every category name in the forest, in id order.
 func (e *Engine) Categories() []string {
-	out := make([]string, e.ds.Forest.NumCategories())
-	for c := 0; c < e.ds.Forest.NumCategories(); c++ {
-		out[c] = e.ds.Forest.Name(taxonomy.CategoryID(c))
+	f := e.snap().ds.Forest
+	out := make([]string, f.NumCategories())
+	for c := 0; c < f.NumCategories(); c++ {
+		out[c] = f.Name(taxonomy.CategoryID(c))
 	}
 	return out
 }
@@ -313,20 +453,22 @@ func (e *Engine) Categories() []string {
 // RootCategories returns the name of every tree root — the categories the
 // tree-index profile reads.
 func (e *Engine) RootCategories() []string {
-	roots := e.ds.Forest.Roots()
+	f := e.snap().ds.Forest
+	roots := f.Roots()
 	out := make([]string, len(roots))
 	for i, c := range roots {
-		out[i] = e.ds.Forest.Name(c)
+		out[i] = f.Name(c)
 	}
 	return out
 }
 
 // LeafCategories returns the leaf category names (the ones PoIs carry).
 func (e *Engine) LeafCategories() []string {
-	leaves := e.ds.Forest.Leaves()
+	f := e.snap().ds.Forest
+	leaves := f.Leaves()
 	out := make([]string, len(leaves))
 	for i, c := range leaves {
-		out[i] = e.ds.Forest.Name(c)
+		out[i] = f.Name(c)
 	}
 	return out
 }
@@ -334,38 +476,58 @@ func (e *Engine) LeafCategories() []string {
 // CategoryCount returns the number of PoIs carrying exactly the named
 // category.
 func (e *Engine) CategoryCount(name string) (int, error) {
-	c, ok := e.ds.Forest.Lookup(name)
+	ds := e.snap().ds
+	c, ok := ds.Forest.Lookup(name)
 	if !ok {
 		return 0, fmt.Errorf("skysr: unknown category %q", name)
 	}
-	return len(e.ds.PoIsExact(c)), nil
+	return len(ds.PoIsExact(c)), nil
+}
+
+// poiName describes a PoI vertex of ds as "Category@id".
+func poiName(ds *dataset.Dataset, v VertexID) string {
+	if !ds.Graph.IsPoI(v) {
+		return fmt.Sprintf("v%d", v)
+	}
+	return fmt.Sprintf("%s@%d", ds.Forest.Name(ds.Graph.PrimaryCategory(v)), v)
 }
 
 // PoIName describes a PoI vertex as "Category@id".
-func (e *Engine) PoIName(v VertexID) string {
-	if !e.ds.Graph.IsPoI(v) {
-		return fmt.Sprintf("v%d", v)
-	}
-	return fmt.Sprintf("%s@%d", e.ds.Forest.Name(e.ds.Graph.PrimaryCategory(v)), v)
-}
+func (e *Engine) PoIName(v VertexID) string { return poiName(e.snap().ds, v) }
 
 // Position returns the lon/lat of a vertex.
 func (e *Engine) Position(v VertexID) (lon, lat float64) {
-	p := e.ds.Graph.Point(v)
+	p := e.snap().ds.Graph.Point(v)
 	return p.Lon, p.Lat
+}
+
+// Neighbors returns the vertices adjacent to v and the parallel edge
+// weights, in the current dataset version. The slices are copies, safe to
+// retain across updates. Load generators and update producers use it to
+// pick real edges for UpdateBatch edits.
+func (e *Engine) Neighbors(v VertexID) ([]VertexID, []float64) {
+	ts, ws := e.snap().ds.Graph.Neighbors(v)
+	return append([]VertexID(nil), ts...), append([]float64(nil), ws...)
+}
+
+// PoIVertices returns the ids of every PoI vertex in the current dataset
+// version, ascending. The slice is a copy, safe to retain across updates.
+func (e *Engine) PoIVertices() []VertexID {
+	return append([]VertexID(nil), e.snap().ds.Graph.PoIVertices()...)
 }
 
 // RandomVertex returns a uniformly random vertex, deterministic in seed.
 // It is a convenience for examples and load generators.
 func (e *Engine) RandomVertex(seed int64) VertexID {
 	rng := rand.New(rand.NewSource(seed))
-	return VertexID(rng.Intn(e.ds.Graph.NumVertices()))
+	return VertexID(rng.Intn(e.NumVertices()))
 }
 
 // Workload generates n query specs of the paper's §7.1 protocol: random
 // start vertices and popular leaf categories from distinct trees.
 func (e *Engine) Workload(n, seqLen int, seed int64) ([]Query, error) {
-	qs, err := gen.Queries(e.ds, n, seqLen, seed)
+	ds := e.snap().ds
+	qs, err := gen.Queries(ds, n, seqLen, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -373,7 +535,7 @@ func (e *Engine) Workload(n, seqLen int, seed int64) ([]Query, error) {
 	for i, q := range qs {
 		via := make([]Requirement, len(q.Categories))
 		for j, c := range q.Categories {
-			via[j] = Category(e.ds.Forest.Name(c))
+			via[j] = Category(ds.Forest.Name(c))
 		}
 		out[i] = Query{Start: q.Start, Via: via}
 	}
@@ -382,4 +544,4 @@ func (e *Engine) Workload(n, seqLen int, seed int64) ([]Query, error) {
 
 // internalDataset exposes the underlying dataset to the benchmark harness
 // living in the same module.
-func (e *Engine) internalDataset() *dataset.Dataset { return e.ds }
+func (e *Engine) internalDataset() *dataset.Dataset { return e.snap().ds }
