@@ -36,6 +36,11 @@ type BatchOptions struct {
 // starts: a concurrent ApplyUpdates never splits one batch across two
 // epochs.
 //
+// Per-query options flow through unchanged, including SearchOptions.TopK:
+// a batch may mix classic and ranked top-k queries freely (k > 1 queries
+// skip the cross-query m-Dijkstra sharing — see SearchTopK — but still
+// share the index and compiled matchers).
+//
 // The batch fails fast: the first query error cancels the queries not yet
 // started and is returned with its query index; already-computed answers
 // are discarded.

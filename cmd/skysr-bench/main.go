@@ -1,10 +1,11 @@
 // Command skysr-bench regenerates every table and figure of the paper's
 // evaluation (§7–§8) on synthetic datasets, and measures the engine's
-// serving extensions: batch throughput, serving-profile latency, and the
-// live-update churn scenario. The full-suite output is the source material
-// of EXPERIMENTS.md; the -latency and -churn modes write the
-// machine-readable reports CI tracks per PR (BENCH_PR2.json,
-// BENCH_PR3.json) and gate regressions with -check.
+// serving extensions: batch throughput, serving-profile latency, the
+// live-update churn scenario, and ranked top-k enumeration. The
+// full-suite output is the source material of EXPERIMENTS.md; the
+// -latency, -churn and -topk modes write the machine-readable reports CI
+// tracks per PR (BENCH_PR2.json, BENCH_PR3.json, BENCH_PR4.json) and
+// gate regressions with -check.
 //
 // Usage:
 //
@@ -13,6 +14,7 @@
 //	skysr-bench -throughput         # batch serving: queries/sec vs workers
 //	skysr-bench -latency -json BENCH_PR2.json -check
 //	skysr-bench -churn -json BENCH_PR3.json -check
+//	skysr-bench -topk -json BENCH_PR4.json -check
 package main
 
 import (
@@ -38,8 +40,9 @@ func main() {
 	throughputOnly := flag.Bool("throughput", false, "run only the batch-serving throughput sweep (queries/sec vs workers)")
 	latencyOnly := flag.Bool("latency", false, "run only the serving-profile latency comparison (baseline vs tree-index vs category-index)")
 	churnOnly := flag.Bool("churn", false, "run only the mixed read/write live-update scenario (queries interleaved with ApplyUpdates batches)")
-	jsonOut := flag.String("json", "", "with -latency or -churn: write the machine-readable report (e.g. BENCH_PR2.json, BENCH_PR3.json) to this path")
-	check := flag.Bool("check", false, "with -latency or -churn: exit non-zero if the profile regresses (identical answers, latency / incremental-repair gates)")
+	topkOnly := flag.Bool("topk", false, "run only the ranked top-k sweep (k = 1, 2, 4, 8 vs plain Search and vs k repeated Searches)")
+	jsonOut := flag.String("json", "", "with -latency, -churn or -topk: write the machine-readable report (e.g. BENCH_PR2.json, BENCH_PR3.json, BENCH_PR4.json) to this path")
+	check := flag.Bool("check", false, "with -latency, -churn or -topk: exit non-zero if the profile regresses (identical answers, latency / incremental-repair / k=1 gates)")
 	flag.Parse()
 
 	cfg.Scale = *scale
@@ -79,6 +82,29 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Println("churn check passed: answers identical after updates, repairs below full-rebuild work")
+		}
+		return
+	}
+	if *topkOnly {
+		rows, err := h.TopK()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skysr-bench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.RenderTopK(os.Stdout, rows)
+		if *jsonOut != "" {
+			if err := bench.WriteTopKJSON(*jsonOut, cfg, rows); err != nil {
+				fmt.Fprintf(os.Stderr, "skysr-bench: write %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		if *check {
+			if err := bench.CheckTopK(rows); err != nil {
+				fmt.Fprintf(os.Stderr, "skysr-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("topk check passed: k=1 identical to Search, bands monotone, top-8 beats 8 repeated Searches")
 		}
 		return
 	}

@@ -4,7 +4,12 @@
 //
 //	skysr-query -data tokyo.skysr -start 17 \
 //	    -via "Sushi Restaurant,Art Museum,Gift Shop" [-alg BSSR] [-dest 99] \
-//	    [-unordered] [-expand]
+//	    [-unordered] [-expand] [-k 5]
+//
+// -k asks for ranked alternatives: the k shortest score-distinct routes
+// per similarity level (the top-k band) instead of the single best per
+// level. Each result line carries the route's rank, length and semantic
+// similarity score.
 package main
 
 import (
@@ -25,6 +30,7 @@ func main() {
 	unordered := flag.Bool("unordered", false, "satisfy the categories in any order (§6)")
 	expand := flag.Bool("expand", false, "print the full vertex path of each route")
 	stats := flag.Bool("stats", false, "print BSSR instrumentation counters")
+	k := flag.Int("k", 1, "ranked alternatives per similarity level (top-k; 1 = classic skyline)")
 	flag.Parse()
 
 	if *data == "" || *via == "" {
@@ -46,14 +52,18 @@ func main() {
 		q.Destination = int32(*dest)
 		q.HasDestination = true
 	}
-	ans, err := eng.SearchWith(q, skysr.SearchOptions{Algorithm: alg, ExpandPaths: *expand})
+	ans, err := eng.SearchWith(q, skysr.SearchOptions{Algorithm: alg, ExpandPaths: *expand, TopK: *k})
 	if err != nil {
 		fail(err)
 	}
 
-	fmt.Printf("%s on %s: %d skyline route(s) in %s\n", ans.Algorithm, eng.Name(), len(ans.Routes), ans.Elapsed)
-	for i, r := range ans.Routes {
-		fmt.Printf("%2d. %s\n", i+1, r)
+	if *k > 1 {
+		fmt.Printf("%s on %s: top-%d — %d ranked route(s) in %s\n", ans.Algorithm, eng.Name(), *k, len(ans.Routes), ans.Elapsed)
+	} else {
+		fmt.Printf("%s on %s: %d skyline route(s) in %s\n", ans.Algorithm, eng.Name(), len(ans.Routes), ans.Elapsed)
+	}
+	for _, r := range ans.Routes {
+		fmt.Printf("%2d. %s\n", r.Rank, r)
 		if *expand && len(r.Path) > 0 {
 			fmt.Printf("    path: %v\n", r.Path)
 		}
@@ -62,6 +72,10 @@ func main() {
 		s := ans.Stats
 		fmt.Printf("stats: mDijkstra runs=%d cacheHits=%d settled=%d initRoutes=%d pruned(threshold=%d bounds=%d)\n",
 			s.MDijkstraRuns, s.CacheHits, s.SettledVertices, s.InitRoutes, s.PrunedThreshold, s.PrunedByBounds)
+		if s.TopK > 1 {
+			fmt.Printf("top-k: k=%d levels=%d extraPops=%d evictions=%d\n",
+				s.TopK, s.TopKLevels, s.TopKExtraPops, s.TopKEvictions)
+		}
 	}
 }
 

@@ -61,4 +61,19 @@ func TestEndToEndThroughCLIHelpers(t *testing.T) {
 			t.Fatalf("%s: routes = %d, want 2", name, len(ans.Routes))
 		}
 	}
+	// The -k flag's flow: a top-3 run must return ranked alternatives
+	// superset-ing the skyline, with ranks 1..n.
+	ans, err := loaded.SearchWith(skysr.Query{Start: vq, Via: via},
+		skysr.SearchOptions{TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Routes) < 2 {
+		t.Fatalf("top-3 routes = %d, want >= 2", len(ans.Routes))
+	}
+	for i, r := range ans.Routes {
+		if r.Rank != i+1 {
+			t.Fatalf("route %d has rank %d", i, r.Rank)
+		}
+	}
 }

@@ -17,12 +17,18 @@
 //
 //	GET  /                 HTML page with a query form
 //	GET  /api/categories   leaf categories as JSON
-//	GET  /api/route?start=17&via=Sushi+Restaurant,Gift+Shop&dest=3&unordered=1
-//	POST /api/batch        {"queries":[{"start":17,"via":["Gift Shop"]},...],"workers":4}
+//	GET  /api/route?start=17&via=Sushi+Restaurant,Gift+Shop&dest=3&unordered=1&k=5
+//	POST /api/batch        {"queries":[{"start":17,"via":["Gift Shop"],"k":5},...],"workers":4}
 //	POST /api/update       {"set_weights":[{"u":1,"v":2,"w":9.5}],"remove_pois":[4],...}
 //	GET  /api/epoch        current dataset epoch and index repair counters
 //	POST /api/survey       {"question":"Q1","option":2}
 //	GET  /api/survey       current answer ratios (Figure 9 data)
+//
+// The optional k parameter (per route request, per batch query) asks for
+// ranked top-k alternatives — every route with fewer than k score-distinct
+// routes at least as short and at least as similar (see
+// skysr.Engine.SearchTopK) — and is capped at 64 per request; each
+// returned route carries its rank.
 //
 // The server shares one Engine across all handlers: every request checks a
 // searcher workspace out of the Engine's pool instead of allocating one,
@@ -202,12 +208,30 @@ type routeResponse struct {
 }
 
 type routeJSON struct {
+	Rank     int       `json:"rank"`
 	PoIs     []string  `json:"pois"`
 	Length   float64   `json:"length"`
 	Semantic float64   `json:"semantic"`
 	Path     []int32   `json:"path,omitempty"`
 	Lons     []float64 `json:"lons,omitempty"`
 	Lats     []float64 `json:"lats,omitempty"`
+}
+
+// maxTopKPerRequest bounds one request's k: band maintenance is O(k) per
+// pruning probe and large k widens the search, so a single request must
+// not be able to ask for an effectively unbounded enumeration.
+const maxTopKPerRequest = 64
+
+// parseTopK validates an optional k parameter (0 means unset → classic).
+func parseTopK(raw string) (int, error) {
+	if raw == "" {
+		return 0, nil
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil || k < 1 || k > maxTopKPerRequest {
+		return 0, fmt.Errorf("k must be in [1, %d]", maxTopKPerRequest)
+	}
+	return k, nil
 }
 
 func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
@@ -226,6 +250,11 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		}
 		dest = &d
 	}
+	k, err := parseTopK(qv.Get("k"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
 	q, err := s.makeQuery(start, strings.Split(qv.Get("via"), ","), dest, qv.Get("unordered") == "1")
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
@@ -233,6 +262,7 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := s.baseOpts
 	opts.ExpandPaths = qv.Get("expand") == "1"
+	opts.TopK = k
 	ans, err := s.eng.SearchWith(q, opts)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
@@ -274,6 +304,9 @@ type batchQueryJSON struct {
 	Via       []string `json:"via"`
 	Dest      *int     `json:"dest,omitempty"`
 	Unordered bool     `json:"unordered,omitempty"`
+	// K asks for ranked top-k alternatives for this query (0 = classic
+	// skyline), capped at maxTopKPerRequest like the route endpoint.
+	K int `json:"k,omitempty"`
 }
 
 type batchRequest struct {
@@ -323,16 +356,25 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		workers = min(runtime.GOMAXPROCS(0), maxBatchWorkers)
 	}
 	queries := make([]skysr.Query, len(body.Queries))
+	perQuery := make([]skysr.SearchOptions, len(body.Queries))
 	for i, bq := range body.Queries {
 		q, err := s.makeQuery(bq.Start, bq.Via, bq.Dest, bq.Unordered)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("query %d: %v", i, err)})
 			return
 		}
+		// Unlike the route endpoint's string parameter, an absent JSON k
+		// decodes to 0, so 0 must stay legal here and means "classic".
+		if bq.K < 0 || bq.K > maxTopKPerRequest {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("query %d: k must be in [0, %d] (0 or omitted = classic skyline)", i, maxTopKPerRequest)})
+			return
+		}
 		queries[i] = q
+		perQuery[i] = s.baseOpts
+		perQuery[i].TopK = bq.K
 	}
 	began := time.Now()
-	answers, err := s.eng.SearchBatch(queries, skysr.BatchOptions{Workers: workers, Options: s.baseOpts, Context: r.Context()})
+	answers, err := s.eng.SearchBatch(queries, skysr.BatchOptions{Workers: workers, PerQuery: perQuery, Context: r.Context()})
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
@@ -348,7 +390,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (s *server) routeResponseOf(ans *skysr.Answer) routeResponse {
 	resp := routeResponse{Algorithm: ans.Algorithm.String(), ElapsedMS: float64(ans.Elapsed.Microseconds()) / 1000}
 	for _, rt := range ans.Routes {
-		rj := routeJSON{PoIs: rt.PoINames, Length: rt.LengthScore, Semantic: rt.SemanticScore, Path: rt.Path}
+		rj := routeJSON{Rank: rt.Rank, PoIs: rt.PoINames, Length: rt.LengthScore, Semantic: rt.SemanticScore, Path: rt.Path}
 		for _, p := range rt.PoIs {
 			lon, lat := s.eng.Position(p)
 			rj.Lons = append(rj.Lons, lon)

@@ -83,6 +83,50 @@ func TestRouteEndpoint(t *testing.T) {
 	}
 }
 
+func TestRouteEndpointTopK(t *testing.T) {
+	_, mux := testServer(t)
+	get := func(url string) routeResponse {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+		}
+		var out routeResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	base := "/api/route?start=0&via=Asian+Restaurant,Arts+%26+Entertainment,Gift+Shop"
+	one := get(base)
+	three := get(base + "&k=3")
+	if len(three.Routes) < len(one.Routes) {
+		t.Fatalf("k=3 returned %d routes, fewer than the skyline's %d", len(three.Routes), len(one.Routes))
+	}
+	for i, rt := range three.Routes {
+		if rt.Rank != i+1 {
+			t.Errorf("route %d has rank %d", i, rt.Rank)
+		}
+		if i > 0 && rt.Length < three.Routes[i-1].Length {
+			t.Errorf("routes not length-sorted at %d", i)
+		}
+	}
+	// The k=1 form is the classic answer.
+	explicit := get(base + "&k=1")
+	if len(explicit.Routes) != len(one.Routes) {
+		t.Errorf("k=1 returned %d routes, want %d", len(explicit.Routes), len(one.Routes))
+	}
+	// Out-of-range k values are rejected.
+	for _, bad := range []string{"&k=0", "&k=-2", "&k=65", "&k=zz"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", base+bad, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("k%s status = %d, want 400", bad, rec.Code)
+		}
+	}
+}
+
 func TestRouteEndpointWithDestination(t *testing.T) {
 	_, mux := testServer(t)
 	rec := httptest.NewRecorder()
@@ -148,6 +192,35 @@ func TestBatchEndpoint(t *testing.T) {
 	}
 	if len(out.Answers[1].Routes) == 0 {
 		t.Error("single-category query returned no routes")
+	}
+}
+
+func TestBatchEndpointTopK(t *testing.T) {
+	_, mux := testServer(t)
+	body := `{"queries":[
+		{"start":0,"via":["Asian Restaurant","Arts & Entertainment","Gift Shop"]},
+		{"start":0,"via":["Asian Restaurant","Arts & Entertainment","Gift Shop"],"k":4}]}`
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/api/batch", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var out batchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Answers) != 2 {
+		t.Fatalf("answers = %d, want 2", len(out.Answers))
+	}
+	if len(out.Answers[1].Routes) < len(out.Answers[0].Routes) {
+		t.Errorf("k=4 answer has %d routes, fewer than the skyline's %d",
+			len(out.Answers[1].Routes), len(out.Answers[0].Routes))
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/api/batch",
+		strings.NewReader(`{"queries":[{"start":0,"via":["Gift Shop"],"k":100}]}`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized k status = %d, want 400", rec.Code)
 	}
 }
 

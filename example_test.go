@@ -49,6 +49,33 @@ func ExampleEngine_SearchBatch() {
 	// query 1: 1 route(s), best Gift Shop@8  (length 10.5, semantic 0.000)
 }
 
+// ExampleEngine_SearchTopK asks the paper's running example for ranked
+// alternatives: the 3 shortest score-distinct routes per similarity
+// level instead of the single best. The two Table 4 skyline routes keep
+// their spots (rank 1 and 4) and the band fills in the runner-ups a
+// "show me more options" client needs.
+func ExampleEngine_SearchTopK() {
+	eng, start, categories := skysr.PaperExample()
+	via := make([]skysr.Requirement, len(categories))
+	for i, c := range categories {
+		via[i] = skysr.Category(c)
+	}
+	ans, err := eng.SearchTopK(skysr.Query{Start: start, Via: via}, 3, skysr.SearchOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range ans.Routes {
+		fmt.Printf("%d. %s\n", r.Rank, r)
+	}
+	// Output:
+	// 1. Italian Restaurant@6 → Arts & Entertainment@9 → Gift Shop@8  (length 10.5, semantic 0.500)
+	// 2. Italian Restaurant@1 → Arts & Entertainment@9 → Gift Shop@8  (length 11.0, semantic 0.500)
+	// 3. Asian Restaurant@2 → Arts & Entertainment@5 → Hobby Shop@7  (length 12.0, semantic 0.500)
+	// 4. Asian Restaurant@10 → Arts & Entertainment@12 → Gift Shop@13  (length 13.0, semantic 0.000)
+	// 5. Asian Restaurant@2 → Arts & Entertainment@5 → Gift Shop@8  (length 15.0, semantic 0.000)
+	// 6. Asian Restaurant@2 → Arts & Entertainment@5 → Gift Shop@13  (length 15.5, semantic 0.000)
+}
+
 // ExampleEngine_ApplyUpdates mutates a serving engine: congestion triples
 // a road weight, a later query reroutes, and the dataset epoch advances
 // while in-flight queries keep the snapshot they started on.

@@ -60,6 +60,11 @@ func TestExamplesRun(t *testing.T) {
 			"2 repaired",      // the closure dirtied only the sushi ancestors
 			"1 snapshot(s) live",
 		},
+		"topk": {
+			"classic skyline: 3 route(s)",
+			"top-5: 8 ranked route(s) over 3 similarity level(s)",
+			"all 3 skyline route(s) kept among the top-5 alternatives",
+		},
 	}
 	for name, wants := range cases {
 		name, wants := name, wants

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTopKExperiment(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.05
+	cfg.Queries = 4
+	cfg.Datasets = []string{"tokyo"}
+	h := New(cfg)
+	rows, err := h.TopK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(TopKKs()) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(TopKKs()))
+	}
+	var prevRoutes float64
+	for i, r := range rows {
+		if r.K != TopKKs()[i] {
+			t.Fatalf("row %d has k=%d, want %d", i, r.K, TopKKs()[i])
+		}
+		if r.MedianMicros <= 0 || r.QPS <= 0 || r.BaseMedianMicros <= 0 {
+			t.Fatalf("k=%d: empty measurement %+v", r.K, r)
+		}
+		if !r.Consistent {
+			t.Fatalf("k=%d lost points of the smaller-k answer", r.K)
+		}
+		if r.K == 1 {
+			if !r.IdenticalAtBase {
+				t.Fatal("k=1 answers differ from plain Search")
+			}
+			if r.MeanExtraPops != 0 {
+				t.Fatalf("k=1 reports %f extra pops", r.MeanExtraPops)
+			}
+		}
+		if r.MeanRoutes < prevRoutes {
+			t.Fatalf("k=%d returns fewer routes (%f) than the smaller k (%f)", r.K, r.MeanRoutes, prevRoutes)
+		}
+		prevRoutes = r.MeanRoutes
+	}
+
+	// JSON report round-trip.
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := WriteTopKJSON(path, cfg, rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{`"k": 8`, `"median_us"`, `"identical_at_base": true`, `"consistent_with_smaller_k": true`} {
+		if !strings.Contains(string(data), needle) {
+			t.Fatalf("report missing %s:\n%s", needle, data)
+		}
+	}
+}
+
+func TestCheckTopK(t *testing.T) {
+	good := []TopKRow{
+		{Dataset: "tokyo", K: 1, MedianMicros: 100, BaseMedianMicros: 100, IdenticalAtBase: true, Consistent: true},
+		{Dataset: "tokyo", K: 8, MedianMicros: 300, BaseMedianMicros: 100, SpeedupVsKSearch: 2.7, Consistent: true},
+	}
+	if err := CheckTopK(good); err != nil {
+		t.Fatalf("good rows rejected: %v", err)
+	}
+	drifted := []TopKRow{
+		{Dataset: "tokyo", K: 1, MedianMicros: 100, BaseMedianMicros: 100, IdenticalAtBase: false, Consistent: true},
+	}
+	if err := CheckTopK(drifted); err == nil {
+		t.Fatal("non-identical k=1 answers must fail the check")
+	}
+	slow := []TopKRow{
+		{Dataset: "tokyo", K: 1, MedianMicros: 200, BaseMedianMicros: 100, IdenticalAtBase: true, Consistent: true},
+	}
+	if err := CheckTopK(slow); err == nil {
+		t.Fatal("regressed k=1 median must fail the check")
+	}
+	lost := []TopKRow{
+		{Dataset: "tokyo", K: 1, MedianMicros: 100, BaseMedianMicros: 100, IdenticalAtBase: true, Consistent: true},
+		{Dataset: "tokyo", K: 2, MedianMicros: 150, BaseMedianMicros: 100, Consistent: false},
+	}
+	if err := CheckTopK(lost); err == nil {
+		t.Fatal("a band losing points must fail the check")
+	}
+	wasteful := []TopKRow{
+		{Dataset: "tokyo", K: 8, MedianMicros: 900, BaseMedianMicros: 100, SpeedupVsKSearch: 0.9, Consistent: true},
+	}
+	if err := CheckTopK(wasteful); err == nil {
+		t.Fatal("top-8 slower than 8 Searches must fail the check")
+	}
+	if err := CheckTopK(nil); err == nil {
+		t.Fatal("empty rows must fail the check")
+	}
+}

@@ -298,7 +298,12 @@ func suffixMax(xs []float64) []float64 {
 //     dominated via the minimum semantic increment δ (witness R'), and the
 //     all-perfect continuation is dominated via the perfect-match minimum
 //     distance (witness R”), r is dead.
-func (b *bounds) prune(r *route.Route, sky *route.Skyline, scorer route.Scorer) bool {
+//
+// Both rules are written against the resultSet witness test, so they
+// generalize unchanged to top-k runs: CoversPoint then demands k
+// witnesses instead of one, i.e. every cut happens against the current
+// k-th-best length of the route's similarity level.
+func (b *bounds) prune(r *route.Route, sky resultSet, scorer route.Scorer) bool {
 	m := r.Size()
 	if m == 0 || m >= b.k {
 		return false
@@ -314,17 +319,6 @@ func (b *bounds) prune(r *route.Route, sky *route.Skyline, scorer route.Scorer) 
 		return false
 	}
 	lpRem := b.lpSuffix[m-1]
-	condA, condB := false, false
-	for _, w := range sky.Routes() {
-		if !condA && r.Length() >= w.Length() && r.Semantic()+delta >= w.Semantic() {
-			condA = true
-		}
-		if !condB && r.Length()+lpRem >= w.Length() && r.Semantic() >= w.Semantic() {
-			condB = true
-		}
-		if condA && condB {
-			return true
-		}
-	}
-	return false
+	return sky.CoversPoint(r.Length(), r.Semantic()+delta) &&
+		sky.CoversPoint(r.Length()+lpRem, r.Semantic())
 }

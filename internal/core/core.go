@@ -30,6 +30,7 @@ import (
 	"skysr/internal/pq"
 	"skysr/internal/route"
 	"skysr/internal/taxonomy"
+	"skysr/internal/topk"
 )
 
 // Options configures a Searcher. The zero value is "BSSR w/o Opt": plain
@@ -84,6 +85,21 @@ type Options struct {
 	// only latency changes.
 	IndexCategories bool
 
+	// TopK selects ranked top-k enumeration (package topk): the answer is
+	// the k-skyband of the achieved score points — the k shortest
+	// score-distinct routes per similarity level — instead of the single
+	// best skyline. 0 and 1 both mean the classic skyline, where every
+	// code path is identical to a plain query. For k > 1 the expansion
+	// keeps running past the first completion per level, every pruning
+	// rule cuts against the current k-th-best length, and the Lemma 5.5
+	// path filter is disabled for the run (a candidate reached through a
+	// more-similar PoI yields a dominated route, and dominated routes are
+	// exactly what a k-band must keep) — which also keeps k > 1 traffic
+	// out of the SharedCache, whose entries embed the filter's
+	// annotations. Ordered, destination and unordered queries support it;
+	// the rated three-criteria query and the naive baselines do not.
+	TopK int
+
 	// DisablePathFilter turns off the Lemma 5.5 path filtering inside the
 	// modified Dijkstra. It exists for the ablation benchmarks; leave it
 	// false for normal use.
@@ -120,6 +136,41 @@ type Result struct {
 	Stats Stats
 }
 
+// resultSet is the container of complete routes the search fills: the
+// classic skyline for k ≤ 1 runs, the top-k band otherwise. Both share
+// the exact-pruning contract — Threshold is the length at which a route
+// of the given semantic score is provably outside the answer, and
+// CoversPoint witnesses that no completion scoring at-or-beyond a point
+// can enter it — so the search loop, the §5.3.3 bounds and the index
+// prune are written once against this interface.
+type resultSet interface {
+	Update(*route.Route) bool
+	Len() int
+	Routes() []*route.Route
+	Threshold(sem float64) float64
+	ThresholdPerfect() float64
+	CoversPoint(l, sem float64) bool
+}
+
+// effectiveTopK normalizes Options.TopK: 0 and 1 (and anything below)
+// mean the classic skyline.
+func (o Options) effectiveTopK() int {
+	if o.TopK > 1 {
+		return o.TopK
+	}
+	return 1
+}
+
+// newResultSet returns the per-query result container: the classic
+// skyline for k ≤ 1 (so single-best queries run byte-identically to
+// always), the top-k band otherwise.
+func (s *Searcher) newResultSet() resultSet {
+	if k := s.opts.effectiveTopK(); k > 1 {
+		return topk.NewSkyband(k)
+	}
+	return route.NewSkyline()
+}
+
 // Searcher answers SkySR queries over one dataset. It is not safe for
 // concurrent use; create one per goroutine (they share the immutable
 // Dataset).
@@ -132,7 +183,7 @@ type Searcher struct {
 	// Per-query state.
 	seq      route.Sequence
 	scorer   route.Scorer
-	sky      *route.Skyline
+	sky      resultSet
 	stats    Stats
 	cache    map[cacheKey]*cacheEntry
 	bounds   *bounds
@@ -264,10 +315,19 @@ func (s *Searcher) query(start graph.VertexID, seq route.Sequence, dest graph.Ve
 		return nil, fmt.Errorf("core: invalid start vertex %d", start)
 	}
 	began := time.Now()
+	k := s.opts.effectiveTopK()
+	if k > 1 && !s.opts.DisablePathFilter {
+		// The Lemma 5.5 filter discards dominated routes, which the k-band
+		// must keep (see Options.TopK). Restore afterwards: callers that
+		// hold a Searcher across queries (the bench harness) expect their
+		// options back.
+		s.opts.DisablePathFilter = true
+		defer func() { s.opts.DisablePathFilter = false }()
+	}
 	s.seq = seq
 	s.scorer = route.NewScorer(s.opts.Aggregation, len(seq))
-	s.sky = route.NewSkyline()
-	s.stats = Stats{InitPerfectL: math.Inf(1)}
+	s.sky = s.newResultSet()
+	s.stats = Stats{InitPerfectL: math.Inf(1), TopK: k}
 	s.cache = nil
 	if s.opts.Caching {
 		s.cache = make(map[cacheKey]*cacheEntry)
@@ -310,6 +370,7 @@ func (s *Searcher) query(start graph.VertexID, seq route.Sequence, dest graph.Ve
 			s.emit(EventPruneThreshold, r)
 			continue
 		}
+		s.noteTopKPop(r)
 		if s.idxRows.any && s.pruneByIndex(r) {
 			s.stats.PrunedByIndex++
 			s.emit(EventPruneIndex, r)
@@ -329,10 +390,31 @@ func (s *Searcher) query(start graph.VertexID, seq route.Sequence, dest graph.Ve
 	// workspace's searches (NNinit, bounds, destination table).
 	s.stats.SettledVertices += s.ws.SettledCount()
 	s.stats.Results = s.sky.Len()
+	s.harvestTopKStats()
 	// On-the-fly caching frees its results once the query finishes
 	// (§5.3.4): the cache rarely helps across different inputs.
 	s.cache = nil
 	return &Result{Routes: s.sky.Routes(), Stats: s.stats}, nil
+}
+
+// noteTopKPop counts the pops a k > 1 run performs beyond what a k = 1
+// run would: the popped route survived the k-th-best threshold but would
+// have died against the classic best-length threshold.
+func (s *Searcher) noteTopKPop(r *route.Route) {
+	if s.stats.TopK <= 1 {
+		return
+	}
+	if sb, ok := s.sky.(*topk.Skyband); ok && r.Length() >= sb.BestThreshold(r.Semantic()) {
+		s.stats.TopKExtraPops++
+	}
+}
+
+// harvestTopKStats copies the band's end-of-run counters into Stats.
+func (s *Searcher) harvestTopKStats() {
+	if sb, ok := s.sky.(*topk.Skyband); ok {
+		s.stats.TopKEvictions = sb.Evictions()
+		s.stats.TopKLevels = sb.Levels()
+	}
 }
 
 // queueLess returns the route-queue ordering: the proposed priority

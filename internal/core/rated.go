@@ -47,12 +47,15 @@ func (s *Searcher) QueryRated(start graph.VertexID, seq route.Sequence) (*RatedR
 	if start < 0 || int(start) >= s.d.Graph.NumVertices() {
 		return nil, fmt.Errorf("core: invalid start vertex %d", start)
 	}
+	if s.opts.TopK > 1 {
+		return nil, fmt.Errorf("core: top-k enumeration does not extend to the three-criteria rated query")
+	}
 	began := time.Now()
 	k := len(seq)
 	s.seq = seq
 	s.scorer = route.NewScorer(s.opts.Aggregation, k)
 	s.sky = route.NewSkyline() // unused by the rated flow but kept valid
-	s.stats = Stats{InitPerfectL: math.Inf(1)}
+	s.stats = Stats{InitPerfectL: math.Inf(1), TopK: 1}
 	s.cache = nil
 	if s.opts.Caching {
 		s.cache = make(map[cacheKey]*cacheEntry)

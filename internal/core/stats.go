@@ -45,6 +45,12 @@ type Stats struct {
 	PeakQueueLen   int
 	PeakCacheBytes int64
 
+	// Top-k enumeration (Options.TopK).
+	TopK          int   // effective k of the run (1 = classic skyline)
+	TopKExtraPops int64 // pops the classic best-length threshold would have pruned
+	TopKEvictions int64 // accepted routes later pushed out of the k-band
+	TopKLevels    int   // distinct similarity levels in the final band (0 for k = 1)
+
 	// Totals.
 	QueryTime time.Duration
 	Results   int // |S|, the Figure 6 metric

@@ -38,8 +38,11 @@ func (s *Searcher) QueryUnordered(start graph.VertexID, seq route.Sequence) (*Re
 	full := uint32(1)<<k - 1
 	s.seq = seq
 	s.scorer = route.NewScorer(s.opts.Aggregation, k)
-	s.sky = route.NewSkyline()
-	s.stats = Stats{InitPerfectL: math.Inf(1)}
+	// The unordered loop applies no Lemma 5.5 filtering, so top-k needs
+	// no special handling here beyond the band itself: the threshold
+	// checks below cut against the k-th-best length automatically.
+	s.sky = s.newResultSet()
+	s.stats = Stats{InitPerfectL: math.Inf(1), TopK: s.opts.effectiveTopK()}
 	s.bounds = nil
 	s.destDist = nil
 	s.idxRows = indexRows{} // the unordered loop takes no index shortcuts
@@ -101,12 +104,14 @@ func (s *Searcher) QueryUnordered(start graph.VertexID, seq route.Sequence) (*Re
 			s.stats.PrunedThreshold++
 			continue
 		}
+		s.noteTopKPop(e.r)
 		expand(e, e.r.Last())
 	}
 
 	s.stats.QueryTime = time.Since(began)
 	s.stats.SettledVertices += s.ws.SettledCount()
 	s.stats.Results = s.sky.Len()
+	s.harvestTopKStats()
 	return &Result{Routes: s.sky.Routes(), Stats: s.stats}, nil
 }
 

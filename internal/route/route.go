@@ -301,6 +301,18 @@ func (s *Skyline) Covers(r *Route) bool {
 	return false
 }
 
+// CoversPoint reports whether some member dominates-or-equals the raw
+// score point (l, sem) — the witness test of the Lemma 5.8 rules, and
+// the k = 1 case of the top-k band's k-witness test.
+func (s *Skyline) CoversPoint(l, sem float64) bool {
+	for _, m := range s.routes {
+		if m.length <= l && m.semantic <= sem {
+			return true
+		}
+	}
+	return false
+}
+
 // Threshold returns l̄ for a route with semantic score sem (Equation 3):
 // the smallest length score among members whose semantic score is ≤ sem,
 // or +Inf when no member qualifies.

@@ -1,0 +1,134 @@
+package topk
+
+import (
+	"math"
+	"sort"
+
+	"skysr/internal/dataset"
+	"skysr/internal/dijkstra"
+	"skysr/internal/graph"
+	"skysr/internal/route"
+)
+
+// Point is one achieved (length score, semantic score) pair.
+type Point struct {
+	Length   float64
+	Semantic float64
+}
+
+// Band returns the k-skyband of the given score points: every distinct
+// point with fewer than k other distinct points componentwise ≤ it,
+// sorted by ascending length (ties by ascending semantic score). It is
+// the set-level ground truth Skyband maintains incrementally, exposed so
+// tests can combine enumerations (e.g. over the permutations of an
+// unordered query) before taking the band.
+func Band(points []Point, k int) []Point {
+	if k < 1 {
+		k = 1
+	}
+	uniq := points[:0:0]
+	seen := make(map[Point]struct{}, len(points))
+	for _, p := range points {
+		if _, ok := seen[p]; ok {
+			continue
+		}
+		seen[p] = struct{}{}
+		uniq = append(uniq, p)
+	}
+	var band []Point
+	for _, p := range uniq {
+		n := 0
+		for _, q := range uniq {
+			if q != p && q.Length <= p.Length && q.Semantic <= p.Semantic {
+				n++
+			}
+		}
+		if n < k {
+			band = append(band, p)
+		}
+	}
+	sort.Slice(band, func(i, j int) bool {
+		if band[i].Length != band[j].Length {
+			return band[i].Length < band[j].Length
+		}
+		return band[i].Semantic < band[j].Semantic
+	})
+	return band
+}
+
+// BruteForce is the reference enumerator: it materializes every valid
+// sequenced route of the query — each position served by any PoI with
+// positive similarity, all PoIs distinct (Definition 3.4(iii)), legs
+// connected by exact shortest-path distances — and returns the k-skyband
+// of the achieved score points. dest, when not graph.NoVertex, adds the
+// final leg to the length score (the §6 destination variant). It is
+// exponential in the sequence length and exists to verify the search on
+// small inputs; never call it on a real dataset.
+func BruteForce(d *dataset.Dataset, start graph.VertexID, seq route.Sequence, k int, agg route.Aggregation, dest graph.VertexID) []Point {
+	g := d.Graph
+	distFrom := func(v graph.VertexID) []float64 {
+		ws := dijkstra.New(g)
+		out := make([]float64, g.NumVertices())
+		for i := range out {
+			out[i] = math.Inf(1)
+		}
+		ws.Run(dijkstra.Options{
+			Sources: []graph.VertexID{v},
+			OnSettle: func(u graph.VertexID, du float64) dijkstra.Control {
+				out[u] = du
+				return dijkstra.Continue
+			},
+		})
+		return out
+	}
+	startDist := distFrom(start)
+	poiDist := make(map[graph.VertexID][]float64)
+
+	type cand struct {
+		v   graph.VertexID
+		sim float64
+	}
+	cands := make([][]cand, len(seq))
+	for i, m := range seq {
+		for _, p := range g.PoIVertices() {
+			if sim := m.Sim(g.Categories(p)); sim > 0 {
+				cands[i] = append(cands[i], cand{v: p, sim: sim})
+				if _, ok := poiDist[p]; !ok {
+					poiDist[p] = distFrom(p)
+				}
+			}
+		}
+	}
+
+	scorer := route.NewScorer(agg, len(seq))
+	used := make(map[graph.VertexID]bool)
+	var points []Point
+	var rec func(pos int, dists []float64, length, state float64)
+	rec = func(pos int, dists []float64, length, state float64) {
+		for _, c := range cands[pos] {
+			if used[c.v] || math.IsInf(dists[c.v], 1) {
+				continue
+			}
+			l := length + dists[c.v]
+			st := scorer.Extend(state, c.sim)
+			if pos == len(seq)-1 {
+				if dest != graph.NoVertex {
+					leg := poiDist[c.v][dest]
+					if math.IsInf(leg, 1) {
+						continue
+					}
+					l += leg
+				}
+				points = append(points, Point{Length: l, Semantic: scorer.Score(st, len(seq))})
+				continue
+			}
+			used[c.v] = true
+			rec(pos+1, poiDist[c.v], l, st)
+			used[c.v] = false
+		}
+	}
+	if len(seq) > 0 {
+		rec(0, startDist, 0, scorer.InitialState())
+	}
+	return Band(points, k)
+}

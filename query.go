@@ -236,6 +236,14 @@ type SearchOptions struct {
 	// Queries the index cannot cover (non-Category requirements, budget
 	// exhausted) transparently fall back to the per-query path.
 	UseCategoryIndex bool
+	// TopK asks for ranked alternatives: the answer is the k-skyband of
+	// the achievable score points — every route with fewer than k
+	// score-distinct routes at least as short and at least as similar —
+	// instead of the single best route per similarity level. 0 and 1 both
+	// mean the classic skyline query; SearchTopK is the convenience
+	// wrapper that sets this field. See Engine.SearchTopK for the exact
+	// semantics and restrictions.
+	TopK int
 	// ShareCache switches the default BSSR algorithm to the Engine's
 	// multi-query serving profile: modified-Dijkstra results are reused
 	// across queries (one concurrency-safe cache per Similarity), the
@@ -291,6 +299,9 @@ type Answer struct {
 
 // RouteInfo is one skyline route in user-facing form.
 type RouteInfo struct {
+	// Rank is the route's 1-based position in the answer's length-sorted
+	// order — the rank a top-k client presents ("1st, 2nd, … alternative").
+	Rank int
 	// PoIs are the visited PoI vertices in visit order.
 	PoIs []VertexID
 	// PoINames are the "Category@id" labels of the PoIs.
@@ -330,6 +341,38 @@ func (e *Engine) Search(q Query) (*Answer, error) {
 	return e.SearchWith(q, SearchOptions{})
 }
 
+// MaxTopK bounds SearchOptions.TopK: band maintenance is O(k) per
+// threshold probe, so unbounded k would turn a ranked-alternatives query
+// into an accidental full enumeration. Services wanting "all
+// alternatives" should page by level instead.
+const MaxTopK = 1024
+
+// SearchTopK answers q with the k best routes per similarity level,
+// ranked: the answer is the k-skyband of the achievable (length,
+// semantic) score points — a route is returned iff fewer than k
+// score-distinct routes exist that are at least as short and at least as
+// similar — with Answer.Routes sorted by ascending length and
+// RouteInfo.Rank filled 1..n. Alternatives are score-distinct: of
+// several routes achieving the same (length, semantic) point, one
+// representative is returned, exactly as the skyline query does.
+//
+// k = 1 is byte-identical to Search/SearchWith with the same options —
+// it runs the very same code path. For k > 1 the enumeration is exact
+// (verified against a brute-force enumerator in the tests) and flows
+// through every serving profile; note that k > 1 queries bypass the
+// cross-query m-Dijkstra sharing of the ShareCache profile, because
+// ranked enumeration must keep dominated routes the shared entries'
+// Lemma 5.5 annotations discard. Top-k supports ordered, destination and
+// unordered queries under BSSR/BSSRNoOpt; the naive baselines and
+// IncludeRatings do not support k > 1.
+func (e *Engine) SearchTopK(q Query, k int, opts SearchOptions) (*Answer, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("skysr: top-k requires k >= 1, got %d", k)
+	}
+	opts.TopK = k
+	return e.SearchWith(q, opts)
+}
+
 // SearchWith answers q with explicit options. The query runs against the
 // dataset version current when the call starts: a concurrent ApplyUpdates
 // publishes a new snapshot for later queries but never changes the data an
@@ -344,6 +387,20 @@ func (e *Engine) SearchWith(q Query, opts SearchOptions) (*Answer, error) {
 func (e *Engine) searchOn(sn *snapshot, q Query, opts SearchOptions) (*Answer, error) {
 	if len(q.Via) == 0 {
 		return nil, fmt.Errorf("skysr: query has no requirements")
+	}
+	if opts.TopK < 0 {
+		return nil, fmt.Errorf("skysr: negative TopK %d", opts.TopK)
+	}
+	if opts.TopK > MaxTopK {
+		return nil, fmt.Errorf("skysr: TopK %d exceeds MaxTopK %d", opts.TopK, MaxTopK)
+	}
+	if opts.TopK > 1 {
+		if opts.Algorithm != BSSR && opts.Algorithm != BSSRNoOpt {
+			return nil, fmt.Errorf("skysr: top-k requires the BSSR algorithms, not %s", opts.Algorithm)
+		}
+		if q.IncludeRatings {
+			return nil, fmt.Errorf("skysr: top-k cannot combine with IncludeRatings")
+		}
 	}
 	f := sn.ds.Forest
 	var sim taxonomy.Similarity
@@ -375,6 +432,7 @@ func (e *Engine) searchOn(sn *snapshot, q Query, opts SearchOptions) (*Answer, e
 		}
 		copts.Aggregation = opts.Aggregation
 		copts.Epoch = sn.epoch
+		copts.TopK = opts.TopK
 		if opts.UseIndex || opts.UseCategoryIndex {
 			copts.Index = e.categoryIndex(sn)
 			copts.IndexCategories = opts.UseCategoryIndex
@@ -453,8 +511,9 @@ func (e *Engine) searchOn(sn *snapshot, q Query, opts SearchOptions) (*Answer, e
 // buildRatedAnswer converts a three-criteria result into an Answer.
 func buildRatedAnswer(sn *snapshot, q Query, opts SearchOptions, res *core.RatedResult, began time.Time, s *core.Searcher) (*Answer, error) {
 	ans := &Answer{Algorithm: opts.Algorithm, Stats: &res.Stats}
-	for _, rr := range res.Routes {
+	for i, rr := range res.Routes {
 		info := RouteInfo{
+			Rank:          i + 1,
 			PoIs:          rr.Route.PoIs(),
 			LengthScore:   rr.Route.Length(),
 			SemanticScore: rr.Route.Semantic(),
@@ -478,8 +537,9 @@ func buildRatedAnswer(sn *snapshot, q Query, opts SearchOptions, res *core.Rated
 
 func buildAnswer(sn *snapshot, q Query, opts SearchOptions, routes []*route.Route, stats *core.Stats, began time.Time, s *core.Searcher, dest VertexID) (*Answer, error) {
 	ans := &Answer{Algorithm: opts.Algorithm, Stats: stats}
-	for _, r := range routes {
+	for i, r := range routes {
 		info := RouteInfo{
+			Rank:          i + 1,
 			PoIs:          r.PoIs(),
 			LengthScore:   r.Length(),
 			SemanticScore: r.Semantic(),

@@ -44,6 +44,13 @@
 // Datasets can also be built by hand (NewNetworkBuilder), loaded from
 // files (Open), or generated synthetically (Generate).
 //
+// # Ranked alternatives
+//
+// SearchTopK generalizes the query from "the best route per similarity
+// level" to the k best: the answer is the k-skyband of the achievable
+// (length, semantic) score points, rank-ordered, with k = 1 byte-identical
+// to Search. See SearchTopK and package internal/topk.
+//
 // # Serving and live updates
 //
 // One Engine serves any number of goroutines: Search and SearchBatch run
