@@ -3,8 +3,8 @@
 // serving extensions: batch throughput, serving-profile latency, the
 // live-update churn scenario, and ranked top-k enumeration. The
 // full-suite output is the source material of EXPERIMENTS.md; the
-// -latency, -churn and -topk modes write the machine-readable reports CI
-// tracks per PR (BENCH_PR2.json, BENCH_PR3.json, BENCH_PR4.json) and
+// -latency, -churn, -topk and -timedep modes write the machine-readable
+// reports CI tracks per PR (BENCH_PR2.json through BENCH_PR5.json) and
 // gate regressions with -check.
 //
 // Usage:
@@ -15,6 +15,7 @@
 //	skysr-bench -latency -json BENCH_PR2.json -check
 //	skysr-bench -churn -json BENCH_PR3.json -check
 //	skysr-bench -topk -json BENCH_PR4.json -check
+//	skysr-bench -timedep -json BENCH_PR5.json -check
 package main
 
 import (
@@ -41,8 +42,9 @@ func main() {
 	latencyOnly := flag.Bool("latency", false, "run only the serving-profile latency comparison (baseline vs tree-index vs category-index)")
 	churnOnly := flag.Bool("churn", false, "run only the mixed read/write live-update scenario (queries interleaved with ApplyUpdates batches)")
 	topkOnly := flag.Bool("topk", false, "run only the ranked top-k sweep (k = 1, 2, 4, 8 vs plain Search and vs k repeated Searches)")
-	jsonOut := flag.String("json", "", "with -latency, -churn or -topk: write the machine-readable report (e.g. BENCH_PR2.json, BENCH_PR3.json, BENCH_PR4.json) to this path")
-	check := flag.Bool("check", false, "with -latency, -churn or -topk: exit non-zero if the profile regresses (identical answers, latency / incremental-repair / k=1 gates)")
+	timedepOnly := flag.Bool("timedep", false, "run only the cost-metric experiment (static vs constant-profile vs rush-hour time-dependent latency)")
+	jsonOut := flag.String("json", "", "with -latency, -churn, -topk or -timedep: write the machine-readable report (e.g. BENCH_PR2.json ... BENCH_PR5.json) to this path")
+	check := flag.Bool("check", false, "with -latency, -churn, -topk or -timedep: exit non-zero if the profile regresses (identical answers, latency / incremental-repair / k=1 / metric-overhead gates)")
 	flag.Parse()
 
 	cfg.Scale = *scale
@@ -105,6 +107,29 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Println("topk check passed: k=1 identical to Search, bands monotone, top-8 beats 8 repeated Searches")
+		}
+		return
+	}
+	if *timedepOnly {
+		rows, err := h.Timedep()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skysr-bench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.RenderTimedep(os.Stdout, rows)
+		if *jsonOut != "" {
+			if err := bench.WriteTimedepJSON(*jsonOut, cfg, rows); err != nil {
+				fmt.Fprintf(os.Stderr, "skysr-bench: write %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		if *check {
+			if err := bench.CheckTimedep(rows); err != nil {
+				fmt.Fprintf(os.Stderr, "skysr-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("timedep check passed: constant profiles free and identical, rush-hour answers consistent across configurations")
 		}
 		return
 	}

@@ -4,6 +4,12 @@
 // Usage:
 //
 //	skysr-gen -preset tokyo -scale 0.5 -seed 42 -out tokyo.skysr
+//	skysr-gen -preset tokyo -time-profiles 0.5 -out tokyo-td.skysr
+//
+// -time-profiles attaches rush-hour travel-time profiles (two congestion
+// peaks over a one-day period) to the given fraction of edges, making the
+// dataset time-dependent: skysr-query -depart and the serve API's depart
+// parameter then price every leg at its actual traversal time.
 package main
 
 import (
@@ -18,6 +24,7 @@ func main() {
 	preset := flag.String("preset", "tokyo", "dataset preset: tokyo, nyc or cal")
 	scale := flag.Float64("scale", 0.25, "size scale (1.0 ≈ 1:100 of the paper's datasets)")
 	seed := flag.Int64("seed", 42, "generation seed")
+	timeProfiles := flag.Float64("time-profiles", 0, "fraction of edges to wrap in rush-hour travel-time profiles (0 = static dataset)")
 	out := flag.String("out", "", "output file (required)")
 	flag.Parse()
 
@@ -30,6 +37,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "skysr-gen: %v\n", err)
 		os.Exit(1)
+	}
+	if *timeProfiles > 0 {
+		n, err := eng.AttachTimeProfiles(*timeProfiles, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skysr-gen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("attached rush-hour profiles to %d of %d edges (period %g)\n", n, eng.NumEdges(), eng.TimePeriod())
 	}
 	if err := eng.Save(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "skysr-gen: %v\n", err)

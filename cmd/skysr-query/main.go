@@ -4,7 +4,12 @@
 //
 //	skysr-query -data tokyo.skysr -start 17 \
 //	    -via "Sushi Restaurant,Art Museum,Gift Shop" [-alg BSSR] [-dest 99] \
-//	    [-unordered] [-expand] [-k 5]
+//	    [-unordered] [-expand] [-k 5] [-depart 30600]
+//
+// -depart sets the departure time at the start vertex in the dataset's
+// time domain (seconds of a day by default). On datasets carrying
+// time-dependent profiles (skysr-gen -time-profiles) route lengths are
+// then exact travel times for that departure; static datasets ignore it.
 //
 // -k asks for ranked alternatives: the k shortest score-distinct routes
 // per similarity level (the top-k band) instead of the single best per
@@ -31,6 +36,7 @@ func main() {
 	expand := flag.Bool("expand", false, "print the full vertex path of each route")
 	stats := flag.Bool("stats", false, "print BSSR instrumentation counters")
 	k := flag.Int("k", 1, "ranked alternatives per similarity level (top-k; 1 = classic skyline)")
+	depart := flag.Float64("depart", 0, "departure time at the start vertex (time-dependent datasets price legs at traversal time)")
 	flag.Parse()
 
 	if *data == "" || *via == "" {
@@ -52,9 +58,14 @@ func main() {
 		q.Destination = int32(*dest)
 		q.HasDestination = true
 	}
-	ans, err := eng.SearchWith(q, skysr.SearchOptions{Algorithm: alg, ExpandPaths: *expand, TopK: *k})
+	ans, err := eng.SearchWith(q, skysr.SearchOptions{Algorithm: alg, ExpandPaths: *expand, TopK: *k, DepartAt: *depart})
 	if err != nil {
 		fail(err)
+	}
+
+	if eng.HasTimeProfiles() {
+		fmt.Printf("time-dependent dataset (%d profiled edges, period %g): departing at %g\n",
+			eng.NumTimeProfiles(), eng.TimePeriod(), *depart)
 	}
 
 	if *k > 1 {

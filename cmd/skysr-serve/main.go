@@ -17,12 +17,20 @@
 //
 //	GET  /                 HTML page with a query form
 //	GET  /api/categories   leaf categories as JSON
-//	GET  /api/route?start=17&via=Sushi+Restaurant,Gift+Shop&dest=3&unordered=1&k=5
-//	POST /api/batch        {"queries":[{"start":17,"via":["Gift Shop"],"k":5},...],"workers":4}
-//	POST /api/update       {"set_weights":[{"u":1,"v":2,"w":9.5}],"remove_pois":[4],...}
+//	GET  /api/route?start=17&via=Sushi+Restaurant,Gift+Shop&dest=3&unordered=1&k=5&depart=30600
+//	POST /api/batch        {"queries":[{"start":17,"via":["Gift Shop"],"k":5,"depart":30600},...],"workers":4}
+//	POST /api/update       {"set_weights":[{"u":1,"v":2,"w":9.5}],"remove_pois":[4],
+//	                        "set_profiles":[{"u":1,"v":2,"times":[0,28800],"costs":[9.5,19]}],...}
 //	GET  /api/epoch        current dataset epoch and index repair counters
 //	POST /api/survey       {"question":"Q1","option":2}
 //	GET  /api/survey       current answer ratios (Figure 9 data)
+//
+// The optional depart parameter (per route request, per batch query) sets
+// the departure time at the start vertex; on datasets carrying
+// time-dependent profiles every leg is then priced at its actual
+// traversal time (see README, "Time-dependent routing"), and
+// "set_profiles"/"clear_profiles" update edits attach and detach FIFO
+// travel-time profiles while the server keeps answering.
 //
 // The optional k parameter (per route request, per batch query) asks for
 // ranked top-k alternatives — every route with fewer than k score-distinct
@@ -46,6 +54,7 @@ import (
 	"fmt"
 	"html/template"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"runtime"
@@ -234,6 +243,18 @@ func parseTopK(raw string) (int, error) {
 	return k, nil
 }
 
+// parseDepart validates an optional depart parameter (empty means 0).
+func parseDepart(raw string) (float64, error) {
+	if raw == "" {
+		return 0, nil
+	}
+	d, err := strconv.ParseFloat(raw, 64)
+	if err != nil || d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+		return 0, fmt.Errorf("depart must be a non-negative finite number")
+	}
+	return d, nil
+}
+
 func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	qv := r.URL.Query()
 	start, err := strconv.Atoi(qv.Get("start"))
@@ -255,6 +276,11 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
+	depart, err := parseDepart(qv.Get("depart"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
 	q, err := s.makeQuery(start, strings.Split(qv.Get("via"), ","), dest, qv.Get("unordered") == "1")
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
@@ -263,6 +289,7 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	opts := s.baseOpts
 	opts.ExpandPaths = qv.Get("expand") == "1"
 	opts.TopK = k
+	opts.DepartAt = depart
 	ans, err := s.eng.SearchWith(q, opts)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
@@ -307,6 +334,9 @@ type batchQueryJSON struct {
 	// K asks for ranked top-k alternatives for this query (0 = classic
 	// skyline), capped at maxTopKPerRequest like the route endpoint.
 	K int `json:"k,omitempty"`
+	// Depart is this query's departure time at its start vertex (0 =
+	// period start); meaningful on time-dependent datasets.
+	Depart float64 `json:"depart,omitempty"`
 }
 
 type batchRequest struct {
@@ -369,9 +399,14 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("query %d: k must be in [0, %d] (0 or omitted = classic skyline)", i, maxTopKPerRequest)})
 			return
 		}
+		if bq.Depart < 0 || math.IsNaN(bq.Depart) || math.IsInf(bq.Depart, 0) {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("query %d: depart must be a non-negative finite number", i)})
+			return
+		}
 		queries[i] = q
 		perQuery[i] = s.baseOpts
 		perQuery[i].TopK = bq.K
+		perQuery[i].DepartAt = bq.Depart
 	}
 	began := time.Now()
 	answers, err := s.eng.SearchBatch(queries, skysr.BatchOptions{Workers: workers, PerQuery: perQuery, Context: r.Context()})
@@ -414,14 +449,25 @@ type poiJSON struct {
 	Categories []string `json:"categories"`
 }
 
+// profileJSON is one time-profile operand of an update request: parallel
+// breakpoint times (in [0, period), ascending) and costs.
+type profileJSON struct {
+	U     int32     `json:"u"`
+	V     int32     `json:"v"`
+	Times []float64 `json:"times"`
+	Costs []float64 `json:"costs"`
+}
+
 // updateRequest is the JSON form of one skysr.UpdateBatch.
 type updateRequest struct {
-	SetWeights   []edgeJSON `json:"set_weights,omitempty"`
-	AddEdges     []edgeJSON `json:"add_edges,omitempty"`
-	RemoveEdges  []edgeJSON `json:"remove_edges,omitempty"`
-	AddPoIs      []poiJSON  `json:"add_pois,omitempty"`
-	RemovePoIs   []int32    `json:"remove_pois,omitempty"`
-	Recategorize []poiJSON  `json:"recategorize,omitempty"`
+	SetWeights    []edgeJSON    `json:"set_weights,omitempty"`
+	AddEdges      []edgeJSON    `json:"add_edges,omitempty"`
+	RemoveEdges   []edgeJSON    `json:"remove_edges,omitempty"`
+	SetProfiles   []profileJSON `json:"set_profiles,omitempty"`
+	ClearProfiles []edgeJSON    `json:"clear_profiles,omitempty"`
+	AddPoIs       []poiJSON     `json:"add_pois,omitempty"`
+	RemovePoIs    []int32       `json:"remove_pois,omitempty"`
+	Recategorize  []poiJSON     `json:"recategorize,omitempty"`
 }
 
 // updateResponse echoes skysr.UpdateResult.
@@ -430,6 +476,8 @@ type updateResponse struct {
 	WeightsChanged    int   `json:"weights_changed"`
 	EdgesAdded        int   `json:"edges_added"`
 	EdgesRemoved      int   `json:"edges_removed"`
+	ProfilesSet       int   `json:"profiles_set"`
+	ProfilesCleared   int   `json:"profiles_cleared"`
 	PoIsAdded         int   `json:"pois_added"`
 	PoIsRemoved       int   `json:"pois_removed"`
 	PoIsRecategorized int   `json:"pois_recategorized"`
@@ -457,6 +505,12 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, e := range body.RemoveEdges {
 		batch.RemoveEdge(e.U, e.V)
+	}
+	for _, p := range body.SetProfiles {
+		batch.SetEdgeProfile(p.U, p.V, p.Times, p.Costs)
+	}
+	for _, e := range body.ClearProfiles {
+		batch.ClearEdgeProfile(e.U, e.V)
 	}
 	for _, p := range body.AddPoIs {
 		batch.AddPoI(p.V, p.Categories...)
@@ -487,6 +541,8 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		WeightsChanged:    res.WeightsChanged,
 		EdgesAdded:        res.EdgesAdded,
 		EdgesRemoved:      res.EdgesRemoved,
+		ProfilesSet:       res.ProfilesSet,
+		ProfilesCleared:   res.ProfilesCleared,
 		PoIsAdded:         res.PoIsAdded,
 		PoIsRemoved:       res.PoIsRemoved,
 		PoIsRecategorized: res.PoIsRecategorized,

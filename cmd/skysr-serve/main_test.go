@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -388,3 +389,83 @@ func TestUpdateEndpointErrors(t *testing.T) {
 		})
 	}
 }
+
+func TestTimeDependentEndpoints(t *testing.T) {
+	s, mux := testServer(t)
+
+	// Attach a varying profile to a real edge via the update endpoint.
+	ts, ws := s.eng.Neighbors(0)
+	if len(ts) == 0 {
+		t.Fatal("vertex 0 has no edges")
+	}
+	u, v, w := int32(0), ts[0], ws[0]
+	period := s.eng.TimePeriod()
+	body := strings.NewReader(
+		`{"set_profiles":[{"u":` + itoa(u) + `,"v":` + itoa(v) +
+			`,"times":[0,` + ftoa(period/2) + `],"costs":[` + ftoa(w) + `,` + ftoa(3*w) + `]}]}`)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/api/update", body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("set_profiles status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var up map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &up); err != nil {
+		t.Fatal(err)
+	}
+	if up["profiles_set"].(float64) != 1 {
+		t.Fatalf("profiles_set = %v", up["profiles_set"])
+	}
+	if !s.eng.HasTimeProfiles() {
+		t.Fatal("engine has no profiles after update")
+	}
+
+	// depart flows through the route endpoint.
+	for _, raw := range []string{"", "&depart=0", "&depart=" + ftoa(period/2)} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET",
+			"/api/route?start=0&via=Asian+Restaurant,Gift+Shop"+raw, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("route depart %q status = %d: %s", raw, rec.Code, rec.Body.String())
+		}
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/route?start=0&via=Gift+Shop&depart=-3", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("negative depart accepted: %d", rec.Code)
+	}
+
+	// Per-query depart in a batch.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/api/batch", strings.NewReader(
+		`{"queries":[{"start":0,"via":["Gift Shop"]},{"start":0,"via":["Gift Shop"],"depart":`+ftoa(period/2)+`}]}`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch depart status = %d: %s", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/api/batch", strings.NewReader(
+		`{"queries":[{"start":0,"via":["Gift Shop"],"depart":-1}]}`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("batch negative depart accepted: %d", rec.Code)
+	}
+
+	// Invalid profiles are rejected; clear_profiles detaches.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/api/update", strings.NewReader(
+		`{"set_profiles":[{"u":`+itoa(u)+`,"v":`+itoa(v)+`,"times":[5,1],"costs":[1,1]}]}`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unsorted profile accepted: %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/api/update", strings.NewReader(
+		`{"clear_profiles":[{"u":`+itoa(u)+`,"v":`+itoa(v)+`}]}`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("clear_profiles status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if s.eng.HasTimeProfiles() {
+		t.Fatal("profile survived clear_profiles")
+	}
+}
+
+func itoa(v int32) string { return strconv.Itoa(int(v)) }
+
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

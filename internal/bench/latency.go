@@ -12,7 +12,6 @@ import (
 	"skysr/internal/dataset"
 	"skysr/internal/gen"
 	"skysr/internal/index"
-	"skysr/internal/route"
 	"skysr/internal/stats"
 	"skysr/internal/taxonomy"
 )
@@ -89,6 +88,21 @@ func answerOf(res *core.Result) latencyAnswer {
 		a.poiLists = append(a.poiLists, r.PoIs())
 	}
 	return a
+}
+
+// sameScores compares only the (length, semantic) score points,
+// bit-exactly — the part of the answer the exactness guarantee covers
+// when distinct routes tie on a point (see checkConsistency).
+func (a latencyAnswer) sameScores(b latencyAnswer) bool {
+	if len(a.lengths) != len(b.lengths) {
+		return false
+	}
+	for i := range a.lengths {
+		if a.lengths[i] != b.lengths[i] || a.sems[i] != b.sems[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func (a latencyAnswer) equal(b latencyAnswer) bool {
@@ -200,17 +214,7 @@ func runLatencyProfile(d *dataset.Dataset, qs []gen.Query, profile string, size 
 	// matcher cache does in the real serving path; recompiling per query
 	// would charge both profiles an identical constant and understate the
 	// serving-path difference.
-	seqs := make([]route.Sequence, len(qs))
-	compiled := map[string]route.Sequence{}
-	for i, q := range qs {
-		key := fmt.Sprint(q.Categories)
-		seq, ok := compiled[key]
-		if !ok {
-			seq = route.NewCategorySequence(d.Forest, d.Forest.WuPalmer, q.Categories...)
-			compiled[key] = seq
-		}
-		seqs[i] = seq
-	}
+	seqs := compileSequences(d, qs)
 
 	s := core.NewSearcher(d, d.Forest.WuPalmer, opts)
 	answers := make([]latencyAnswer, len(qs))

@@ -42,10 +42,13 @@ type bounds struct {
 
 // boundsScratch holds the epoch-stamped per-vertex state of the classic
 // §5.3.3 computation, owned by the pooled Searcher so computeBounds
-// allocates no graph-sized structures per query. Resetting is O(1): stale
-// entries are recognized by their epoch stamp.
+// allocates no graph-sized structures per query. Resetting is O(1): the
+// shared epochScratch generation counter (scratch.go, also behind the
+// modified-Dijkstra workspace) advances, and stale entries are recognized
+// by their stamp.
 type boundsScratch struct {
-	epoch     uint32
+	gen       epochScratch
+	epoch     uint32                    // current generation, set by scratch()
 	reach     []uint32                  // reach[v] == epoch → v within l̄(∅) of the start
 	perfStamp []uint32                  // perfStamp[v] == epoch → perfMask[v] is current
 	perfMask  []uint64                  // bit i set → v perfectly matches position i (i < 64)
@@ -57,22 +60,16 @@ type boundsScratch struct {
 func (s *Searcher) scratch() *boundsScratch {
 	if s.scr == nil {
 		n := s.d.Graph.NumVertices()
-		s.scr = &boundsScratch{
+		scr := &boundsScratch{
 			reach:     make([]uint32, n),
 			perfStamp: make([]uint32, n),
 			perfMask:  make([]uint64, n),
 		}
+		scr.gen = newEpochScratch(scr.reach, scr.perfStamp)
+		s.scr = scr
 	}
 	scr := s.scr
-	scr.epoch++
-	if scr.epoch == 0 {
-		// The epoch wrapped: stamps written 2^32 queries ago could collide
-		// with the new epoch. Pooled searchers live for the process
-		// lifetime, so a long-running server does reach this.
-		clear(scr.reach)
-		clear(scr.perfStamp)
-		scr.epoch = 1
-	}
+	scr.epoch = scr.gen.begin()
 	scr.overflow = nil
 	return scr
 }

@@ -53,6 +53,16 @@ type Options struct {
 	// 3.5); the paper evaluates with AggProduct (Eq. 7).
 	Aggregation route.Aggregation
 
+	// DepartAt is the absolute departure time of the query at its start
+	// vertex, in the dataset's time domain (graph.TimeTable). On datasets
+	// with time-dependent profiles every leg is priced at its actual
+	// departure time (cost-at-arrival evaluation) and route lengths are
+	// travel times; all pruning cuts against the metric's lower-bound
+	// graph, so answers stay exact under FIFO. On static datasets the
+	// field has no effect — every code path, cache key and trace is
+	// byte-identical to a zero DepartAt. Must be non-negative and finite.
+	DepartAt float64
+
 	// Shared, when non-nil, additionally serves modified-Dijkstra results
 	// from a cross-query cache (see SharedCache). Only plain Category
 	// positions participate; the caller must dedicate one SharedCache per
@@ -192,6 +202,58 @@ type Searcher struct {
 	idxRows  indexRows         // per-position index rows resolved for this query
 	md       *mdWorkspace      // reusable modified-Dijkstra arrays, lazily sized
 	scr      *boundsScratch    // epoch-stamped §5.3.3 scratch arrays, lazily sized
+
+	// Cost-metric state (initMetric). td is true when the dataset carries
+	// time-dependent profiles; depart is the query's departure time;
+	// metric evaluates arcs at their arrival time; dest is the query's
+	// destination (NoVertex for none); legWS is the dedicated workspace
+	// for exact destination-leg pricing (the shared ws may be mid-run
+	// when a leg is priced from inside an OnSettle callback).
+	td     bool
+	depart float64
+	metric graph.Metric
+	dest   graph.VertexID
+	legWS  *dijkstra.Workspace
+}
+
+// initMetric establishes the per-query cost-metric state from the
+// options and dataset. Static datasets always see td == false (and a
+// depart of whatever was asked — it has no observable effect), so every
+// classic code path stays byte-identical.
+func (s *Searcher) initMetric() error {
+	d := s.opts.DepartAt
+	if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+		return fmt.Errorf("core: departure time %v is not non-negative and finite", d)
+	}
+	s.td = s.d.Graph.TimeVarying()
+	s.depart = d
+	s.dest = graph.NoVertex
+	if s.td {
+		s.metric = s.d.Graph.Metric()
+	} else {
+		s.metric = nil
+	}
+	return nil
+}
+
+// expandDepart returns the absolute time at which an expansion from the
+// end of r departs: the query departure plus the route's travel time so
+// far. Static queries always see 0, keeping their cache keys identical
+// to the classic code.
+func (s *Searcher) expandDepart(r *route.Route) float64 {
+	if !s.td {
+		return 0
+	}
+	return s.depart + r.Length()
+}
+
+// searchMetric returns the metric to hand the shared Dijkstra workspace:
+// nil (the weight column) for static queries.
+func (s *Searcher) searchMetric() graph.Metric {
+	if !s.td {
+		return nil
+	}
+	return s.metric
 }
 
 // indexRows is the per-query view of Options.Index: the distance rows each
@@ -314,6 +376,9 @@ func (s *Searcher) query(start graph.VertexID, seq route.Sequence, dest graph.Ve
 	if start < 0 || int(start) >= s.d.Graph.NumVertices() {
 		return nil, fmt.Errorf("core: invalid start vertex %d", start)
 	}
+	if err := s.initMetric(); err != nil {
+		return nil, err
+	}
 	began := time.Now()
 	k := s.opts.effectiveTopK()
 	if k > 1 && !s.opts.DisablePathFilter {
@@ -344,6 +409,7 @@ func (s *Searcher) query(start graph.VertexID, seq route.Sequence, dest graph.Ve
 	s.prepareIndexRows()
 	s.ws.ResetStats()
 	if dest != graph.NoVertex {
+		s.dest = dest
 		s.computeDestDistances(dest)
 	}
 
@@ -465,11 +531,10 @@ func (s *Searcher) expand(r *route.Route, from graph.VertexID, qb *pq.Heap[*rout
 		rt := r.Extend(s.scorer, c.v, c.dist, c.sim)
 		complete := rt.Size() == k
 		if complete && s.destDist != nil {
-			leg := s.destDist[c.v]
-			if math.IsInf(leg, 1) {
-				continue // destination unreachable from this PoI
+			var ok bool
+			if rt, ok = s.completeToDest(rt); !ok {
+				continue // destination unreachable, or leg provably too long
 			}
-			rt = rt.AddLength(leg)
 		}
 		// Line 10: the Eq. 3 threshold for rt's own semantic score.
 		if rt.Length() >= s.sky.Threshold(rt.Semantic()) {
@@ -520,8 +585,73 @@ func (s *Searcher) pruneByIndex(r *route.Route) bool {
 	return bound >= s.sky.Threshold(r.Semantic())
 }
 
+// completeToDest appends the final leg to the destination (§6) to a
+// complete route. Static queries read the exact reverse-Dijkstra table.
+// Time-dependent queries treat that table — computed on the lower-bound
+// graph — as an admissible bound: routes it already condemns against the
+// current threshold are dropped without further work (the exact leg can
+// only be longer), and the survivors price the leg exactly with a
+// forward cost-at-arrival search departing at the route's arrival time.
+func (s *Searcher) completeToDest(rt *route.Route) (*route.Route, bool) {
+	lb := s.destDist[rt.Last()]
+	if math.IsInf(lb, 1) {
+		return nil, false // destination unreachable from this PoI
+	}
+	if !s.td {
+		return rt.AddLength(lb), true
+	}
+	budget := s.sky.Threshold(rt.Semantic()) - rt.Length()
+	if lb >= budget {
+		return nil, false
+	}
+	leg := s.destLeg(rt.Last(), s.depart+rt.Length(), budget)
+	if math.IsInf(leg, 1) {
+		return nil, false
+	}
+	return rt.AddLength(leg), true
+}
+
+// destLeg is the exact time-dependent travel time from v to the query
+// destination departing at depart, or +Inf when it is not reachable
+// within budget (a leg that long makes the route fail its threshold
+// anyway, so bounding the search loses nothing while sparing a
+// full-graph sweep per surviving completion). It runs on a dedicated
+// workspace: leg pricing can be requested from inside another search's
+// OnSettle callback (NNinit seeding), where the shared workspace is
+// mid-run.
+func (s *Searcher) destLeg(v graph.VertexID, depart, budget float64) float64 {
+	if v == s.dest {
+		return 0
+	}
+	if s.legWS == nil {
+		s.legWS = dijkstra.New(s.d.Graph)
+	}
+	bound := budget
+	if math.IsInf(bound, 1) {
+		bound = 0 // unbounded
+	}
+	found := math.Inf(1)
+	settled := s.legWS.Run(dijkstra.Options{
+		Sources:  []graph.VertexID{v},
+		Bound:    bound,
+		Metric:   s.metric,
+		DepartAt: depart,
+		OnSettle: func(x graph.VertexID, d float64) dijkstra.Control {
+			if x == s.dest {
+				found = d
+				return dijkstra.Stop
+			}
+			return dijkstra.Continue
+		},
+	})
+	s.chargeSettleStats(settled)
+	return found
+}
+
 // computeDestDistances fills destDist with D(v, dest) for every vertex,
 // searching the reverse graph so directed networks are handled correctly.
+// The reverse graph carries no time table, so on time-dependent datasets
+// the table holds lower-bound distances (see completeToDest).
 func (s *Searcher) computeDestDistances(dest graph.VertexID) {
 	g := s.d.Graph
 	rg := g

@@ -11,23 +11,27 @@ import (
 
 // ExpandPath reconstructs the full vertex-level path of a result route:
 // start → PoIs in order → optional destination (graph.NoVertex for none).
-// Each leg is a shortest path, so the total weight equals the route's
-// length score (plus the destination leg when present).
+// Each leg is a shortest path under the query's metric — on
+// time-dependent datasets each leg departs when the previous one
+// arrives — so the total cost equals the route's length score (plus the
+// destination leg when present).
 func (s *Searcher) ExpandPath(start graph.VertexID, r *route.Route, dest graph.VertexID) ([]graph.VertexID, error) {
 	waypoints := append([]graph.VertexID{start}, r.PoIs()...)
 	if dest != graph.NoVertex {
 		waypoints = append(waypoints, dest)
 	}
 	path := []graph.VertexID{start}
+	depart := s.depart
 	for i := 0; i+1 < len(waypoints); i++ {
 		u, v := waypoints[i], waypoints[i+1]
 		if u == v {
 			continue
 		}
-		leg, err := s.shortestPath(u, v)
+		leg, legCost, err := s.shortestPath(u, v, depart)
 		if err != nil {
 			return nil, err
 		}
+		depart += legCost
 		path = append(path, leg[1:]...)
 	}
 	return path, nil
@@ -46,20 +50,23 @@ func (s *Searcher) PathLength(path []graph.VertexID) float64 {
 	return total
 }
 
-func (s *Searcher) shortestPath(u, v graph.VertexID) ([]graph.VertexID, error) {
+func (s *Searcher) shortestPath(u, v graph.VertexID, depart float64) ([]graph.VertexID, float64, error) {
+	cost := 0.0
 	found := false
 	s.ws.Run(dijkstra.Options{
-		Sources: []graph.VertexID{u},
+		Sources:  []graph.VertexID{u},
+		Metric:   s.searchMetric(),
+		DepartAt: depart,
 		OnSettle: func(x graph.VertexID, d float64) dijkstra.Control {
 			if x == v {
-				found = true
+				found, cost = true, d
 				return dijkstra.Stop
 			}
 			return dijkstra.Continue
 		},
 	})
 	if !found {
-		return nil, fmt.Errorf("core: no path from %d to %d", u, v)
+		return nil, 0, fmt.Errorf("core: no path from %d to %d", u, v)
 	}
-	return s.ws.PathTo(v), nil
+	return s.ws.PathTo(v), cost, nil
 }

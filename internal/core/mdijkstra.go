@@ -22,12 +22,15 @@ type candidate struct {
 }
 
 // cacheKey identifies one modified-Dijkstra origin within a query: the
-// origin vertex and the position whose requirement is searched. The cache
-// is per-query ("on the fly"), so the position index fully determines the
-// requirement.
+// origin vertex, the position whose requirement is searched, and — on
+// time-dependent datasets — the absolute departure time at the origin.
+// The cache is per-query ("on the fly"), so the position index fully
+// determines the requirement; static queries always use depart 0, so
+// their keys (and hit pattern) are byte-identical to the classic code.
 type cacheKey struct {
-	from graph.VertexID
-	pos  int
+	from   graph.VertexID
+	pos    int
+	depart float64
 }
 
 // cacheEntry stores the candidates found around an origin, complete up to
@@ -40,9 +43,12 @@ type cacheEntry struct {
 
 // nextPoIs returns the PoIs that semantically match position r.Size(),
 // reachable from `from` within the route's Lemma 5.3 radius, serving from
-// the on-the-fly cache when possible (§5.3.4).
+// the on-the-fly cache when possible (§5.3.4). On time-dependent datasets
+// distances are travel times for a departure at the route's arrival time
+// at `from`.
 func (s *Searcher) nextPoIs(r *route.Route, from graph.VertexID) []candidate {
 	pos := r.Size()
+	depart := s.expandDepart(r)
 	// Allowed search radius: Algorithm 2 line 8 stops when
 	// l(Rt) = l(Rd) + dist ≥ l̄(Rd).
 	threshold := s.sky.Threshold(r.Semantic())
@@ -69,34 +75,37 @@ func (s *Searcher) nextPoIs(r *route.Route, from graph.VertexID) []candidate {
 	s.stats.MDijkstraRequests++
 
 	if s.cache != nil {
-		key := cacheKey{from: from, pos: pos}
+		key := cacheKey{from: from, pos: pos, depart: depart}
 		if e, ok := s.cache[key]; ok && (e.complete || e.radius >= radius) {
 			s.stats.CacheHits++
 			s.emit(EventCacheHit, nil)
 			return e.items
 		}
-		e := s.sharedOrRun(from, pos, radius)
+		e := s.sharedOrRun(from, pos, radius, depart)
 		s.cache[key] = e
 		s.accountCacheBytes()
 		return e.items
 	}
-	return s.sharedOrRun(from, pos, radius).items
+	return s.sharedOrRun(from, pos, radius, depart).items
 }
 
 // sharedOrRun serves a modified-Dijkstra request from the cross-query
 // SharedCache when the position is shareable, running (and publishing) the
 // search otherwise. A position is shareable when it is a plain Category
-// matcher and the Lemma 5.5 path filter is active: the cached candidates —
-// including their blocking-PoI annotations — then depend only on the
-// immutable dataset and the similarity function the cache is dedicated to.
-func (s *Searcher) sharedOrRun(from graph.VertexID, pos int, radius float64) *cacheEntry {
+// matcher, the Lemma 5.5 path filter is active, and the dataset is not
+// time-dependent: the cached candidates — including their blocking-PoI
+// annotations — then depend only on the immutable dataset and the
+// similarity function the cache is dedicated to. Time-dependent runs
+// bypass the shared cache entirely (their distances are functions of the
+// departure time, which the shared key does not carry).
+func (s *Searcher) sharedOrRun(from graph.VertexID, pos int, radius, depart float64) *cacheEntry {
 	shared := s.opts.Shared
-	if shared == nil || s.opts.DisablePathFilter {
-		return s.runMDijkstra(from, pos, radius)
+	if shared == nil || s.opts.DisablePathFilter || s.td {
+		return s.runMDijkstra(from, pos, radius, depart)
 	}
 	cat, ok := s.seq[pos].(*route.Category)
 	if !ok {
-		return s.runMDijkstra(from, pos, radius)
+		return s.runMDijkstra(from, pos, radius, depart)
 	}
 	key := sharedKey{from: from, cat: cat.ID(), origin: pos == 0}
 	if e := shared.lookup(key, radius, s.opts.Epoch); e != nil {
@@ -104,22 +113,22 @@ func (s *Searcher) sharedOrRun(from graph.VertexID, pos int, radius float64) *ca
 		s.emit(EventCacheHit, nil)
 		return e
 	}
-	e := s.runMDijkstra(from, pos, radius)
+	e := s.runMDijkstra(from, pos, radius, depart)
 	shared.store(key, e, s.opts.Epoch)
 	return e
 }
 
 // mdWorkspace holds the epoch-stamped per-vertex state of the modified
 // Dijkstra, reused across the hundreds of runs a query performs so each
-// run allocates nothing but its result slice. Resetting is O(1): stale
-// entries are recognized by their epoch stamp.
+// run allocates nothing but its result slice. Resetting is O(1) via the
+// shared epochScratch generation counter.
 type mdWorkspace struct {
 	dist     []float64
 	blockSim []float64
 	blockV   []graph.VertexID
 	stamp    []uint32
 	done     []uint32
-	epoch    uint32
+	gen      epochScratch
 	heap     *pq.Heap[mdItem]
 }
 
@@ -129,7 +138,7 @@ type mdItem struct {
 }
 
 func newMDWorkspace(n int) *mdWorkspace {
-	return &mdWorkspace{
+	w := &mdWorkspace{
 		dist:     make([]float64, n),
 		blockSim: make([]float64, n),
 		blockV:   make([]graph.VertexID, n),
@@ -142,26 +151,23 @@ func newMDWorkspace(n int) *mdWorkspace {
 			return a.v < b.v
 		}),
 	}
+	w.gen = newEpochScratch(w.stamp, w.done)
+	return w
 }
 
-func (w *mdWorkspace) begin() {
-	w.epoch++
-	if w.epoch == 0 {
-		// The epoch wrapped: stamps written 2^32 runs ago could collide
-		// with the new epoch and make unvisited vertices look settled.
-		// Pooled searchers live for the process lifetime, so a
-		// long-running server does reach this.
-		clear(w.stamp)
-		clear(w.done)
-		w.epoch = 1
-	}
+// begin resets the workspace for one run and returns the generation stamp.
+func (w *mdWorkspace) begin() uint32 {
 	w.heap.Reset()
+	return w.gen.begin()
 }
 
 // runMDijkstra is Algorithm 2: a Dijkstra search from `from` that collects
 // every PoI matching position pos within the radius, does not expand
 // through perfectly matching PoIs, and records for each candidate the
-// strongest intermediate PoI on its path (Lemma 5.5).
+// strongest intermediate PoI on its path (Lemma 5.5). On time-dependent
+// datasets arcs are priced at their arrival time (depart + d); the radius
+// and goal-row cuts below compare those travel times against lower-bound
+// distances, which keeps them admissible (see graph/metric.go).
 //
 // The origin itself is a usable candidate only when pos == 0: there `from`
 // is the query start vertex, which may be a matching PoI serving position
@@ -171,7 +177,7 @@ func (w *mdWorkspace) begin() {
 // would be infeasible) nor stop the traversal. This split keeps cache
 // entries consistent: every route expanding through a (from, pos) key has
 // the same relationship to the origin.
-func (s *Searcher) runMDijkstra(from graph.VertexID, pos int, radius float64) *cacheEntry {
+func (s *Searcher) runMDijkstra(from graph.VertexID, pos int, radius, depart float64) *cacheEntry {
 	s.stats.MDijkstraRuns++
 	s.emit(EventMDijkstraRun, nil)
 	originUsable := pos == 0
@@ -196,14 +202,14 @@ func (s *Searcher) runMDijkstra(from graph.VertexID, pos int, radius float64) *c
 		s.md = newMDWorkspace(g.NumVertices())
 	}
 	w := s.md
-	w.begin()
+	epoch := w.begin()
 	h := w.heap
 
 	entry := &cacheEntry{}
 	w.dist[from] = 0
 	w.blockSim[from] = 0
 	w.blockV[from] = graph.NoVertex
-	w.stamp[from] = w.epoch
+	w.stamp[from] = epoch
 	h.Push(mdItem{v: from, d: 0})
 
 	// cut records whether the radius bound ever suppressed a relaxation;
@@ -215,10 +221,10 @@ func (s *Searcher) runMDijkstra(from graph.VertexID, pos int, radius float64) *c
 	for h.Len() > 0 {
 		top := h.Pop()
 		u, d := top.v, top.d
-		if w.done[u] == w.epoch || d > w.dist[u] {
+		if w.done[u] == epoch || d > w.dist[u] {
 			continue // stale duplicate entry
 		}
-		w.done[u] = w.epoch
+		w.done[u] = epoch
 		settled++
 		maxSettled = d
 		if goalRow != nil {
@@ -258,11 +264,21 @@ func (s *Searcher) runMDijkstra(from graph.VertexID, pos int, radius float64) *c
 			nextSim, nextV = sim, u
 		}
 		ts, ws := g.Neighbors(u)
+		var base int32
+		if s.td {
+			base = g.ArcBase(u)
+		}
 		for i, t := range ts {
-			if w.done[t] == w.epoch {
+			if w.done[t] == epoch {
 				continue
 			}
-			nd := d + ws[i]
+			cost := ws[i]
+			if s.td {
+				// Concrete call on the hot path; TimeDependentMetric.Cost
+				// is exactly this method.
+				cost = g.CostAt(base+int32(i), depart+d)
+			}
+			nd := d + cost
 			if nd >= radius {
 				cut = true
 				continue
@@ -278,11 +294,11 @@ func (s *Searcher) runMDijkstra(from graph.VertexID, pos int, radius float64) *c
 					continue
 				}
 			}
-			if w.stamp[t] != w.epoch || nd < w.dist[t] {
+			if w.stamp[t] != epoch || nd < w.dist[t] {
 				w.dist[t] = nd
 				w.blockSim[t] = nextSim
 				w.blockV[t] = nextV
-				w.stamp[t] = w.epoch
+				w.stamp[t] = epoch
 				h.Push(mdItem{v: t, d: nd})
 			}
 		}

@@ -27,11 +27,10 @@ func (s *Searcher) runNNinit(start graph.VertexID) {
 
 	update := func(cand *route.Route) {
 		if s.destDist != nil {
-			leg := s.destDist[cand.Last()]
-			if math.IsInf(leg, 1) {
+			var ok bool
+			if cand, ok = s.completeToDest(cand); !ok {
 				return
 			}
-			cand = cand.AddLength(leg)
 		}
 		found++
 		if maxSemRoute == nil || cand.Semantic() > maxSemRoute.Semantic() ||
@@ -60,6 +59,10 @@ func (s *Searcher) runNNinit(start graph.VertexID) {
 		nextDist := 0.0
 		s.ws.Run(dijkstra.Options{
 			Sources: []graph.VertexID{from},
+			// Each stage of the chain departs when the chain arrives:
+			// time-dependent datasets price it at that instant.
+			Metric:   s.searchMetric(),
+			DepartAt: s.expandDepart(r),
 			OnSettle: func(v graph.VertexID, d float64) dijkstra.Control {
 				if !g.IsPoI(v) || r.Contains(v) {
 					return dijkstra.Continue

@@ -50,6 +50,9 @@ func (s *Searcher) QueryRated(start graph.VertexID, seq route.Sequence) (*RatedR
 	if s.opts.TopK > 1 {
 		return nil, fmt.Errorf("core: top-k enumeration does not extend to the three-criteria rated query")
 	}
+	if err := s.initMetric(); err != nil {
+		return nil, err
+	}
 	began := time.Now()
 	k := len(seq)
 	s.seq = seq
@@ -122,20 +125,21 @@ func (s *Searcher) QueryRated(start graph.VertexID, seq route.Sequence) (*RatedR
 			return
 		}
 		s.stats.MDijkstraRequests++
+		depart := s.expandDepart(e.r)
 		var cands []candidate
 		if s.cache != nil {
-			key := cacheKey{from: from, pos: pos}
+			key := cacheKey{from: from, pos: pos, depart: depart}
 			if ce, ok := s.cache[key]; ok && (ce.complete || ce.radius >= radius) {
 				s.stats.CacheHits++
 				cands = ce.items
 			} else {
-				ce = s.runMDijkstra(from, pos, radius)
+				ce = s.runMDijkstra(from, pos, radius, depart)
 				s.cache[key] = ce
 				s.accountCacheBytes()
 				cands = ce.items
 			}
 		} else {
-			cands = s.runMDijkstra(from, pos, radius).items
+			cands = s.runMDijkstra(from, pos, radius, depart).items
 		}
 		for _, c := range cands {
 			if e.r.Contains(c.v) {
@@ -228,7 +232,9 @@ func (s *Searcher) ratedInit(start graph.VertexID, sky3 *route.Skyline3) {
 		next := graph.NoVertex
 		nextDist := 0.0
 		s.ws.Run(dijkstra.Options{
-			Sources: []graph.VertexID{from},
+			Sources:  []graph.VertexID{from},
+			Metric:   s.searchMetric(),
+			DepartAt: s.expandDepart(r),
 			OnSettle: func(v graph.VertexID, d float64) dijkstra.Control {
 				if !g.IsPoI(v) || r.Contains(v) {
 					return dijkstra.Continue

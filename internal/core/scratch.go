@@ -1,0 +1,32 @@
+package core
+
+// epochScratch is the generation counter shared by the searcher's
+// per-query scratch structures — the modified-Dijkstra workspace
+// (mdijkstra.go) and the §5.3.3 bounds scratch (bounds.go). Each owner
+// registers its stamp arrays once; begin starts a new generation in
+// O(1), and entries from older generations are recognized (and thus
+// logically cleared) by their stale stamp. Only when the 32-bit counter
+// wraps — which pooled searchers living for the process lifetime do
+// reach — are the registered arrays physically cleared, so a stamp
+// written 2^32 generations ago can never collide with the new one.
+type epochScratch struct {
+	epoch  uint32
+	stamps [][]uint32
+}
+
+// newEpochScratch registers the stamp arrays the counter guards.
+func newEpochScratch(stamps ...[]uint32) epochScratch {
+	return epochScratch{stamps: stamps}
+}
+
+// begin advances to a fresh generation and returns its stamp value.
+func (e *epochScratch) begin() uint32 {
+	e.epoch++
+	if e.epoch == 0 {
+		for _, s := range e.stamps {
+			clear(s)
+		}
+		e.epoch = 1
+	}
+	return e.epoch
+}

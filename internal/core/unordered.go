@@ -33,6 +33,9 @@ func (s *Searcher) QueryUnordered(start graph.VertexID, seq route.Sequence) (*Re
 	if start < 0 || int(start) >= s.d.Graph.NumVertices() {
 		return nil, fmt.Errorf("core: invalid start vertex %d", start)
 	}
+	if err := s.initMetric(); err != nil {
+		return nil, err
+	}
 	began := time.Now()
 	k := len(seq)
 	full := uint32(1)<<k - 1
@@ -118,6 +121,9 @@ func (s *Searcher) QueryUnordered(start graph.VertexID, seq route.Sequence) (*Re
 type unorderedKey struct {
 	from graph.VertexID
 	mask uint32
+	// depart is the absolute departure time at from (always 0 on static
+	// datasets, so classic cache keys are unchanged).
+	depart float64
 }
 
 type unorderedCand struct {
@@ -135,8 +141,9 @@ func (s *Searcher) unorderedNext(r *route.Route, mask uint32, from graph.VertexI
 	if radius <= 0 {
 		return nil
 	}
+	depart := s.expandDepart(r)
 	s.stats.MDijkstraRequests++
-	key := unorderedKey{from: from, mask: mask}
+	key := unorderedKey{from: from, mask: mask, depart: depart}
 	if s.opts.Caching {
 		// The cached list is complete only if it was produced by an
 		// unbounded exploration; unordered caching stores the unbounded
@@ -157,8 +164,10 @@ func (s *Searcher) unorderedNext(r *route.Route, mask uint32, from graph.VertexI
 	}
 	origin := r.Size() == 0
 	s.ws.Run(dijkstra.Options{
-		Sources: []graph.VertexID{from},
-		Bound:   bound,
+		Sources:  []graph.VertexID{from},
+		Bound:    bound,
+		Metric:   s.searchMetric(),
+		DepartAt: depart,
 		OnSettle: func(v graph.VertexID, d float64) dijkstra.Control {
 			if !g.IsPoI(v) || (v == from && !origin) {
 				return dijkstra.Continue
@@ -205,7 +214,9 @@ func (s *Searcher) unorderedInit(start graph.VertexID, full uint32) {
 		foundPos := -1
 		foundDist := 0.0
 		s.ws.Run(dijkstra.Options{
-			Sources: []graph.VertexID{from},
+			Sources:  []graph.VertexID{from},
+			Metric:   s.searchMetric(),
+			DepartAt: s.expandDepart(r),
 			OnSettle: func(v graph.VertexID, d float64) dijkstra.Control {
 				if !g.IsPoI(v) || r.Contains(v) {
 					return dijkstra.Continue

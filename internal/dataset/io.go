@@ -26,10 +26,20 @@ import (
 //	p <lon> <lat> <cat>[,<cat>...] [<rating>]   (PoI vertex)
 //	edges <m>
 //	e <u> <v> <weight>
+//	tprofiles <k> <period>               (optional section)
+//	t <u> <v> <time>:<cost>[,<time>:<cost>...]
 //	end
 //
 // Category and vertex ids are dense and implicit in line order, which keeps
 // files compact and makes hand-crafted fixtures easy to write.
+//
+// The optional tprofiles section attaches piecewise-linear FIFO
+// travel-time profiles (period-periodic; see graph.Profile) to k of the
+// edges. A profiled edge's e-line weight is its lower-bound cost — the
+// profile minimum — which Read re-derives, so round trips are exact.
+// Profiles are validated on load (sorted breakpoints in [0, period),
+// finite non-negative costs, FIFO slopes); failures wrap both
+// ErrBadFormat and graph.ErrBadProfile.
 
 const formatHeader = "skysr-dataset v1"
 
@@ -84,8 +94,53 @@ func Write(w io.Writer, d *Dataset) error {
 	if emitted != g.NumEdges() {
 		return fmt.Errorf("dataset: wrote %d edges, expected %d", emitted, g.NumEdges())
 	}
+
+	if g.TimeTable() != nil {
+		count := 0
+		eachProfiledEdge(g, func(u, v graph.VertexID, p graph.Profile) {
+			count++
+		})
+		fmt.Fprintf(bw, "tprofiles %d %g\n", count, g.TimePeriod())
+		eachProfiledEdge(g, func(u, v graph.VertexID, p graph.Profile) {
+			fmt.Fprintf(bw, "t %d %d ", u, v)
+			for i := range p.Times {
+				if i > 0 {
+					bw.WriteByte(',')
+				}
+				fmt.Fprintf(bw, "%g:%g", p.Times[i], p.Costs[i])
+			}
+			bw.WriteByte('\n')
+		})
+	}
 	fmt.Fprintln(bw, "end")
 	return bw.Flush()
+}
+
+// eachProfiledEdge visits every profiled endpoint pair once, in the
+// canonical serialization order (the order of the e lines). Profiles are
+// a property of the pair — live updates apply them to every parallel
+// edge between the endpoints, and Read does the same — so parallel edges
+// emit a single t line (the first arc's profile; with profiles attached
+// through Edits/UpdateBatch all parallel arcs carry the same one).
+func eachProfiledEdge(g *graph.Graph, fn func(u, v graph.VertexID, p graph.Profile)) {
+	seen := map[[2]graph.VertexID]bool{}
+	for u := graph.VertexID(0); int(u) < g.NumVertices(); u++ {
+		ts, _ := g.Neighbors(u)
+		base := g.ArcBase(u)
+		for i, t := range ts {
+			if !g.Directed() && u > t {
+				continue
+			}
+			if p, ok := g.ArcProfile(base + int32(i)); ok {
+				key := [2]graph.VertexID{u, t}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				fn(u, t, p)
+			}
+		}
+	}
 }
 
 // WriteFile serializes d to a file.
@@ -120,6 +175,12 @@ func (p *parser) next() (string, bool) {
 
 func (p *parser) fail(msg string, args ...any) error {
 	return fmt.Errorf("%w: line %d: %s", ErrBadFormat, p.line, fmt.Sprintf(msg, args...))
+}
+
+// failWrap preserves a typed cause (graph.ErrBadProfile) alongside
+// ErrBadFormat.
+func (p *parser) failWrap(err error) error {
+	return fmt.Errorf("%w: line %d: %w", ErrBadFormat, p.line, err)
 }
 
 // Read parses a dataset from r.
@@ -257,6 +318,13 @@ func Read(r io.Reader) (*Dataset, error) {
 	if _, err := fmt.Sscanf(line, "edges %d", &numEdges); err != nil || numEdges < 0 {
 		return nil, p.fail("bad edges count %q", line)
 	}
+	pairOf := func(u, v int) [2]int {
+		if !directed && u > v {
+			u, v = v, u
+		}
+		return [2]int{u, v}
+	}
+	edgeIdx := map[[2]int][]int{}
 	for i := 0; i < numEdges; i++ {
 		line, ok = p.next()
 		if !ok {
@@ -276,10 +344,57 @@ func Read(r io.Reader) (*Dataset, error) {
 		if u == v {
 			return nil, p.fail("self-loop edge in %q", line)
 		}
-		gb.AddEdge(graph.VertexID(u), graph.VertexID(v), w)
+		idx := gb.AddEdge(graph.VertexID(u), graph.VertexID(v), w)
+		key := pairOf(u, v)
+		edgeIdx[key] = append(edgeIdx[key], idx)
 	}
 
 	line, ok = p.next()
+	if ok && strings.HasPrefix(line, "tprofiles ") {
+		var numProf int
+		var period float64
+		if _, err := fmt.Sscanf(line, "tprofiles %d %g", &numProf, &period); err != nil || numProf < 0 {
+			return nil, p.fail("bad tprofiles header %q", line)
+		}
+		if err := gb.SetTimePeriod(period); err != nil {
+			return nil, p.failWrap(err)
+		}
+		seenProf := map[[2]int]bool{}
+		for i := 0; i < numProf; i++ {
+			line, ok = p.next()
+			if !ok {
+				return nil, p.fail("truncated profile list (%d of %d)", i, numProf)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[0] != "t" {
+				return nil, p.fail("bad profile line %q", line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || u < 0 || u >= numVerts || v < 0 || v >= numVerts {
+				return nil, p.fail("bad profile endpoints in %q", line)
+			}
+			key := pairOf(u, v)
+			idxs := edgeIdx[key]
+			if len(idxs) == 0 {
+				return nil, p.fail("profile for missing edge (%d,%d)", u, v)
+			}
+			if seenProf[key] {
+				return nil, p.fail("duplicate profile for edge (%d,%d)", u, v)
+			}
+			seenProf[key] = true
+			prof, err := parseProfile(fields[3])
+			if err != nil {
+				return nil, p.failWrap(err)
+			}
+			for _, idx := range idxs {
+				if err := gb.SetEdgeProfile(idx, prof); err != nil {
+					return nil, p.failWrap(err)
+				}
+			}
+		}
+		line, ok = p.next()
+	}
 	if !ok || line != "end" {
 		return nil, p.fail("missing end marker")
 	}
@@ -296,6 +411,28 @@ func Read(r io.Reader) (*Dataset, error) {
 		}
 	}
 	return d, nil
+}
+
+// parseProfile parses the <time>:<cost>[,<time>:<cost>...] breakpoint
+// list of a t line. Structural failures wrap graph.ErrBadProfile so
+// callers reject them as invalid profiles, like the semantic checks in
+// graph.Profile.Validate.
+func parseProfile(bps string) (graph.Profile, error) {
+	var prof graph.Profile
+	for _, pair := range strings.Split(bps, ",") {
+		tc := strings.Split(pair, ":")
+		if len(tc) != 2 {
+			return prof, fmt.Errorf("%w: bad breakpoint %q", graph.ErrBadProfile, pair)
+		}
+		tm, err1 := strconv.ParseFloat(tc[0], 64)
+		c, err2 := strconv.ParseFloat(tc[1], 64)
+		if err1 != nil || err2 != nil {
+			return prof, fmt.Errorf("%w: bad breakpoint %q", graph.ErrBadProfile, pair)
+		}
+		prof.Times = append(prof.Times, tm)
+		prof.Costs = append(prof.Costs, c)
+	}
+	return prof, nil
 }
 
 // ReadFile parses a dataset from a file.

@@ -48,6 +48,18 @@ type Options struct {
 	// OnSettle, when non-nil, observes every settled vertex in ascending
 	// distance order and steers the search.
 	OnSettle func(v graph.VertexID, d float64) Control
+
+	// Metric, when non-nil and time-dependent, switches relaxation to
+	// cost-at-arrival evaluation: the arc u→t costs
+	// Metric.Cost(arc, DepartAt + dist(u)). Settled distances are then
+	// travel times from the sources. Label-setting Dijkstra stays exact
+	// because profiles are FIFO (graph.Profile.Validate enforces it). A
+	// nil or static Metric relaxes against the graph's weight column —
+	// the metric's lower-bound graph — exactly as before.
+	Metric graph.Metric
+	// DepartAt is the absolute departure time at the sources; only
+	// meaningful with a time-dependent Metric.
+	DepartAt float64
 }
 
 // Workspace holds the reusable state for searches over one graph. It is
@@ -124,6 +136,10 @@ func (w *Workspace) Run(opts Options) int {
 	w.runCount++
 	w.lastMaxSettle = 0
 	w.heap.Reset()
+	md := opts.Metric
+	if md != nil && !md.TimeDependent() {
+		md = nil // a static metric is exactly the weight column
+	}
 	bound := opts.Bound
 	if bound <= 0 {
 		bound = math.Inf(1)
@@ -156,11 +172,19 @@ func (w *Workspace) Run(opts Options) int {
 			continue
 		}
 		ts, ws := w.g.Neighbors(v)
+		var base int32
+		if md != nil {
+			base = w.g.ArcBase(v)
+		}
 		for i, t := range ts {
 			if w.settled[t] == w.epoch {
 				continue
 			}
-			nd := d + ws[i]
+			cost := ws[i]
+			if md != nil {
+				cost = md.Cost(base+int32(i), opts.DepartAt+d)
+			}
+			nd := d + cost
 			w.relaxedCount++
 			if nd >= bound {
 				continue

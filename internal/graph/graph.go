@@ -44,9 +44,17 @@ type Graph struct {
 
 	// CSR adjacency: arcs out of vertex v occupy
 	// targets[offsets[v]:offsets[v+1]] and weights[...] in parallel.
+	// weights always holds each arc's lower-bound cost: the static weight
+	// for plain arcs, the profile minimum for time-profiled arcs — so
+	// every distance derived from the raw weights is an admissible lower
+	// bound under the graph's Metric (see metric.go).
 	offsets []int32
 	targets []VertexID
 	weights []float64
+
+	// tt is the optional time-dependent cost table; nil for static
+	// graphs.
+	tt *TimeTable
 
 	// cat holds the primary category of each vertex (NoCategory for road
 	// vertices). extraCats holds additional categories for the §6
@@ -149,6 +157,9 @@ func (g *Graph) MemoryFootprintBytes() int64 {
 	b += int64(len(g.weights)) * 8
 	b += int64(len(g.cat)) * 4
 	b += int64(len(g.pois)) * 4
+	if g.tt != nil {
+		b += g.tt.memoryFootprintBytes()
+	}
 	return b
 }
 
@@ -238,6 +249,11 @@ func (g *Graph) IsConnected() bool {
 // categories and coordinates are shared. For undirected graphs it returns
 // the receiver itself. The "SkySR with destination" extension (§6) uses it
 // to compute distances TO the destination on directed networks.
+//
+// The time table is deliberately not carried onto a reversed directed
+// graph: a backward search cannot know arrival times, so every reverse
+// consumer (destination tables, index row builds) searches the
+// lower-bound graph — which is exactly the reversed weights array.
 func (g *Graph) Reversed() *Graph {
 	if !g.directed {
 		return g
@@ -292,6 +308,54 @@ type Builder struct {
 	extraCats map[VertexID][]CategoryID
 	edges     []edge
 	deleted   int
+
+	// period is the time-domain length for edge profiles (0 = unset,
+	// DefaultPeriod applies); profiles maps builder edge indexes to their
+	// travel-time profiles.
+	period   float64
+	profiles map[int]Profile
+}
+
+// SetTimePeriod declares the time-domain length edge profiles repeat
+// over. It must be called before the first SetEdgeProfile (profiles are
+// validated against the period as they are attached).
+func (b *Builder) SetTimePeriod(period float64) error {
+	if period <= 0 || math.IsNaN(period) || math.IsInf(period, 0) {
+		return fmt.Errorf("%w: period %v is not positive and finite", ErrBadProfile, period)
+	}
+	if len(b.profiles) > 0 && period != b.TimePeriod() {
+		return fmt.Errorf("%w: period changed to %v after profiles were attached", ErrBadProfile, period)
+	}
+	b.period = period
+	return nil
+}
+
+// TimePeriod returns the builder's effective profile period.
+func (b *Builder) TimePeriod() float64 {
+	if b.period > 0 {
+		return b.period
+	}
+	return DefaultPeriod
+}
+
+// SetEdgeProfile attaches a time-dependent travel-time profile to a
+// previously added edge (both arcs, on undirected graphs). The edge's
+// static weight is superseded: in the built graph its weight column
+// holds the profile's minimum — the lower-bound cost — and traversal
+// cost comes from the profile. The profile is validated against the
+// builder's period immediately.
+func (b *Builder) SetEdgeProfile(idx int, p Profile) error {
+	if idx < 0 || idx >= len(b.edges) || b.edges[idx].deleted {
+		return fmt.Errorf("graph: SetEdgeProfile on dead edge index %d", idx)
+	}
+	if err := p.Validate(b.TimePeriod()); err != nil {
+		return fmt.Errorf("edge %d: %w", idx, err)
+	}
+	if b.profiles == nil {
+		b.profiles = make(map[int]Profile)
+	}
+	b.profiles[idx] = p.clone()
+	return nil
 }
 
 // NewBuilder returns a Builder for a directed or undirected graph.
@@ -406,20 +470,52 @@ func (b *Builder) Build() *Graph {
 	}
 	targets := make([]VertexID, live*arcFactor)
 	weights := make([]float64, live*arcFactor)
+	// Time-dependent state: profiled arcs remember their profile id and
+	// store the profile minimum as their weight (the lower-bound graph
+	// invariant every pruning structure relies on). A declared period is
+	// sticky: once a builder names a time domain, the built graph keeps a
+	// (possibly profile-less) time table so the period survives edits and
+	// serialization even after the last profile is cleared.
+	var tt *TimeTable
+	if len(b.profiles) > 0 || b.period > 0 {
+		tt = &TimeTable{period: b.TimePeriod(), arcProf: make([]int32, live*arcFactor)}
+		for i := range tt.arcProf {
+			tt.arcProf[i] = -1
+		}
+	}
 	cursor := make([]int32, n)
 	copy(cursor, offsets[:n])
-	for _, e := range b.edges {
+	for i, e := range b.edges {
 		if e.deleted {
 			continue
 		}
+		w := e.w
+		pid := int32(-1)
+		if tt != nil {
+			if p, ok := b.profiles[i]; ok {
+				pid = int32(len(tt.profiles))
+				tt.profiles = append(tt.profiles, p.clone())
+				w = p.Min()
+			}
+		}
 		targets[cursor[e.u]] = e.v
-		weights[cursor[e.u]] = e.w
+		weights[cursor[e.u]] = w
+		if pid >= 0 {
+			tt.arcProf[cursor[e.u]] = pid
+		}
 		cursor[e.u]++
 		if !b.directed {
 			targets[cursor[e.v]] = e.u
-			weights[cursor[e.v]] = e.w
+			weights[cursor[e.v]] = w
+			if pid >= 0 {
+				tt.arcProf[cursor[e.v]] = pid
+			}
 			cursor[e.v]++
 		}
+	}
+
+	if tt != nil {
+		tt.finalize()
 	}
 
 	cat := make([]CategoryID, n)
@@ -447,6 +543,7 @@ func (b *Builder) Build() *Graph {
 		offsets:   offsets,
 		targets:   targets,
 		weights:   weights,
+		tt:        tt,
 		cat:       cat,
 		extraCats: extra,
 		pois:      pois,

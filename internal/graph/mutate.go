@@ -24,6 +24,18 @@ type CategoryChange struct {
 	Categories []CategoryID
 }
 
+// ProfileChange attaches a time-dependent travel-time profile to an
+// existing edge, or (with Clear) detaches one. Attaching supersedes the
+// edge's static weight: the weight column keeps the profile's minimum
+// (the lower-bound graph invariant) and traversal cost comes from the
+// profile. Clearing turns the edge back into a static edge at its
+// current lower-bound weight.
+type ProfileChange struct {
+	U, V    VertexID
+	Profile Profile // ignored when Clear
+	Clear   bool
+}
+
 // Edits is an atomic batch of graph modifications. Apply validates the
 // whole batch against the receiver before building anything, so a graph is
 // never half-updated.
@@ -35,7 +47,8 @@ type CategoryChange struct {
 type Edits struct {
 	// SetWeights assigns a new weight to existing edges. On undirected
 	// graphs the edge is matched in either orientation; parallel edges
-	// between the same endpoints all receive the new weight.
+	// between the same endpoints all receive the new weight. A weight
+	// edit makes its edge static: any attached time profile is dropped.
 	SetWeights []EdgeChange
 	// AddEdges appends new edges (both arcs on undirected graphs).
 	AddEdges []EdgeChange
@@ -45,12 +58,18 @@ type Edits struct {
 	// SetCategories replaces vertex category lists (PoI add, remove and
 	// recategorize).
 	SetCategories []CategoryChange
+	// SetProfiles attaches or clears time-dependent profiles on existing
+	// edges (both arcs on undirected graphs; all parallel edges between
+	// the endpoints). Profiles are validated against the graph's time
+	// period; invalid ones reject the whole batch with ErrBadProfile.
+	SetProfiles []ProfileChange
 }
 
 // Empty reports whether the batch contains no edits.
 func (e *Edits) Empty() bool {
 	return len(e.SetWeights) == 0 && len(e.AddEdges) == 0 &&
-		len(e.RemoveEdges) == 0 && len(e.SetCategories) == 0
+		len(e.RemoveEdges) == 0 && len(e.SetCategories) == 0 &&
+		len(e.SetProfiles) == 0
 }
 
 // Structural reports whether the batch changes the arc structure (edge
@@ -71,7 +90,7 @@ func (g *Graph) pairKey(u, v VertexID) [2]VertexID {
 
 // validate checks every edit against g. It returns the canonical-pair maps
 // the application paths reuse, so validation and application cannot drift.
-func (g *Graph) validate(e Edits) (setW map[[2]VertexID]float64, removed map[[2]VertexID]bool, err error) {
+func (g *Graph) validate(e Edits) (setW map[[2]VertexID]float64, removed map[[2]VertexID]bool, setProf map[[2]VertexID]*ProfileChange, err error) {
 	n := VertexID(g.NumVertices())
 	checkVertex := func(v VertexID, what string) error {
 		if v < 0 || v >= n {
@@ -113,53 +132,69 @@ func (g *Graph) validate(e Edits) (setW map[[2]VertexID]float64, removed map[[2]
 	setW = make(map[[2]VertexID]float64, len(e.SetWeights))
 	for _, c := range e.SetWeights {
 		if err := checkEdgeOperand(c, "weight edit", true, true); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if err := claim(c.U, c.V, "weight"); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		setW[g.pairKey(c.U, c.V)] = c.Weight
 	}
 	for _, c := range e.AddEdges {
 		if err := checkEdgeOperand(c, "edge addition", true, false); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if err := claim(c.U, c.V, "add"); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	removed = make(map[[2]VertexID]bool, len(e.RemoveEdges))
 	for _, c := range e.RemoveEdges {
 		if err := checkEdgeOperand(c, "edge removal", false, true); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if err := claim(c.U, c.V, "remove"); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		removed[g.pairKey(c.U, c.V)] = true
+	}
+	setProf = make(map[[2]VertexID]*ProfileChange, len(e.SetProfiles))
+	for i := range e.SetProfiles {
+		c := &e.SetProfiles[i]
+		if err := checkEdgeOperand(EdgeChange{U: c.U, V: c.V}, "profile edit", false, true); err != nil {
+			return nil, nil, nil, err
+		}
+		if err := claim(c.U, c.V, "profile"); err != nil {
+			return nil, nil, nil, err
+		}
+		if !c.Clear {
+			if err := c.Profile.Validate(g.TimePeriod()); err != nil {
+				return nil, nil, nil, fmt.Errorf("graph: profile edit (%d,%d): %w", c.U, c.V, err)
+			}
+		}
+		setProf[g.pairKey(c.U, c.V)] = c
 	}
 
 	seenV := map[VertexID]bool{}
 	for _, c := range e.SetCategories {
 		if err := checkVertex(c.V, "category edit"); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if seenV[c.V] {
-			return nil, nil, fmt.Errorf("graph: vertex %d appears in two category edits", c.V)
+			return nil, nil, nil, fmt.Errorf("graph: vertex %d appears in two category edits", c.V)
 		}
 		seenV[c.V] = true
 		seenC := map[CategoryID]bool{}
 		for _, cat := range c.Categories {
 			if cat == NoCategory {
-				return nil, nil, fmt.Errorf("graph: category edit of vertex %d lists NoCategory", c.V)
+				return nil, nil, nil, fmt.Errorf("graph: category edit of vertex %d lists NoCategory", c.V)
 			}
 			if seenC[cat] {
-				return nil, nil, fmt.Errorf("graph: category edit of vertex %d repeats category %d", c.V, cat)
+				return nil, nil, nil, fmt.Errorf("graph: category edit of vertex %d repeats category %d", c.V, cat)
 			}
 			seenC[cat] = true
 		}
 	}
-	return setW, removed, nil
+	return setW, removed, setProf, nil
 }
 
 // Apply returns a new graph with the batch applied; the receiver is
@@ -171,7 +206,7 @@ func (g *Graph) validate(e Edits) (setW map[[2]VertexID]float64, removed map[[2]
 // which keeps an applied graph arc-for-arc identical to a save/load round
 // trip of itself.
 func (g *Graph) Apply(e Edits) (*Graph, error) {
-	setW, removed, err := g.validate(e)
+	setW, removed, setProf, err := g.validate(e)
 	if err != nil {
 		return nil, err
 	}
@@ -179,21 +214,11 @@ func (g *Graph) Apply(e Edits) (*Graph, error) {
 	out := *g // shallow copy: immutable fields are shared
 
 	if !e.Structural() {
-		if len(e.SetWeights) > 0 {
-			weights := append([]float64(nil), g.weights...)
-			for lo, u := int32(0), VertexID(0); int(u) < g.NumVertices(); u++ {
-				hi := g.offsets[u+1]
-				for i := lo; i < hi; i++ {
-					if w, ok := setW[g.pairKey(u, g.targets[i])]; ok {
-						weights[i] = w
-					}
-				}
-				lo = hi
-			}
-			out.weights = weights
+		if len(e.SetWeights) > 0 || len(e.SetProfiles) > 0 {
+			out.patchCosts(g, setW, setProf)
 		}
 	} else {
-		if err := out.rebuildArcs(g, e, setW, removed); err != nil {
+		if err := out.rebuildArcs(g, e, setW, removed, setProf); err != nil {
 			return nil, err
 		}
 	}
@@ -235,10 +260,84 @@ func (g *Graph) Apply(e Edits) (*Graph, error) {
 	return &out, nil
 }
 
+// patchCosts clones the weight column (and, when needed, the time table)
+// of out and applies the weight and profile edits. A weight edit turns
+// its edge static — its profile, if any, is dropped — and a profile edit
+// sets the edge's weight to the profile minimum, preserving the
+// lower-bound-graph invariant. The new time table is rebuilt compactly:
+// only profiles still referenced by an arc survive.
+func (out *Graph) patchCosts(g *Graph, setW map[[2]VertexID]float64, setProf map[[2]VertexID]*ProfileChange) {
+	weights := append([]float64(nil), g.weights...)
+	var arcProf []int32
+	var profiles []Profile
+	if g.tt != nil || len(setProf) > 0 {
+		arcProf = make([]int32, len(g.targets))
+		for i := range arcProf {
+			arcProf[i] = -1
+		}
+	}
+	oldToNew := map[int32]int32{}
+	chgToNew := map[*ProfileChange]int32{}
+	for lo, u := int32(0), VertexID(0); int(u) < g.NumVertices(); u++ {
+		hi := g.offsets[u+1]
+		for i := lo; i < hi; i++ {
+			key := g.pairKey(u, g.targets[i])
+			if w, ok := setW[key]; ok {
+				weights[i] = w
+				continue // weight edit: the edge is static now
+			}
+			if pc, ok := setProf[key]; ok {
+				if pc.Clear {
+					continue // static at its current lower-bound weight
+				}
+				pid, ok2 := chgToNew[pc]
+				if !ok2 {
+					pid = int32(len(profiles))
+					profiles = append(profiles, pc.Profile.clone())
+					chgToNew[pc] = pid
+				}
+				arcProf[i] = pid
+				weights[i] = pc.Profile.Min()
+				continue
+			}
+			if g.tt != nil {
+				if op := g.tt.arcProf[i]; op >= 0 {
+					pid, ok2 := oldToNew[op]
+					if !ok2 {
+						pid = int32(len(profiles))
+						profiles = append(profiles, g.tt.profiles[op])
+						oldToNew[op] = pid
+					}
+					arcProf[i] = pid
+				}
+			}
+		}
+		lo = hi
+	}
+	out.weights = weights
+	if len(profiles) > 0 || g.tt != nil {
+		// Keep the time table even when no profiles remain: the declared
+		// period is part of the dataset's semantics (clearing the last
+		// profile must not silently revert the time domain).
+		out.tt = &TimeTable{period: g.TimePeriod(), arcProf: arcProf, profiles: profiles}
+		out.tt.finalize()
+	} else {
+		out.tt = nil
+	}
+}
+
 // rebuildArcs regenerates the CSR arrays of out from g's logical edge list
-// with removals, weight edits and additions applied, in canonical order.
-func (out *Graph) rebuildArcs(g *Graph, e Edits, setW map[[2]VertexID]float64, removed map[[2]VertexID]bool) error {
+// with removals, weight edits, profile edits and additions applied, in
+// canonical order.
+func (out *Graph) rebuildArcs(g *Graph, e Edits, setW map[[2]VertexID]float64, removed map[[2]VertexID]bool, setProf map[[2]VertexID]*ProfileChange) error {
 	b := NewBuilder(g.directed)
+	if g.tt != nil {
+		// Forward the declared period (only when one exists: forwarding
+		// the default would force a time table onto plain static graphs).
+		if err := b.SetTimePeriod(g.tt.period); err != nil {
+			return err
+		}
+	}
 	for v := VertexID(0); int(v) < g.NumVertices(); v++ {
 		// Category state is patched separately; the builder only needs the
 		// vertex slots so edge ids line up.
@@ -246,6 +345,7 @@ func (out *Graph) rebuildArcs(g *Graph, e Edits, setW map[[2]VertexID]float64, r
 	}
 	for u := VertexID(0); int(u) < g.NumVertices(); u++ {
 		ts, ws := g.Neighbors(u)
+		base := g.ArcBase(u)
 		for i, t := range ts {
 			if !g.directed && u > t {
 				continue // the u < t arc already emitted this logical edge
@@ -255,17 +355,32 @@ func (out *Graph) rebuildArcs(g *Graph, e Edits, setW map[[2]VertexID]float64, r
 				continue
 			}
 			w := ws[i]
-			if nw, ok := setW[key]; ok {
-				w = nw
+			var prof *Profile
+			if p, ok := g.ArcProfile(base + int32(i)); ok {
+				prof = &p
 			}
-			b.AddEdge(u, t, w)
+			if nw, ok := setW[key]; ok {
+				w, prof = nw, nil // weight edit: the edge is static now
+			} else if pc, ok := setProf[key]; ok {
+				if pc.Clear {
+					prof = nil
+				} else {
+					prof = &pc.Profile
+				}
+			}
+			idx := b.AddEdge(u, t, w)
+			if prof != nil {
+				if err := b.SetEdgeProfile(idx, *prof); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	for _, c := range e.AddEdges {
 		b.AddEdge(c.U, c.V, c.Weight)
 	}
 	built := b.Build()
-	out.offsets, out.targets, out.weights, out.numEdges =
-		built.offsets, built.targets, built.weights, built.numEdges
+	out.offsets, out.targets, out.weights, out.numEdges, out.tt =
+		built.offsets, built.targets, built.weights, built.numEdges, built.tt
 	return nil
 }

@@ -2,6 +2,7 @@ package skysr
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -244,6 +245,17 @@ type SearchOptions struct {
 	// wrapper that sets this field. See Engine.SearchTopK for the exact
 	// semantics and restrictions.
 	TopK int
+	// DepartAt is the departure time of the query at its start vertex, in
+	// the dataset's time domain (seconds of a day under the default
+	// period; see Engine.TimePeriod). On datasets with time-dependent
+	// edge profiles every leg is priced at the instant it is actually
+	// traversed, route lengths become travel times, and answers are exact
+	// under the FIFO profile contract — the rush-hour workload of Costa
+	// et al. On static datasets the field has no effect. Must be
+	// non-negative and finite; times past the period wrap around.
+	// SearchAt is the convenience wrapper that sets this field. The naive
+	// baseline algorithms do not support time-dependent datasets.
+	DepartAt float64
 	// ShareCache switches the default BSSR algorithm to the Engine's
 	// multi-query serving profile: modified-Dijkstra results are reused
 	// across queries (one concurrency-safe cache per Similarity), the
@@ -373,6 +385,15 @@ func (e *Engine) SearchTopK(q Query, k int, opts SearchOptions) (*Answer, error)
 	return e.SearchWith(q, opts)
 }
 
+// SearchAt answers q departing the start vertex at the given time of the
+// dataset's time domain. On time-dependent datasets (Engine
+// HasTimeProfiles) the answer's lengths are exact travel times for that
+// departure; on static datasets it is identical to SearchWith.
+func (e *Engine) SearchAt(q Query, departAt float64, opts SearchOptions) (*Answer, error) {
+	opts.DepartAt = departAt
+	return e.SearchWith(q, opts)
+}
+
 // SearchWith answers q with explicit options. The query runs against the
 // dataset version current when the call starts: a concurrent ApplyUpdates
 // publishes a new snapshot for later queries but never changes the data an
@@ -401,6 +422,12 @@ func (e *Engine) searchOn(sn *snapshot, q Query, opts SearchOptions) (*Answer, e
 		if q.IncludeRatings {
 			return nil, fmt.Errorf("skysr: top-k cannot combine with IncludeRatings")
 		}
+	}
+	if opts.DepartAt < 0 || math.IsNaN(opts.DepartAt) || math.IsInf(opts.DepartAt, 0) {
+		return nil, fmt.Errorf("skysr: departure time %v is not non-negative and finite", opts.DepartAt)
+	}
+	if sn.ds.Graph.TimeVarying() && (opts.Algorithm == NaiveDijkstra || opts.Algorithm == NaivePNE) {
+		return nil, fmt.Errorf("skysr: the naive baselines do not support time-dependent datasets")
 	}
 	f := sn.ds.Forest
 	var sim taxonomy.Similarity
@@ -433,6 +460,7 @@ func (e *Engine) searchOn(sn *snapshot, q Query, opts SearchOptions) (*Answer, e
 		copts.Aggregation = opts.Aggregation
 		copts.Epoch = sn.epoch
 		copts.TopK = opts.TopK
+		copts.DepartAt = opts.DepartAt
 		if opts.UseIndex || opts.UseCategoryIndex {
 			copts.Index = e.categoryIndex(sn)
 			copts.IndexCategories = opts.UseCategoryIndex

@@ -51,6 +51,16 @@
 // (length, semantic) score points, rank-ordered, with k = 1 byte-identical
 // to Search. See SearchTopK and package internal/topk.
 //
+// # Time-dependent routing
+//
+// Edges can carry periodic piecewise-linear FIFO travel-time profiles
+// (rush hour costs more than 3 am): SearchAt, or SearchOptions.DepartAt,
+// prices every leg at the instant it is actually traversed, and answers
+// stay exact — all pruning cuts against the metric's lower-bound graph.
+// Generate profiles with AttachTimeProfiles (or skysr-gen
+// -time-profiles), edit them live with UpdateBatch.SetEdgeProfile, and
+// see README "Time-dependent routing" for the guarantees.
+//
 // # Serving and live updates
 //
 // One Engine serves any number of goroutines: Search and SearchBatch run
@@ -65,6 +75,7 @@ package skysr
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -430,6 +441,51 @@ func PaperExample() (*Engine, VertexID, []string) {
 		names[i] = ds.Forest.Name(c)
 	}
 	return newEngine(ds), vq, names
+}
+
+// HasTimeProfiles reports whether the current dataset version carries
+// time-dependent edge profiles. Static datasets answer identically for
+// every SearchOptions.DepartAt.
+func (e *Engine) HasTimeProfiles() bool { return e.snap().ds.Graph.HasTimeProfiles() }
+
+// TimePeriod returns the length of the dataset's time domain — the
+// period its edge profiles repeat over (86400, one day in seconds, when
+// none was declared). SearchOptions.DepartAt values wrap around it.
+func (e *Engine) TimePeriod() float64 { return e.snap().ds.Graph.TimePeriod() }
+
+// NumTimeProfiles returns the number of edges carrying a time-dependent
+// profile in the current dataset version.
+func (e *Engine) NumTimeProfiles() int {
+	if tt := e.snap().ds.Graph.TimeTable(); tt != nil {
+		return tt.NumProfiles()
+	}
+	return 0
+}
+
+// AttachTimeProfiles generates deterministic rush-hour travel-time
+// profiles (two congestion peaks over the day, free flow elsewhere; see
+// internal/gen) on the given fraction of edges and applies them as one
+// live-update batch. Every generated profile's minimum equals the edge's
+// current weight, so the lower-bound graph — and with it every resident
+// category-index row — is unchanged and carried across the update. It
+// returns the number of edges profiled. skysr-gen -time-profiles and the
+// timedep benchmark build their workloads with it.
+func (e *Engine) AttachTimeProfiles(frac float64, seed int64) (int, error) {
+	if frac < 0 || frac > 1 || math.IsNaN(frac) {
+		return 0, fmt.Errorf("skysr: profile fraction %v outside [0, 1]", frac)
+	}
+	sn := e.pin()
+	specs := gen.TimeProfiles(sn.ds, frac, seed)
+	sn.release()
+	if len(specs) == 0 {
+		return 0, nil
+	}
+	b := new(UpdateBatch)
+	b.setProfiles = specs
+	if _, err := e.ApplyUpdates(b); err != nil {
+		return 0, err
+	}
+	return len(specs), nil
 }
 
 // NumVertices returns the total vertex count (road + PoI).

@@ -33,6 +33,7 @@ type UpdateBatch struct {
 	setWeights  []graph.EdgeChange
 	addEdges    []graph.EdgeChange
 	removeEdges []graph.EdgeChange
+	setProfiles []graph.ProfileChange
 	poiOps      []poiOp
 }
 
@@ -72,6 +73,40 @@ func (b *UpdateBatch) RemoveEdge(u, v VertexID) *UpdateBatch {
 	return b
 }
 
+// SetEdgeProfile attaches a time-dependent travel-time profile to the
+// existing edge u–v (the arc u→v on directed networks): a periodic
+// piecewise-linear FIFO function given as parallel breakpoint times (in
+// [0, Engine.TimePeriod()), strictly ascending) and costs. The edge's
+// static weight is superseded — its weight column becomes the profile
+// minimum, the lower-bound cost every pruning structure reads. Profiles
+// are validated when the batch is applied; invalid ones (non-FIFO,
+// unsorted breakpoints, negative costs) reject the whole batch with an
+// error wrapping graph.ErrBadProfile.
+//
+// Index repair follows the min-weight row carry rule: a profile whose
+// minimum is at least the edge's previous lower-bound weight cannot
+// shorten any lower-bound distance, so every resident row is carried;
+// one that lowers the minimum invalidates them all.
+func (b *UpdateBatch) SetEdgeProfile(u, v VertexID, times, costs []float64) *UpdateBatch {
+	b.setProfiles = append(b.setProfiles, graph.ProfileChange{
+		U: u, V: v,
+		Profile: graph.Profile{
+			Times: append([]float64(nil), times...),
+			Costs: append([]float64(nil), costs...),
+		},
+	})
+	return b
+}
+
+// ClearEdgeProfile detaches the time-dependent profile of the existing
+// edge u–v, turning it back into a static edge at its current
+// lower-bound weight (use SetEdgeWeight to change it). Distances are
+// unchanged, so every resident index row is carried.
+func (b *UpdateBatch) ClearEdgeProfile(u, v VertexID) *UpdateBatch {
+	b.setProfiles = append(b.setProfiles, graph.ProfileChange{U: u, V: v, Clear: true})
+	return b
+}
+
 // AddPoI turns the existing road vertex v into a PoI carrying the named
 // categories (at least one; the first becomes the primary category).
 func (b *UpdateBatch) AddPoI(v VertexID, categories ...string) *UpdateBatch {
@@ -94,7 +129,8 @@ func (b *UpdateBatch) Recategorize(v VertexID, categories ...string) *UpdateBatc
 
 // Len returns the number of edits in the batch.
 func (b *UpdateBatch) Len() int {
-	return len(b.setWeights) + len(b.addEdges) + len(b.removeEdges) + len(b.poiOps)
+	return len(b.setWeights) + len(b.addEdges) + len(b.removeEdges) +
+		len(b.setProfiles) + len(b.poiOps)
 }
 
 // UpdateResult reports what one ApplyUpdates batch did.
@@ -104,6 +140,7 @@ type UpdateResult struct {
 	Epoch int64
 	// Edit counts, echoing the applied batch.
 	WeightsChanged, EdgesAdded, EdgesRemoved  int
+	ProfilesSet, ProfilesCleared              int
 	PoIsAdded, PoIsRemoved, PoIsRecategorized int
 	// GraphRebuilt reports that the batch changed the arc structure, so the
 	// adjacency arrays were rebuilt; weight- and category-only batches
@@ -135,6 +172,7 @@ func (b *UpdateBatch) compile(ds *dataset.Dataset) (graph.Edits, index.Dirty, *U
 	edits.SetWeights = b.setWeights
 	edits.AddEdges = b.addEdges
 	edits.RemoveEdges = b.removeEdges
+	edits.SetProfiles = b.setProfiles
 
 	// A decreased weight or a new edge can shorten any path: every row's
 	// lower-bound guarantee is at risk. Increases and removals only grow
@@ -148,6 +186,27 @@ func (b *UpdateBatch) compile(ds *dataset.Dataset) (graph.Edits, index.Dirty, *U
 			return edits, dirty, nil, fmt.Errorf("skysr: weight edit names missing edge (%d,%d)", c.U, c.V)
 		}
 		if c.Weight < old {
+			dirty.All = true
+		}
+	}
+	// The min-weight row carry rule for profile edits: the edge's
+	// lower-bound weight becomes the profile minimum, so rows stay valid
+	// lower bounds iff the minimum did not drop. Clearing keeps the
+	// lower-bound weight, so distances cannot shrink either way.
+	for _, c := range b.setProfiles {
+		old, ok := g.EdgeWeight(c.U, c.V)
+		if !ok {
+			return edits, dirty, nil, fmt.Errorf("skysr: profile edit names missing edge (%d,%d)", c.U, c.V)
+		}
+		if c.Clear {
+			res.ProfilesCleared++
+			continue
+		}
+		if err := c.Profile.Validate(g.TimePeriod()); err != nil {
+			return edits, dirty, nil, fmt.Errorf("skysr: profile edit (%d,%d): %w", c.U, c.V, err)
+		}
+		res.ProfilesSet++
+		if c.Profile.Min() < old {
 			dirty.All = true
 		}
 	}
