@@ -21,9 +21,13 @@ type BatchOptions struct {
 	// must equal the number of queries.
 	PerQuery []SearchOptions
 	// Context, when non-nil, cancels the batch: queries not yet started
-	// are abandoned and the context's error is returned (in-flight
-	// queries finish; a single BSSR search is short). Servers should pass
-	// the request context so disconnected clients stop consuming workers.
+	// are abandoned, and in-flight queries observe the context too — it is
+	// installed as each query's SearchOptions.Context (unless PerQuery set
+	// one explicitly), so the BSSR expansion itself unwinds within one
+	// check stride of the cancel. The batch returns an error wrapping both
+	// ErrSearchCancelled/ErrDeadlineExceeded and the context's error.
+	// Servers should pass the request context so disconnected clients stop
+	// consuming workers.
 	Context context.Context
 }
 
@@ -78,21 +82,21 @@ func (e *Engine) SearchBatch(queries []Query, opts BatchOptions) ([]*Answer, err
 				if i >= len(queries) || failed.Load() {
 					return
 				}
-				if opts.Context != nil && opts.Context.Err() != nil {
-					failed.Store(true)
-					mu.Lock()
-					if firstEr == nil {
-						firstEr = fmt.Errorf("skysr: batch cancelled: %w", opts.Context.Err())
-					}
-					mu.Unlock()
-					return
-				}
 				so := opts.Options
 				if opts.PerQuery != nil {
 					so = opts.PerQuery[i]
 				}
 				so.ShareCache = true
-				ans, err := e.searchOn(sn, queries[i], so)
+				if so.Context == nil {
+					// The batch context governs every query it starts: a
+					// cancel between the claim above and the search below —
+					// or at any depth inside the search — is observed by
+					// searchOn's own pre-dispatch check and the core's
+					// cancellation seam, closing the start race a standalone
+					// pre-check here would leave open.
+					so.Context = opts.Context
+				}
+				ans, err := searchRecovered(e, sn, queries[i], so, i)
 				if err != nil {
 					failed.Store(true)
 					mu.Lock()
@@ -111,4 +115,19 @@ func (e *Engine) SearchBatch(queries []Query, opts BatchOptions) ([]*Answer, err
 		return nil, firstEr
 	}
 	return answers, nil
+}
+
+// searchRecovered runs one batch query, converting a panic into an error.
+// Batch workers run on their own goroutines, where a panic — a bug, or a
+// fault-injection hook — would kill the whole process instead of the one
+// request an HTTP middleware could contain; recovering here turns it into
+// the batch's fail-fast error path. The search's deferred pool.Put and
+// snapshot release run during the unwind, so no workspace or pin leaks.
+func searchRecovered(e *Engine, sn *snapshot, q Query, so SearchOptions, i int) (ans *Answer, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			ans, err = nil, fmt.Errorf("skysr: batch query %d panicked: %v", i, p)
+		}
+	}()
+	return e.searchOn(sn, q, so)
 }

@@ -41,6 +41,9 @@ func main() {
 	throughputOnly := flag.Bool("throughput", false, "run only the batch-serving throughput sweep (queries/sec vs workers)")
 	latencyOnly := flag.Bool("latency", false, "run only the serving-profile latency comparison (baseline vs tree-index vs category-index)")
 	churnOnly := flag.Bool("churn", false, "run only the mixed read/write live-update scenario (queries interleaved with ApplyUpdates batches)")
+	soakOnly := flag.Bool("soak", false, "run only the fault-injected HTTP serving soak (mixed query/update/cancel storm, recovery asserted afterwards)")
+	soakOps := flag.Int("soak-ops", 160, "with -soak: client operations per dataset")
+	soakWorkers := flag.Int("soak-workers", 8, "with -soak: concurrent client workers")
 	topkOnly := flag.Bool("topk", false, "run only the ranked top-k sweep (k = 1, 2, 4, 8 vs plain Search and vs k repeated Searches)")
 	timedepOnly := flag.Bool("timedep", false, "run only the cost-metric experiment (static vs constant-profile vs rush-hour time-dependent latency)")
 	jsonOut := flag.String("json", "", "with -latency, -churn, -topk or -timedep: write the machine-readable report (e.g. BENCH_PR2.json ... BENCH_PR5.json) to this path")
@@ -64,6 +67,29 @@ func main() {
 	}
 
 	h := bench.New(cfg)
+	if *soakOnly {
+		rows, err := runSoak(h.Config(), *soakOps, *soakWorkers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skysr-bench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.RenderSoak(os.Stdout, rows)
+		if *jsonOut != "" {
+			if err := bench.WriteSoakJSON(*jsonOut, h.Config(), rows); err != nil {
+				fmt.Fprintf(os.Stderr, "skysr-bench: write %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		if *check {
+			if err := bench.CheckSoak(rows); err != nil {
+				fmt.Fprintf(os.Stderr, "skysr-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("soak check passed: no leaks, one live snapshot, answers identical after the fault storm")
+		}
+		return
+	}
 	if *churnOnly {
 		rows, err := runChurn(h.Config())
 		if err != nil {

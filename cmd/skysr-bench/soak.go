@@ -1,0 +1,312 @@
+package main
+
+// The -soak scenario: a fault-injected storm against the hardened HTTP
+// serving tier (internal/serve). Concurrent clients mix plain route
+// queries, aggressively deadlined queries (timeout_ms=1), requests
+// cancelled client-side mid-flight, batches, and live weight updates,
+// while fault hooks (internal/faults) delay every m-Dijkstra run and
+// panic inside the BSSR pop loop. After the storm quiesces the scenario
+// asserts full recovery: no leaked goroutines, exactly one live
+// snapshot, and answers identical to a fresh engine rebuilt from the
+// mutated dataset — the serving tier's robustness contract.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skysr"
+	"skysr/internal/bench"
+	"skysr/internal/faults"
+	"skysr/internal/serve"
+)
+
+// soakQueryTimeout is the server-side compute budget per query; generous
+// enough that only the timeout_ms=1 requests are meant to trip it.
+const soakQueryTimeout = 5 * time.Second
+
+// runSoak executes the soak scenario for every configured dataset.
+func runSoak(cfg bench.Config, ops, workers int) ([]bench.SoakRow, error) {
+	var rows []bench.SoakRow
+	for _, name := range cfg.Datasets {
+		row, err := soakDataset(cfg, name, ops, workers)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func soakDataset(cfg bench.Config, name string, ops, workers int) (*bench.SoakRow, error) {
+	eng, err := skysr.Generate(name, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	opts := skysr.SearchOptions{UseCategoryIndex: true}
+	queries, vias, err := soakWorkload(eng, 24, cfg.Seed+811)
+	if err != nil {
+		return nil, err
+	}
+	row := &bench.SoakRow{Dataset: name, Workers: workers, Ops: ops}
+
+	// Baseline before the server exists: everything started below must be
+	// gone again before the leak count is taken.
+	baseline := runtime.NumGoroutine()
+
+	srv := serve.New(eng, serve.Config{
+		BaseOpts:     opts,
+		QueryTimeout: soakQueryTimeout,
+		// Bounds tighter than the worker count so the admission gate is
+		// genuinely contended (bursts queue; under heavier overload they
+		// spill into 429s — the deterministic 429 path is unit-tested in
+		// internal/serve).
+		MaxConcurrent: 4,
+		MaxQueue:      4,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+
+	// The serving tier logs every recovered panic with a stack dump and
+	// every applied update; during an intentional fault storm that is pure
+	// noise, so silence the default logger for the duration.
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(os.Stderr)
+
+	// Fault hooks: every m-Dijkstra run pays a delay (so the deadlined
+	// requests deterministically trip their 1ms budget at the first
+	// checkpoint after the sleep), and the BSSR pop loop occasionally
+	// panics (proving the recovery middleware under load).
+	restoreSleep := faults.Set(faults.MDijkstraRun, func(int64) { time.Sleep(2 * time.Millisecond) })
+	restorePanic := faults.Set(faults.RoutePop, func(n int64) {
+		if n%173 == 0 {
+			panic("soak: injected pop-loop fault")
+		}
+	})
+
+	began := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*997))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= ops {
+					return
+				}
+				// Jittered pacing: a zero-think-time loop degenerates into
+				// all-429s the moment the queue fills; real clients retry
+				// with backoff, and the storm should see every outcome.
+				time.Sleep(time.Duration(rng.Intn(2000)) * time.Microsecond)
+				via := vias[i%len(vias)]
+				switch i % 10 {
+				case 7:
+					soakClientCancel(client, ts.URL, via, row)
+				case 8:
+					soakBatch(client, ts.URL, vias, i, row)
+				case 9:
+					soakUpdate(client, ts.URL, eng, rng, row)
+				case 5, 6:
+					soakRoute(client, ts.URL, via, 1, row)
+				default:
+					soakRoute(client, ts.URL, via, 0, row)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	restoreSleep()
+	restorePanic()
+	ts.Close()
+	client.CloseIdleConnections()
+	row.DurationMS = float64(time.Since(began).Microseconds()) / 1000
+
+	// Recovery evidence: the storm's goroutines must all be gone, the
+	// engine must hold exactly its one live snapshot (every timed-out,
+	// cancelled and panicked query released its pin), and the answers must
+	// match a fresh engine built from the mutated dataset.
+	row.LeakedGoroutines = settleGoroutines(baseline)
+	row.LiveSnapshots = eng.LiveSnapshots()
+	identical, err := matchesFreshEngine(eng, queries, opts)
+	if err != nil {
+		return nil, err
+	}
+	row.Identical = identical
+	return row, nil
+}
+
+// soakWorkload builds n three-category queries plus the category-name
+// lists the HTTP requests are assembled from (the public Workload returns
+// opaque Requirements, so the soak draws its own from the leaf set).
+func soakWorkload(eng *skysr.Engine, n int, seed int64) ([]skysr.Query, [][]string, error) {
+	leaves := eng.LeafCategories()
+	if len(leaves) == 0 {
+		return nil, nil, fmt.Errorf("soak: dataset has no leaf categories")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	queries := make([]skysr.Query, n)
+	vias := make([][]string, n)
+	for i := range queries {
+		via := make([]string, 3)
+		q := skysr.Query{Start: int32(rng.Intn(eng.NumVertices()))}
+		for j := range via {
+			via[j] = leaves[rng.Intn(len(leaves))]
+			q.Via = append(q.Via, skysr.Category(via[j]))
+		}
+		queries[i], vias[i] = q, via
+	}
+	return queries, vias, nil
+}
+
+// soakRoute issues one GET /api/route and tallies the outcome.
+func soakRoute(client *http.Client, base string, via []string, timeoutMS int, row *bench.SoakRow) {
+	u := base + "/api/route?start=0&via=" + url.QueryEscape(strings.Join(via, ","))
+	if timeoutMS > 0 {
+		u += "&timeout_ms=" + strconv.Itoa(timeoutMS)
+	}
+	resp, err := client.Get(u)
+	if err != nil {
+		atomic.AddInt64(&row.Other, 1)
+		return
+	}
+	drainAndCount(resp, row)
+}
+
+// soakClientCancel issues a route request whose context dies after 1ms —
+// the client walks away mid-search, and the server must unwind the search
+// through the request context without leaking anything.
+func soakClientCancel(client *http.Client, base string, via []string, row *bench.SoakRow) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	u := base + "/api/route?start=0&via=" + url.QueryEscape(strings.Join(via, ","))
+	req, err := http.NewRequestWithContext(ctx, "GET", u, nil)
+	if err != nil {
+		atomic.AddInt64(&row.Other, 1)
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		atomic.AddInt64(&row.ClientCancels, 1)
+		return
+	}
+	drainAndCount(resp, row)
+}
+
+// soakBatch issues one POST /api/batch of three workload queries.
+func soakBatch(client *http.Client, base string, vias [][]string, i int, row *bench.SoakRow) {
+	type bq struct {
+		Start int      `json:"start"`
+		Via   []string `json:"via"`
+	}
+	body := struct {
+		Workers int  `json:"workers"`
+		Queries []bq `json:"queries"`
+	}{Workers: 2}
+	for j := 0; j < 3; j++ {
+		body.Queries = append(body.Queries, bq{Start: 0, Via: vias[(i+j)%len(vias)]})
+	}
+	data, _ := json.Marshal(body)
+	resp, err := client.Post(base+"/api/batch", "application/json", bytes.NewReader(data))
+	if err != nil {
+		atomic.AddInt64(&row.Other, 1)
+		return
+	}
+	drainAndCount(resp, row)
+}
+
+// soakUpdate applies one congestion-style weight bump through the update
+// endpoint, mutating the dataset while queries are in flight.
+func soakUpdate(client *http.Client, base string, eng *skysr.Engine, rng *rand.Rand, row *bench.SoakRow) {
+	for tries := 0; tries < 20; tries++ {
+		u := int32(rng.Intn(eng.NumVertices()))
+		ts, ws := eng.Neighbors(u)
+		if len(ts) == 0 {
+			continue
+		}
+		i := rng.Intn(len(ts))
+		body := fmt.Sprintf(`{"set_weights":[{"u":%d,"v":%d,"w":%g}]}`, u, ts[i], ws[i]*(1.05+rng.Float64()*0.3))
+		resp, err := client.Post(base+"/api/update", "application/json", strings.NewReader(body))
+		if err != nil {
+			atomic.AddInt64(&row.Other, 1)
+			return
+		}
+		if resp.StatusCode == http.StatusOK {
+			atomic.AddInt64(&row.Updates, 1)
+			drainBody(resp)
+			return
+		}
+		// An admission rejection is the backpressure working as designed;
+		// back off and retry so the storm still mutates the dataset (the
+		// final identity check is vacuous on a never-updated engine).
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			drainAndCount(resp, row)
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		drainAndCount(resp, row)
+		return
+	}
+	atomic.AddInt64(&row.Other, 1)
+}
+
+// drainAndCount consumes the response body and tallies the status.
+func drainAndCount(resp *http.Response, row *bench.SoakRow) {
+	drainBody(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		atomic.AddInt64(&row.OK, 1)
+	case http.StatusGatewayTimeout:
+		atomic.AddInt64(&row.Timeouts, 1)
+	case http.StatusTooManyRequests:
+		atomic.AddInt64(&row.Rejected, 1)
+	case http.StatusServiceUnavailable:
+		atomic.AddInt64(&row.Unavailable, 1)
+	case http.StatusInternalServerError:
+		atomic.AddInt64(&row.ServerPanics, 1)
+	default:
+		atomic.AddInt64(&row.Other, 1)
+	}
+}
+
+func drainBody(resp *http.Response) {
+	buf := make([]byte, 4096)
+	for {
+		if _, err := resp.Body.Read(buf); err != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+}
+
+// settleGoroutines waits for the storm's goroutines to exit and returns
+// how many remained beyond the pre-storm baseline.
+func settleGoroutines(baseline int) int {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			return 0
+		}
+		if time.Now().After(deadline) {
+			return n - baseline
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,12 +1,15 @@
 // Command skysr-serve is the prototype SkySR query service of §8: an HTTP
 // server that answers route queries over a dataset and collects the
-// three-question user survey whose aggregation is Figure 9.
+// three-question user survey whose aggregation is Figure 9. The handlers
+// and hardening live in internal/serve; this command wires flags, the
+// engine and signals together.
 //
 // Usage:
 //
 //	skysr-serve -data tokyo.skysr -addr :8080
 //	skysr-serve -preset tokyo -scale 0.25      # generate in memory
 //	skysr-serve -data tokyo.skysr -warm-index -write-index
+//	skysr-serve -preset tokyo -query-timeout 2s -max-concurrent 8
 //
 // The -index flag selects the serving profile (none, tree or category —
 // see README, "Serving profiles"); -data automatically adopts a matching
@@ -17,11 +20,11 @@
 //
 //	GET  /                 HTML page with a query form
 //	GET  /api/categories   leaf categories as JSON
-//	GET  /api/route?start=17&via=Sushi+Restaurant,Gift+Shop&dest=3&unordered=1&k=5&depart=30600
-//	POST /api/batch        {"queries":[{"start":17,"via":["Gift Shop"],"k":5,"depart":30600},...],"workers":4}
+//	GET  /api/route?start=17&via=Sushi+Restaurant,Gift+Shop&dest=3&unordered=1&k=5&depart=30600&timeout_ms=500
+//	POST /api/batch        {"queries":[{"start":17,"via":["Gift Shop"],"k":5,"depart":30600},...],"workers":4,"timeout_ms":500}
 //	POST /api/update       {"set_weights":[{"u":1,"v":2,"w":9.5}],"remove_pois":[4],
 //	                        "set_profiles":[{"u":1,"v":2,"times":[0,28800],"costs":[9.5,19]}],...}
-//	GET  /api/epoch        current dataset epoch and index repair counters
+//	GET  /api/epoch        dataset epoch, index repair counters and serving-tier gauges
 //	POST /api/survey       {"question":"Q1","option":2}
 //	GET  /api/survey       current answer ratios (Figure 9 data)
 //
@@ -38,6 +41,21 @@
 // skysr.Engine.SearchTopK) — and is capped at 64 per request; each
 // returned route carries its rank.
 //
+// # Operational limits
+//
+// Every query runs under a deadline: the smaller of -query-timeout and
+// the request's optional timeout_ms. A query that hits it unwinds through
+// the search core's cancellation seam and answers 504; a client that
+// disconnects cancels its own search the same way. The heavy endpoints
+// (route, batch, update) sit behind a bounded admission queue
+// (-max-concurrent executing, -max-queue waiting); beyond both the server
+// answers 429 with Retry-After instead of queueing unboundedly. The
+// http.Server carries read/write/idle timeouts (flags below) so slow or
+// abandoned connections cannot pin resources. On SIGTERM or SIGINT the
+// server drains: new heavy requests get 503, in-flight requests get
+// -drain-timeout to finish, then their searches are cancelled and the
+// listener closes. Handler panics become JSON 500s, not crashes.
+//
 // The server shares one Engine across all handlers: every request checks a
 // searcher workspace out of the Engine's pool instead of allocating one,
 // and /api/batch fans its queries out over Engine.SearchBatch, which also
@@ -48,34 +66,19 @@
 package main
 
 import (
-	"encoding/json"
-	"errors"
+	"context"
 	"flag"
 	"fmt"
-	"html/template"
 	"log"
-	"math"
-	"net/http"
+	"net"
 	"os"
-	"runtime"
-	"strconv"
-	"strings"
-	"sync"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"skysr"
-	"skysr/internal/bench"
+	"skysr/internal/serve"
 )
-
-type server struct {
-	eng *skysr.Engine
-	// baseOpts is the serving profile applied to every query (the -index
-	// flag); per-request parameters layer on top of it.
-	baseOpts skysr.SearchOptions
-
-	mu     sync.Mutex
-	survey *bench.Survey
-}
 
 func main() {
 	data := flag.String("data", "", "dataset file (mutually exclusive with -preset)")
@@ -87,6 +90,14 @@ func main() {
 	indexBudgetMB := flag.Int64("index-budget-mb", 0, "category-index row budget in MiB (0 = default)")
 	warmIndex := flag.Bool("warm-index", false, "build index rows for all roots and populated leaf categories at startup")
 	writeIndex := flag.Bool("write-index", false, "with -data: persist the built index to the dataset's sidecar so later cold-starts skip the rebuild")
+	queryTimeout := flag.Duration("query-timeout", 5*time.Second, "per-query compute deadline; requests may lower it with timeout_ms but not raise it (0 = unlimited)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "heavy requests executing at once (0 = 2×GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 0, "heavy requests waiting for a slot before 429s (0 = 4×max-concurrent)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
+	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout")
+	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-drain budget after SIGTERM/SIGINT")
 	flag.Parse()
 
 	var eng *skysr.Engine
@@ -156,464 +167,30 @@ func main() {
 		log.Printf("skysr-serve: index persisted to %s", sidecar)
 	}
 
-	s := &server{eng: eng, baseOpts: baseOpts, survey: bench.NewSurvey(bench.PaperQuestions())}
-	mux := http.NewServeMux()
-	s.registerRoutes(mux)
-
-	log.Printf("skysr-serve: %s on %s (index profile: %s)", eng.Stats(), *addr, *indexProfile)
-	log.Fatal(http.ListenAndServe(*addr, mux))
-}
-
-// registerRoutes wires every endpoint; the tests use it too, so a handler
-// cannot ship unregistered or untested.
-func (s *server) registerRoutes(mux *http.ServeMux) {
-	mux.HandleFunc("GET /{$}", s.handleIndex)
-	mux.HandleFunc("GET /api/categories", s.handleCategories)
-	mux.HandleFunc("GET /api/route", s.handleRoute)
-	mux.HandleFunc("POST /api/batch", s.handleBatch)
-	mux.HandleFunc("POST /api/update", s.handleUpdate)
-	mux.HandleFunc("GET /api/epoch", s.handleEpoch)
-	mux.HandleFunc("POST /api/survey", s.handleSurveyPost)
-	mux.HandleFunc("GET /api/survey", s.handleSurveyGet)
-}
-
-var indexTmpl = template.Must(template.New("index").Parse(`<!doctype html>
-<html><head><title>SkySR route suggestion</title></head>
-<body>
-<h1>SkySR route suggestion — {{.Name}}</h1>
-<p>{{.Stats}}</p>
-<form action="/api/route" method="GET">
-  start vertex: <input name="start" value="0" size="6">
-  categories (comma-separated): <input name="via" size="60"
-    placeholder="Sushi Restaurant, Art Museum, Gift Shop">
-  <input type="submit" value="Find skyline routes">
-</form>
-<p>Leaf categories: {{range .Leaves}}<code>{{.}}</code> {{end}}</p>
-</body></html>`))
-
-func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	err := indexTmpl.Execute(w, struct {
-		Name   string
-		Stats  string
-		Leaves []string
-	}{s.eng.Name(), s.eng.Stats(), s.eng.LeafCategories()})
-	if err != nil {
-		log.Printf("index render: %v", err)
-	}
-}
-
-func (s *server) handleCategories(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"all":    s.eng.Categories(),
-		"leaves": s.eng.LeafCategories(),
+	s := serve.New(eng, serve.Config{
+		BaseOpts:      baseOpts,
+		QueryTimeout:  *queryTimeout,
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
 	})
-}
-
-type routeResponse struct {
-	Algorithm string      `json:"algorithm"`
-	ElapsedMS float64     `json:"elapsed_ms"`
-	Routes    []routeJSON `json:"routes"`
-}
-
-type routeJSON struct {
-	Rank     int       `json:"rank"`
-	PoIs     []string  `json:"pois"`
-	Length   float64   `json:"length"`
-	Semantic float64   `json:"semantic"`
-	Path     []int32   `json:"path,omitempty"`
-	Lons     []float64 `json:"lons,omitempty"`
-	Lats     []float64 `json:"lats,omitempty"`
-}
-
-// maxTopKPerRequest bounds one request's k: band maintenance is O(k) per
-// pruning probe and large k widens the search, so a single request must
-// not be able to ask for an effectively unbounded enumeration.
-const maxTopKPerRequest = 64
-
-// parseTopK validates an optional k parameter (0 means unset → classic).
-func parseTopK(raw string) (int, error) {
-	if raw == "" {
-		return 0, nil
-	}
-	k, err := strconv.Atoi(raw)
-	if err != nil || k < 1 || k > maxTopKPerRequest {
-		return 0, fmt.Errorf("k must be in [1, %d]", maxTopKPerRequest)
-	}
-	return k, nil
-}
-
-// parseDepart validates an optional depart parameter (empty means 0).
-func parseDepart(raw string) (float64, error) {
-	if raw == "" {
-		return 0, nil
-	}
-	d, err := strconv.ParseFloat(raw, 64)
-	if err != nil || d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
-		return 0, fmt.Errorf("depart must be a non-negative finite number")
-	}
-	return d, nil
-}
-
-func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
-	qv := r.URL.Query()
-	start, err := strconv.Atoi(qv.Get("start"))
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad start vertex"})
-		return
+		fmt.Fprintf(os.Stderr, "skysr-serve: %v\n", err)
+		os.Exit(1)
 	}
-	var dest *int
-	if destRaw := qv.Get("dest"); destRaw != "" {
-		d, err := strconv.Atoi(destRaw)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad dest vertex"})
-			return
-		}
-		dest = &d
-	}
-	k, err := parseTopK(qv.Get("k"))
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-		return
-	}
-	depart, err := parseDepart(qv.Get("depart"))
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-		return
-	}
-	q, err := s.makeQuery(start, strings.Split(qv.Get("via"), ","), dest, qv.Get("unordered") == "1")
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-		return
-	}
-	opts := s.baseOpts
-	opts.ExpandPaths = qv.Get("expand") == "1"
-	opts.TopK = k
-	opts.DepartAt = depart
-	ans, err := s.eng.SearchWith(q, opts)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-		return
-	}
-	writeJSON(w, http.StatusOK, s.routeResponseOf(ans))
-}
-
-// makeQuery validates and assembles one query from request parameters.
-func (s *server) makeQuery(start int, via []string, dest *int, unordered bool) (skysr.Query, error) {
-	if start < 0 || start >= s.eng.NumVertices() {
-		return skysr.Query{}, fmt.Errorf("bad start vertex")
-	}
-	q := skysr.Query{Start: int32(start), Unordered: unordered}
-	for _, name := range via {
-		if trimmed := strings.TrimSpace(name); trimmed != "" {
-			q.Via = append(q.Via, skysr.Category(trimmed))
-		}
-	}
-	if len(q.Via) == 0 {
-		return skysr.Query{}, fmt.Errorf("via is required")
-	}
-	if dest != nil {
-		if *dest < 0 || *dest >= s.eng.NumVertices() {
-			return skysr.Query{}, fmt.Errorf("bad dest vertex")
-		}
-		q.Destination = int32(*dest)
-		q.HasDestination = true
-	}
-	return q, nil
-}
-
-// maxBatch bounds one /api/batch request; production clients should chunk
-// larger workloads.
-const maxBatch = 4096
-
-type batchQueryJSON struct {
-	Start     int      `json:"start"`
-	Via       []string `json:"via"`
-	Dest      *int     `json:"dest,omitempty"`
-	Unordered bool     `json:"unordered,omitempty"`
-	// K asks for ranked top-k alternatives for this query (0 = classic
-	// skyline), capped at maxTopKPerRequest like the route endpoint.
-	K int `json:"k,omitempty"`
-	// Depart is this query's departure time at its start vertex (0 =
-	// period start); meaningful on time-dependent datasets.
-	Depart float64 `json:"depart,omitempty"`
-}
-
-type batchRequest struct {
-	// Workers bounds the batch's concurrency; 0 means one per CPU.
-	Workers int              `json:"workers"`
-	Queries []batchQueryJSON `json:"queries"`
-}
-
-type batchResponse struct {
-	ElapsedMS float64         `json:"elapsed_ms"`
-	Answers   []routeResponse `json:"answers"`
-}
-
-// maxBatchWorkers bounds one batch's concurrency (each worker holds a
-// graph-sized pooled searcher workspace); the default of 0 is clamped to
-// it too, so many-core hosts cannot exceed it implicitly.
-const maxBatchWorkers = 64
-
-func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	// A maxBatch-sized batch fits comfortably in 4 MB; refuse to buffer
-	// more than that before the query-count check can even run.
-	var body batchRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&body); err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
-				map[string]string{"error": fmt.Sprintf("body exceeds %d bytes; chunk the batch", tooLarge.Limit)})
-			return
-		}
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON"})
-		return
-	}
-	if len(body.Queries) == 0 {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "queries is required"})
-		return
-	}
-	if len(body.Queries) > maxBatch {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("batch exceeds %d queries", maxBatch)})
-		return
-	}
-	if body.Workers < 0 || body.Workers > maxBatchWorkers {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("workers must be in [0, %d]", maxBatchWorkers)})
-		return
-	}
-	workers := body.Workers
-	if workers == 0 {
-		workers = min(runtime.GOMAXPROCS(0), maxBatchWorkers)
-	}
-	queries := make([]skysr.Query, len(body.Queries))
-	perQuery := make([]skysr.SearchOptions, len(body.Queries))
-	for i, bq := range body.Queries {
-		q, err := s.makeQuery(bq.Start, bq.Via, bq.Dest, bq.Unordered)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("query %d: %v", i, err)})
-			return
-		}
-		// Unlike the route endpoint's string parameter, an absent JSON k
-		// decodes to 0, so 0 must stay legal here and means "classic".
-		if bq.K < 0 || bq.K > maxTopKPerRequest {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("query %d: k must be in [0, %d] (0 or omitted = classic skyline)", i, maxTopKPerRequest)})
-			return
-		}
-		if bq.Depart < 0 || math.IsNaN(bq.Depart) || math.IsInf(bq.Depart, 0) {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("query %d: depart must be a non-negative finite number", i)})
-			return
-		}
-		queries[i] = q
-		perQuery[i] = s.baseOpts
-		perQuery[i].TopK = bq.K
-		perQuery[i].DepartAt = bq.Depart
-	}
-	began := time.Now()
-	answers, err := s.eng.SearchBatch(queries, skysr.BatchOptions{Workers: workers, PerQuery: perQuery, Context: r.Context()})
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-		return
-	}
-	resp := batchResponse{ElapsedMS: float64(time.Since(began).Microseconds()) / 1000}
-	for _, ans := range answers {
-		resp.Answers = append(resp.Answers, s.routeResponseOf(ans))
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// routeResponseOf converts an answer into its JSON form.
-func (s *server) routeResponseOf(ans *skysr.Answer) routeResponse {
-	resp := routeResponse{Algorithm: ans.Algorithm.String(), ElapsedMS: float64(ans.Elapsed.Microseconds()) / 1000}
-	for _, rt := range ans.Routes {
-		rj := routeJSON{Rank: rt.Rank, PoIs: rt.PoINames, Length: rt.LengthScore, Semantic: rt.SemanticScore, Path: rt.Path}
-		for _, p := range rt.PoIs {
-			lon, lat := s.eng.Position(p)
-			rj.Lons = append(rj.Lons, lon)
-			rj.Lats = append(rj.Lats, lat)
-		}
-		resp.Routes = append(resp.Routes, rj)
-	}
-	return resp
-}
-
-// edgeJSON is one edge operand of an update request.
-type edgeJSON struct {
-	U int32   `json:"u"`
-	V int32   `json:"v"`
-	W float64 `json:"w,omitempty"`
-}
-
-// poiJSON is one PoI operand of an update request.
-type poiJSON struct {
-	V          int32    `json:"v"`
-	Categories []string `json:"categories"`
-}
-
-// profileJSON is one time-profile operand of an update request: parallel
-// breakpoint times (in [0, period), ascending) and costs.
-type profileJSON struct {
-	U     int32     `json:"u"`
-	V     int32     `json:"v"`
-	Times []float64 `json:"times"`
-	Costs []float64 `json:"costs"`
-}
-
-// updateRequest is the JSON form of one skysr.UpdateBatch.
-type updateRequest struct {
-	SetWeights    []edgeJSON    `json:"set_weights,omitempty"`
-	AddEdges      []edgeJSON    `json:"add_edges,omitempty"`
-	RemoveEdges   []edgeJSON    `json:"remove_edges,omitempty"`
-	SetProfiles   []profileJSON `json:"set_profiles,omitempty"`
-	ClearProfiles []edgeJSON    `json:"clear_profiles,omitempty"`
-	AddPoIs       []poiJSON     `json:"add_pois,omitempty"`
-	RemovePoIs    []int32       `json:"remove_pois,omitempty"`
-	Recategorize  []poiJSON     `json:"recategorize,omitempty"`
-}
-
-// updateResponse echoes skysr.UpdateResult.
-type updateResponse struct {
-	Epoch             int64 `json:"epoch"`
-	WeightsChanged    int   `json:"weights_changed"`
-	EdgesAdded        int   `json:"edges_added"`
-	EdgesRemoved      int   `json:"edges_removed"`
-	ProfilesSet       int   `json:"profiles_set"`
-	ProfilesCleared   int   `json:"profiles_cleared"`
-	PoIsAdded         int   `json:"pois_added"`
-	PoIsRemoved       int   `json:"pois_removed"`
-	PoIsRecategorized int   `json:"pois_recategorized"`
-	GraphRebuilt      bool  `json:"graph_rebuilt"`
-	IndexInvalidated  bool  `json:"index_invalidated"`
-	RowsCarried       int   `json:"rows_carried"`
-	RowsDirtied       int   `json:"rows_dirtied"`
-}
-
-// maxUpdateEdits bounds one /api/update request.
-const maxUpdateEdits = 4096
-
-func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	var body updateRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&body); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON"})
-		return
-	}
-	batch := new(skysr.UpdateBatch)
-	for _, e := range body.SetWeights {
-		batch.SetEdgeWeight(e.U, e.V, e.W)
-	}
-	for _, e := range body.AddEdges {
-		batch.AddEdge(e.U, e.V, e.W)
-	}
-	for _, e := range body.RemoveEdges {
-		batch.RemoveEdge(e.U, e.V)
-	}
-	for _, p := range body.SetProfiles {
-		batch.SetEdgeProfile(p.U, p.V, p.Times, p.Costs)
-	}
-	for _, e := range body.ClearProfiles {
-		batch.ClearEdgeProfile(e.U, e.V)
-	}
-	for _, p := range body.AddPoIs {
-		batch.AddPoI(p.V, p.Categories...)
-	}
-	for _, v := range body.RemovePoIs {
-		batch.RemovePoI(v)
-	}
-	for _, p := range body.Recategorize {
-		batch.Recategorize(p.V, p.Categories...)
-	}
-	if batch.Len() == 0 {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "empty update batch"})
-		return
-	}
-	if batch.Len() > maxUpdateEdits {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("batch exceeds %d edits", maxUpdateEdits)})
-		return
-	}
-	res, err := s.eng.ApplyUpdates(batch)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-		return
-	}
-	log.Printf("skysr-serve: update applied: epoch %d (%d edits, %d rows carried, %d dirtied)",
-		res.Epoch, batch.Len(), res.RowsCarried, res.RowsDirtied)
-	writeJSON(w, http.StatusOK, updateResponse{
-		Epoch:             res.Epoch,
-		WeightsChanged:    res.WeightsChanged,
-		EdgesAdded:        res.EdgesAdded,
-		EdgesRemoved:      res.EdgesRemoved,
-		ProfilesSet:       res.ProfilesSet,
-		ProfilesCleared:   res.ProfilesCleared,
-		PoIsAdded:         res.PoIsAdded,
-		PoIsRemoved:       res.PoIsRemoved,
-		PoIsRecategorized: res.PoIsRecategorized,
-		GraphRebuilt:      res.GraphRebuilt,
-		IndexInvalidated:  res.IndexInvalidated,
-		RowsCarried:       res.RowsCarried,
-		RowsDirtied:       res.RowsDirtied,
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("skysr-serve: %s on %s (index profile: %s, query timeout: %s)", eng.Stats(), ln.Addr(), *indexProfile, *queryTimeout)
+	err = s.Serve(ctx, ln, serve.HTTPConfig{
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		DrainTimeout:      *drainTimeout,
 	})
-}
-
-func (s *server) handleEpoch(w http.ResponseWriter, r *http.Request) {
-	st := s.eng.CategoryIndexStats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"epoch":          s.eng.Epoch(),
-		"live_snapshots": s.eng.LiveSnapshots(),
-		"index": map[string]any{
-			"rows_built":    st.RowsBuilt,
-			"rows_carried":  st.RowsCarried,
-			"rows_repaired": st.RowsRepaired,
-			"from_sidecar":  st.FromSidecar,
-		},
-	})
-}
-
-type surveyPost struct {
-	Question string `json:"question"`
-	Option   int    `json:"option"`
-}
-
-func (s *server) handleSurveyPost(w http.ResponseWriter, r *http.Request) {
-	var body surveyPost
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON"})
-		return
-	}
-	s.mu.Lock()
-	err := s.survey.Record(bench.SurveyResponse{QuestionID: body.Question, Option: body.Option})
-	s.mu.Unlock()
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-		return
+		fmt.Fprintf(os.Stderr, "skysr-serve: %v\n", err)
+		os.Exit(1)
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "recorded"})
-}
-
-func (s *server) handleSurveyGet(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := map[string]any{}
-	for _, q := range bench.PaperQuestions() {
-		n := s.survey.Respondents(q.ID)
-		entry := map[string]any{"text": q.Text, "respondents": n}
-		if n > 0 {
-			ratios, err := s.survey.Ratios(q.ID)
-			if err == nil {
-				entry["ratios"] = map[string]float64{
-					q.Options[0]: ratios[0],
-					q.Options[1]: ratios[1],
-					q.Options[2]: ratios[2],
-				}
-			}
-		}
-		out[q.ID] = entry
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("encode response: %v", err)
-	}
+	log.Printf("skysr-serve: drained, bye")
 }

@@ -1,0 +1,117 @@
+package bench
+
+// The soak experiment hammers the hardened HTTP serving tier (see
+// internal/serve) with mixed traffic — plain routes, aggressively
+// deadlined routes, client-cancelled requests, batches, and live updates
+// — while fault-injection hooks (internal/faults) delay and panic inside
+// the search core. It then proves the tier recovered completely: no
+// goroutine leaks, exactly one live snapshot, and answers byte-identical
+// to a fresh engine built from the mutated dataset's serialization.
+//
+// The scenario runner lives in cmd/skysr-bench (it drives the public
+// skysr.Engine API and internal/serve, which this package cannot import
+// without a cycle); this file owns the row/report types, the text
+// renderer, the JSON writer (BENCH_PR7.json) and the CI gate.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// SoakRow is one dataset's soak measurement.
+type SoakRow struct {
+	Dataset string `json:"dataset"`
+	// Workers is the concurrent client count; Ops the operations they
+	// attempted in total (routes, batches, updates, cancels).
+	Workers int `json:"workers"`
+	Ops     int `json:"ops"`
+
+	// Outcome counters, as observed by the clients.
+	OK            int64 `json:"ok"`             // 200s
+	Timeouts      int64 `json:"timeouts"`       // 504s (query deadline hit)
+	Rejected      int64 `json:"rejected"`       // 429s (admission queue full)
+	Unavailable   int64 `json:"unavailable"`    // 503s (cancelled / draining)
+	ServerPanics  int64 `json:"server_panics"`  // 500s (injected panics, recovered)
+	ClientCancels int64 `json:"client_cancels"` // requests cancelled client-side
+	Updates       int64 `json:"updates"`        // live updates applied
+	Other         int64 `json:"other"`          // any response not counted above
+
+	// Recovery evidence, measured after the storm quiesced.
+	LeakedGoroutines int  `json:"leaked_goroutines"`
+	LiveSnapshots    int  `json:"live_snapshots"`
+	Identical        bool `json:"identical_to_fresh_engine"`
+
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// SoakReport is the machine-readable record the CI soak smoke writes
+// (BENCH_PR7.json), tracking the serving tier's robustness per PR.
+type SoakReport struct {
+	GeneratedAt string    `json:"generated_at"`
+	Scale       float64   `json:"scale"`
+	Seed        int64     `json:"seed"`
+	Datasets    []string  `json:"datasets"`
+	Rows        []SoakRow `json:"rows"`
+}
+
+// RenderSoak writes the soak results as a text table.
+func RenderSoak(w io.Writer, rows []SoakRow) {
+	writeln(w, "Soak: fault-injected HTTP serving (mixed query/update/cancel traffic; recovery asserted after the storm)")
+	writeln(w, "%-8s %7s %5s %6s %8s %8s %7s %7s %8s %8s %6s %5s %9s %9s",
+		"Dataset", "workers", "ops", "ok", "timeouts", "rejected", "unavail", "panics", "cancels", "updates", "leaks", "snaps", "identical", "ms")
+	for _, r := range rows {
+		writeln(w, "%-8s %7d %5d %6d %8d %8d %7d %7d %8d %8d %6d %5d %9v %9.0f",
+			r.Dataset, r.Workers, r.Ops, r.OK, r.Timeouts, r.Rejected, r.Unavailable,
+			r.ServerPanics, r.ClientCancels, r.Updates, r.LeakedGoroutines, r.LiveSnapshots,
+			r.Identical, r.DurationMS)
+	}
+}
+
+// WriteSoakJSON writes the report to path.
+func WriteSoakJSON(path string, cfg Config, rows []SoakRow) error {
+	rep := SoakReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       cfg.Scale,
+		Seed:        cfg.Seed,
+		Datasets:    cfg.Datasets,
+		Rows:        rows,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CheckSoak enforces the CI gate for the serving tier's robustness: after
+// a storm of faults and cancellations the tier must have leaked nothing
+// (no goroutines, no pinned snapshots beyond the one live version), its
+// answers must match a fresh engine exactly, some traffic must have
+// succeeded, and the faults must actually have bitten (otherwise the run
+// proved nothing).
+func CheckSoak(rows []SoakRow) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("soak check: no rows")
+	}
+	for _, r := range rows {
+		if r.LeakedGoroutines != 0 {
+			return fmt.Errorf("soak check: %s leaked %d goroutines", r.Dataset, r.LeakedGoroutines)
+		}
+		if r.LiveSnapshots != 1 {
+			return fmt.Errorf("soak check: %s holds %d live snapshots, want 1 (pinned-snapshot leak)", r.Dataset, r.LiveSnapshots)
+		}
+		if !r.Identical {
+			return fmt.Errorf("soak check: %s answers diverged from a fresh engine after the storm", r.Dataset)
+		}
+		if r.OK == 0 {
+			return fmt.Errorf("soak check: %s served no successful requests", r.Dataset)
+		}
+		if r.Timeouts+r.Rejected+r.ServerPanics+r.ClientCancels == 0 {
+			return fmt.Errorf("soak check: %s observed no faults — the storm exercised nothing", r.Dataset)
+		}
+	}
+	return nil
+}

@@ -127,6 +127,7 @@ func (s *Searcher) computeBounds(start graph.VertexID) {
 		s.ws.Run(dijkstra.Options{
 			Sources: []graph.VertexID{start},
 			Bound:   radius,
+			Halt:    s.cc.halt(),
 			OnSettle: func(v graph.VertexID, d float64) dijkstra.Control {
 				scr.reach[v] = scr.epoch
 				return dijkstra.Continue
@@ -253,8 +254,11 @@ func (s *Searcher) isSemMember(pos int, v graph.VertexID) bool {
 }
 
 // hopMinDistance runs the multi-source multi-destination Dijkstra of
-// Lemma 5.9. An empty source set, or no destination within the radius,
-// yields +Inf (which correctly prunes every route needing that hop).
+// Lemma 5.9 (the Workspace.MinDistance pattern, inlined so the run also
+// observes query cancellation). An empty source set, or no destination
+// within the radius, yields +Inf (which correctly prunes every route
+// needing that hop); so does a cancelled run, which is fine — the query
+// unwinds before the bound is ever used to prune.
 func (s *Searcher) hopMinDistance(sources []graph.VertexID, isDest func(graph.VertexID) bool, radius float64) float64 {
 	if len(sources) == 0 {
 		return math.Inf(1)
@@ -263,11 +267,20 @@ func (s *Searcher) hopMinDistance(sources []graph.VertexID, isDest func(graph.Ve
 	if !math.IsInf(radius, 1) {
 		bound = radius
 	}
-	d, _, ok := s.ws.MinDistance(sources, isDest, bound)
-	if !ok {
-		return math.Inf(1)
-	}
-	return d
+	found := math.Inf(1)
+	s.ws.Run(dijkstra.Options{
+		Sources: sources,
+		Bound:   bound,
+		Halt:    s.cc.halt(),
+		OnSettle: func(v graph.VertexID, d float64) dijkstra.Control {
+			if isDest(v) {
+				found = d
+				return dijkstra.Stop
+			}
+			return dijkstra.Continue
+		},
+	})
+	return found
 }
 
 func suffixSums(xs []float64) []float64 {

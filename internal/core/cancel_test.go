@@ -1,0 +1,199 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"skysr/internal/faults"
+	"skysr/internal/graph"
+	"skysr/internal/route"
+	"skysr/internal/taxonomy"
+)
+
+// routesMatch compares two result skylines by score vector.
+func routesMatch(a, b []*route.Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i].Length()-b[i].Length()) > 1e-9 ||
+			math.Abs(a[i].Semantic()-b[i].Semantic()) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPreExpiredDeadlineCore: a deadline already in the past must return
+// ErrDeadlineExceeded from initCancel before any traversal happens.
+func TestPreExpiredDeadlineCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	f := taxonomy.Generated(3, 2, 3)
+	d := randomDataset(rng, f, 20, 16)
+	cats := pickCats(rng, f, 3)
+
+	opts := DefaultOptions()
+	opts.Deadline = time.Now().Add(-time.Second)
+	s := NewSearcher(d, f.WuPalmer, opts)
+	res, err := s.QueryCategories(0, cats...)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if res != nil {
+		t.Fatalf("res = %+v, want nil before any traversal", res)
+	}
+
+	// A cancelled context reports the cancellation sentinel and wraps the
+	// context's own error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts = DefaultOptions()
+	opts.Context = ctx
+	s = NewSearcher(d, f.WuPalmer, opts)
+	if _, err := s.QueryCategories(0, cats...); !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCancelled wrapping context.Canceled", err)
+	}
+}
+
+// TestCancelledRunStoresNothing: a search cancelled inside its first
+// m-Dijkstra run must not publish the truncated result — neither into the
+// cross-query SharedCache nor into its own per-query cache — and the same
+// searcher must answer the identical query correctly afterwards.
+func TestCancelledRunStoresNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	f := taxonomy.Generated(3, 2, 3)
+	d := randomDataset(rng, f, 24, 18)
+	cats := pickCats(rng, f, 3)
+
+	shared := NewSharedCache(0)
+	opts := DefaultOptions()
+	opts.Shared = shared
+
+	ctx, cancel := context.WithCancel(context.Background())
+	restore := faults.Set(faults.MDijkstraRun, func(n int64) {
+		if n == 1 {
+			cancel()
+		}
+	})
+	copts := opts
+	copts.Context = ctx
+	s := NewSearcher(d, f.WuPalmer, copts)
+	res, err := s.QueryCategories(0, cats...)
+	restore()
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if res == nil || res.Routes != nil {
+		t.Fatalf("cancelled result = %+v, want partial stats with no routes", res)
+	}
+	if st := shared.Stats(); st.Entries != 0 {
+		t.Fatalf("SharedCache holds %d entries after a cancelled run, want 0 (truncated results must not be published)", st.Entries)
+	}
+
+	// The same searcher, reconfigured without the dead context, must match
+	// a fresh searcher exactly — no poisoned workspace state survives.
+	s.Reconfigure(f.WuPalmer, opts)
+	got, err := s.QueryCategories(0, cats...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewSearcher(d, f.WuPalmer, DefaultOptions()).QueryCategories(0, cats...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !routesMatch(got.Routes, fresh.Routes) {
+		t.Fatalf("post-cancel answer diverged\ngot:  %v\nwant: %v", got.Routes, fresh.Routes)
+	}
+	if st := shared.Stats(); st.Entries == 0 {
+		t.Fatal("completed run stored nothing in the SharedCache — the cancelled-run guard is too broad")
+	}
+}
+
+// TestTickUnwindsPromptly: once the canceller trips, every later tick must
+// report it immediately (the error check precedes the stride counter), so
+// a cancelled search cannot run another full stride per loop.
+func TestTickUnwindsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Searcher{opts: Options{Context: ctx}}
+	if err := s.initCancel(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	s.cc.budget = 1 // force the very next tick to consult the context
+	if !s.cc.tick() {
+		t.Fatal("tick did not observe the cancel at the stride boundary")
+	}
+	s.cc.budget = cancelStride // a fresh stride must NOT hide the tripped state
+	if !s.cc.tick() {
+		t.Fatal("tick forgot a tripped canceller mid-stride")
+	}
+	if !errors.Is(s.cc.err, ErrCancelled) {
+		t.Fatalf("cc.err = %v, want ErrCancelled", s.cc.err)
+	}
+}
+
+// TestPoolClearsCancellation: a pooled searcher must come back without the
+// previous query's context or canceller state.
+func TestPoolClearsCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	f := taxonomy.Generated(3, 2, 3)
+	d := randomDataset(rng, f, 20, 14)
+	cats := pickCats(rng, f, 2)
+
+	pool := NewSearcherPool(d)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := DefaultOptions()
+	opts.Context = ctx
+	s := pool.Get(f.WuPalmer, opts)
+	if _, err := s.QueryCategories(0, cats...); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	pool.Put(s)
+
+	s2 := pool.Get(f.WuPalmer, DefaultOptions())
+	if s2.opts.Context != nil {
+		t.Fatal("pooled searcher kept the cancelled context")
+	}
+	if s2.cc.on || s2.cc.err != nil {
+		t.Fatalf("pooled searcher kept canceller state: %+v", s2.cc)
+	}
+	res, err := s2.QueryCategories(0, cats...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewSearcher(d, f.WuPalmer, DefaultOptions()).QueryCategories(0, cats...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !routesMatch(res.Routes, fresh.Routes) {
+		t.Fatalf("pooled searcher diverged after a cancelled predecessor\ngot:  %v\nwant: %v", res.Routes, fresh.Routes)
+	}
+	pool.Put(s2)
+}
+
+// TestDeadlineTripsMidSearch: a live deadline expiring during the search
+// (forced by a fault-hook delay) unwinds with partial stats.
+func TestDeadlineTripsMidSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	f := taxonomy.Generated(3, 2, 3)
+	d := randomDataset(rng, f, 24, 18)
+	cats := pickCats(rng, f, 3)
+
+	restore := faults.Set(faults.MDijkstraRun, func(int64) { time.Sleep(3 * time.Millisecond) })
+	defer restore()
+	opts := DefaultOptions()
+	opts.Deadline = time.Now().Add(time.Millisecond)
+	s := NewSearcher(d, f.WuPalmer, opts)
+	res, err := s.QueryCategories(graph.VertexID(0), cats...)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if res == nil {
+		t.Fatal("interrupted search returned no partial stats")
+	}
+}

@@ -19,12 +19,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"skysr/internal/dataset"
 	"skysr/internal/dijkstra"
+	"skysr/internal/faults"
 	"skysr/internal/graph"
 	"skysr/internal/index"
 	"skysr/internal/pq"
@@ -119,6 +121,19 @@ type Options struct {
 	// updates). Intended for debugging and the trace-level tests; adds
 	// overhead when set.
 	Trace func(Event)
+
+	// Context, when non-nil, is observed by every search loop: once it is
+	// cancelled the query unwinds within one check stride (see
+	// cancel.go), returning ErrCancelled (or ErrDeadlineExceeded for a
+	// context deadline) with partial Stats. A nil Context with a zero
+	// Deadline leaves every code path byte-identical to the classic
+	// engine.
+	Context context.Context
+
+	// Deadline, when non-zero, is an absolute wall-clock cutoff enforced
+	// the same way as a context deadline, without requiring a context.
+	// When both are set, whichever trips first wins.
+	Deadline time.Time
 }
 
 // DefaultOptions is full BSSR: all four optimizations on.
@@ -214,6 +229,10 @@ type Searcher struct {
 	metric graph.Metric
 	dest   graph.VertexID
 	legWS  *dijkstra.Workspace
+
+	// cc is the per-query cancellation state (cancel.go); inert unless
+	// Options.Context or Options.Deadline is set.
+	cc canceller
 }
 
 // initMetric establishes the per-query cost-metric state from the
@@ -379,6 +398,9 @@ func (s *Searcher) query(start graph.VertexID, seq route.Sequence, dest graph.Ve
 	if err := s.initMetric(); err != nil {
 		return nil, err
 	}
+	if err := s.initCancel(); err != nil {
+		return nil, err
+	}
 	began := time.Now()
 	k := s.opts.effectiveTopK()
 	if k > 1 && !s.opts.DisablePathFilter {
@@ -414,18 +436,24 @@ func (s *Searcher) query(start graph.VertexID, seq route.Sequence, dest graph.Ve
 	}
 
 	// Optimization 1: seed the upper bound with NNinit (§5.3.1).
-	if s.opts.InitialSearch {
+	if s.opts.InitialSearch && !s.cc.cancelled() {
 		s.runNNinit(start)
 	}
 	// Optimization 3: possible minimum distances (§5.3.3, Algorithm 4).
-	if s.opts.LowerBounds {
+	if s.opts.LowerBounds && !s.cc.cancelled() {
 		s.computeBounds(start)
 	}
 
 	// Main loop: Algorithm 1.
 	qb := pq.NewHeap(s.queueLess())
-	s.expand(route.Empty(s.scorer), start, qb)
+	if !s.cc.cancelled() {
+		s.expand(route.Empty(s.scorer), start, qb)
+	}
 	for qb.Len() > 0 {
+		faults.Fire(faults.RoutePop)
+		if s.cc.tick() {
+			break
+		}
 		r := qb.Pop()
 		s.stats.RoutesPopped++
 		s.emit(EventPop, r)
@@ -460,6 +488,11 @@ func (s *Searcher) query(start graph.VertexID, seq route.Sequence, dest graph.Ve
 	// On-the-fly caching frees its results once the query finishes
 	// (§5.3.4): the cache rarely helps across different inputs.
 	s.cache = nil
+	if err := s.cc.err; err != nil {
+		// Interrupted: the skyline may be missing routes a finished search
+		// would have found, so only the instrumentation is returned.
+		return &Result{Stats: s.stats}, err
+	}
 	return &Result{Routes: s.sky.Routes(), Stats: s.stats}, nil
 }
 
@@ -626,6 +659,10 @@ func (s *Searcher) destLeg(v graph.VertexID, depart, budget float64) float64 {
 	if s.legWS == nil {
 		s.legWS = dijkstra.New(s.d.Graph)
 	}
+	faults.Fire(faults.DestLeg)
+	if s.cc.checkpoint() {
+		return math.Inf(1)
+	}
 	bound := budget
 	if math.IsInf(bound, 1) {
 		bound = 0 // unbounded
@@ -636,6 +673,7 @@ func (s *Searcher) destLeg(v graph.VertexID, depart, budget float64) float64 {
 		Bound:    bound,
 		Metric:   s.metric,
 		DepartAt: depart,
+		Halt:     s.cc.halt(),
 		OnSettle: func(x graph.VertexID, d float64) dijkstra.Control {
 			if x == s.dest {
 				found = d
@@ -662,7 +700,7 @@ func (s *Searcher) computeDestDistances(dest graph.VertexID) {
 	if rg != g {
 		ws = dijkstra.New(rg)
 	}
-	ws.Run(dijkstra.Options{Sources: []graph.VertexID{dest}})
+	ws.Run(dijkstra.Options{Sources: []graph.VertexID{dest}, Halt: s.cc.halt()})
 	s.destDist = make([]float64, g.NumVertices())
 	for v := graph.VertexID(0); int(v) < g.NumVertices(); v++ {
 		if d, ok := ws.Dist(v); ok {

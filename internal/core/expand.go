@@ -57,6 +57,7 @@ func (s *Searcher) shortestPath(u, v graph.VertexID, depart float64) ([]graph.Ve
 		Sources:  []graph.VertexID{u},
 		Metric:   s.searchMetric(),
 		DepartAt: depart,
+		Halt:     s.cc.halt(),
 		OnSettle: func(x graph.VertexID, d float64) dijkstra.Control {
 			if x == v {
 				found, cost = true, d
@@ -66,6 +67,9 @@ func (s *Searcher) shortestPath(u, v graph.VertexID, depart float64) ([]graph.Ve
 		},
 	})
 	if !found {
+		if err := s.cc.err; err != nil {
+			return nil, 0, err
+		}
 		return nil, 0, fmt.Errorf("core: no path from %d to %d", u, v)
 	}
 	return s.ws.PathTo(v), cost, nil

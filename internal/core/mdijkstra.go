@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"skysr/internal/faults"
 	"skysr/internal/graph"
 	"skysr/internal/index"
 	"skysr/internal/pq"
@@ -82,8 +83,13 @@ func (s *Searcher) nextPoIs(r *route.Route, from graph.VertexID) []candidate {
 			return e.items
 		}
 		e := s.sharedOrRun(from, pos, radius, depart)
-		s.cache[key] = e
-		s.accountCacheBytes()
+		if !s.cc.cancelled() {
+			// A truncated run's items stop at an arbitrary frontier; caching
+			// them could serve an incomplete candidate set to a later query
+			// on this searcher.
+			s.cache[key] = e
+			s.accountCacheBytes()
+		}
 		return e.items
 	}
 	return s.sharedOrRun(from, pos, radius, depart).items
@@ -114,7 +120,11 @@ func (s *Searcher) sharedOrRun(from graph.VertexID, pos int, radius, depart floa
 		return e
 	}
 	e := s.runMDijkstra(from, pos, radius, depart)
-	shared.store(key, e, s.opts.Epoch)
+	if !s.cc.cancelled() {
+		// Never publish a truncated run: a poisoned entry would corrupt
+		// every query sharing the cache, not just this one.
+		shared.store(key, e, s.opts.Epoch)
+	}
 	return e
 }
 
@@ -180,6 +190,13 @@ func (w *mdWorkspace) begin() uint32 {
 func (s *Searcher) runMDijkstra(from graph.VertexID, pos int, radius, depart float64) *cacheEntry {
 	s.stats.MDijkstraRuns++
 	s.emit(EventMDijkstraRun, nil)
+	// The fault hook fires before the checkpoint so a hook that cancels a
+	// context is observed within this very run, keeping cancellation
+	// deterministic on graphs far smaller than the check stride.
+	faults.Fire(faults.MDijkstraRun)
+	if s.cc.checkpoint() {
+		return &cacheEntry{}
+	}
 	originUsable := pos == 0
 	matcher := s.seq[pos]
 	g := s.d.Graph
@@ -219,6 +236,9 @@ func (s *Searcher) runMDijkstra(from graph.VertexID, pos int, radius, depart flo
 	maxSettled := 0.0
 	settled := 0
 	for h.Len() > 0 {
+		if s.cc.tick() {
+			break
+		}
 		top := h.Pop()
 		u, d := top.v, top.d
 		if w.done[u] == epoch || d > w.dist[u] {
@@ -303,7 +323,13 @@ func (s *Searcher) runMDijkstra(from graph.VertexID, pos int, radius, depart flo
 			}
 		}
 	}
-	if cut {
+	if s.cc.cancelled() {
+		// Truncated run: radius 0 and complete false make the entry
+		// unservable by both cache lookups (radius must be positive), so an
+		// aborted search can never masquerade as a finished one.
+		entry.complete = false
+		entry.radius = 0
+	} else if cut {
 		entry.radius = radius
 	} else {
 		entry.complete = true

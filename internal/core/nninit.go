@@ -57,12 +57,16 @@ func (s *Searcher) runNNinit(start graph.VertexID) {
 		}
 		next := graph.NoVertex
 		nextDist := 0.0
+		if s.cc.checkpoint() {
+			break
+		}
 		s.ws.Run(dijkstra.Options{
 			Sources: []graph.VertexID{from},
 			// Each stage of the chain departs when the chain arrives:
 			// time-dependent datasets price it at that instant.
 			Metric:   s.searchMetric(),
 			DepartAt: s.expandDepart(r),
+			Halt:     s.cc.halt(),
 			OnSettle: func(v graph.VertexID, d float64) dijkstra.Control {
 				if !g.IsPoI(v) || r.Contains(v) {
 					return dijkstra.Continue

@@ -69,7 +69,12 @@ func (s *Searcher) clearTransient() {
 	s.opts.Trace = nil
 	s.opts.Shared = nil
 	s.opts.Index = nil
+	s.opts.Context = nil
 	s.idxRows = indexRows{}
+	// Drop the cancellation state (and its context reference): a cancelled
+	// query must leave the pooled searcher indistinguishable from a fresh
+	// one — the next query arms its own canceller via initCancel.
+	s.cc = canceller{}
 }
 
 // sharedKey identifies one cacheable modified-Dijkstra run across queries.

@@ -7,6 +7,7 @@ import (
 
 	"skysr/internal/dataset"
 	"skysr/internal/dijkstra"
+	"skysr/internal/faults"
 	"skysr/internal/graph"
 	"skysr/internal/pq"
 	"skysr/internal/route"
@@ -53,6 +54,9 @@ func (s *Searcher) QueryRated(start graph.VertexID, seq route.Sequence) (*RatedR
 	if err := s.initMetric(); err != nil {
 		return nil, err
 	}
+	if err := s.initCancel(); err != nil {
+		return nil, err
+	}
 	began := time.Now()
 	k := len(seq)
 	s.seq = seq
@@ -83,10 +87,10 @@ func (s *Searcher) QueryRated(start graph.VertexID, seq route.Sequence) (*RatedR
 
 	sky3 := route.NewSkyline3()
 
-	if s.opts.InitialSearch {
+	if s.opts.InitialSearch && !s.cc.cancelled() {
 		s.ratedInit(start, sky3)
 	}
-	if s.opts.LowerBounds {
+	if s.opts.LowerBounds && !s.cc.cancelled() {
 		// Algorithm 4's radius restriction is unsound with three
 		// criteria: a route whose semantic AND rating scores are below
 		// every member's has an unbounded threshold, so no finite radius
@@ -163,8 +167,14 @@ func (s *Searcher) QueryRated(start graph.VertexID, seq route.Sequence) (*RatedR
 		}
 	}
 
-	expand(entry{r: route.Empty(s.scorer)}, start)
+	if !s.cc.cancelled() {
+		expand(entry{r: route.Empty(s.scorer)}, start)
+	}
 	for qb.Len() > 0 {
+		faults.Fire(faults.RoutePop)
+		if s.cc.tick() {
+			break
+		}
 		e := qb.Pop()
 		s.stats.RoutesPopped++
 		r := rho(e)
@@ -210,6 +220,9 @@ func (s *Searcher) QueryRated(start graph.VertexID, seq route.Sequence) (*RatedR
 	s.stats.Results = sky3.Len()
 	s.cache = nil
 
+	if err := s.cc.err; err != nil {
+		return &RatedResult{Stats: s.stats}, err
+	}
 	res := &RatedResult{Stats: s.stats}
 	for _, p := range sky3.Points() {
 		res.Routes = append(res.Routes, RatedRoute{Route: p.Route, Rating: p.R})
@@ -231,10 +244,15 @@ func (s *Searcher) ratedInit(start graph.VertexID, sky3 *route.Skyline3) {
 		matcher := s.seq[i]
 		next := graph.NoVertex
 		nextDist := 0.0
+		if s.cc.checkpoint() {
+			s.stats.InitTime = time.Since(began)
+			return
+		}
 		s.ws.Run(dijkstra.Options{
 			Sources:  []graph.VertexID{from},
 			Metric:   s.searchMetric(),
 			DepartAt: s.expandDepart(r),
+			Halt:     s.cc.halt(),
 			OnSettle: func(v graph.VertexID, d float64) dijkstra.Control {
 				if !g.IsPoI(v) || r.Contains(v) {
 					return dijkstra.Continue

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"skysr/internal/dijkstra"
+	"skysr/internal/faults"
 	"skysr/internal/graph"
 	"skysr/internal/pq"
 	"skysr/internal/route"
@@ -36,6 +37,9 @@ func (s *Searcher) QueryUnordered(start graph.VertexID, seq route.Sequence) (*Re
 	if err := s.initMetric(); err != nil {
 		return nil, err
 	}
+	if err := s.initCancel(); err != nil {
+		return nil, err
+	}
 	began := time.Now()
 	k := len(seq)
 	full := uint32(1)<<k - 1
@@ -51,7 +55,7 @@ func (s *Searcher) QueryUnordered(start graph.VertexID, seq route.Sequence) (*Re
 	s.idxRows = indexRows{} // the unordered loop takes no index shortcuts
 	s.ws.ResetStats()
 
-	if s.opts.InitialSearch {
+	if s.opts.InitialSearch && !s.cc.cancelled() {
 		s.unorderedInit(start, full)
 	}
 
@@ -99,8 +103,14 @@ func (s *Searcher) QueryUnordered(start graph.VertexID, seq route.Sequence) (*Re
 		}
 	}
 
-	expand(entry{r: route.Empty(s.scorer)}, start)
+	if !s.cc.cancelled() {
+		expand(entry{r: route.Empty(s.scorer)}, start)
+	}
 	for qb.Len() > 0 {
+		faults.Fire(faults.RoutePop)
+		if s.cc.tick() {
+			break
+		}
 		e := qb.Pop()
 		s.stats.RoutesPopped++
 		if e.r.Length() >= s.sky.Threshold(e.r.Semantic()) {
@@ -115,6 +125,9 @@ func (s *Searcher) QueryUnordered(start graph.VertexID, seq route.Sequence) (*Re
 	s.stats.SettledVertices += s.ws.SettledCount()
 	s.stats.Results = s.sky.Len()
 	s.harvestTopKStats()
+	if err := s.cc.err; err != nil {
+		return &Result{Stats: s.stats}, err
+	}
 	return &Result{Routes: s.sky.Routes(), Stats: s.stats}, nil
 }
 
@@ -155,6 +168,10 @@ func (s *Searcher) unorderedNext(r *route.Route, mask uint32, from graph.VertexI
 		}
 	}
 	s.stats.MDijkstraRuns++
+	faults.Fire(faults.MDijkstraRun)
+	if s.cc.checkpoint() {
+		return nil
+	}
 	g := s.d.Graph
 	k := len(s.seq)
 	var items []unorderedCand
@@ -168,6 +185,7 @@ func (s *Searcher) unorderedNext(r *route.Route, mask uint32, from graph.VertexI
 		Bound:    bound,
 		Metric:   s.searchMetric(),
 		DepartAt: depart,
+		Halt:     s.cc.halt(),
 		OnSettle: func(v graph.VertexID, d float64) dijkstra.Control {
 			if !g.IsPoI(v) || (v == from && !origin) {
 				return dijkstra.Continue
@@ -187,7 +205,9 @@ func (s *Searcher) unorderedNext(r *route.Route, mask uint32, from graph.VertexI
 	if s.stats.MDijkstraRuns == 1 {
 		s.stats.FirstMDijkstraRadius = s.ws.LastMaxSettledDist()
 	}
-	if s.opts.Caching {
+	if s.opts.Caching && !s.cc.cancelled() {
+		// A halted sweep is not the unbounded exploration the cache
+		// contract promises; dropping it keeps later hits complete.
 		cache[key] = items
 		var b int64
 		for _, is := range cache {
@@ -213,10 +233,14 @@ func (s *Searcher) unorderedInit(start graph.VertexID, full uint32) {
 		found := graph.NoVertex
 		foundPos := -1
 		foundDist := 0.0
+		if s.cc.checkpoint() {
+			break
+		}
 		s.ws.Run(dijkstra.Options{
 			Sources:  []graph.VertexID{from},
 			Metric:   s.searchMetric(),
 			DepartAt: s.expandDepart(r),
+			Halt:     s.cc.halt(),
 			OnSettle: func(v graph.VertexID, d float64) dijkstra.Control {
 				if !g.IsPoI(v) || r.Contains(v) {
 					return dijkstra.Continue

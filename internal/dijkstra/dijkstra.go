@@ -49,6 +49,16 @@ type Options struct {
 	// distance order and steers the search.
 	OnSettle func(v graph.VertexID, d float64) Control
 
+	// Halt, when non-nil, is polled once per heap pop; a true return
+	// aborts the search immediately, like Stop but from outside the
+	// OnSettle steering. Query cancellation and deadlines thread through
+	// here: the core installs its amortized cancellation check so every
+	// search a query runs — NNinit stages, lower-bound sweeps,
+	// destination tables, leg pricing — unwinds within one check stride
+	// of the cancel. A halted run's distances are partial; callers must
+	// not treat them as complete.
+	Halt func() bool
+
 	// Metric, when non-nil and time-dependent, switches relaxation to
 	// cost-at-arrival evaluation: the arc u→t costs
 	// Metric.Cost(arc, DepartAt + dist(u)). Settled distances are then
@@ -152,6 +162,9 @@ func (w *Workspace) Run(opts Options) int {
 	}
 	count := 0
 	for w.heap.Len() > 0 {
+		if opts.Halt != nil && opts.Halt() {
+			break
+		}
 		v, d := w.heap.Pop()
 		if d >= bound {
 			break

@@ -1,0 +1,105 @@
+// Package faults is the compiled-in fault-injection seam of the search
+// core and serving tier. Production builds carry the instrumentation
+// permanently — every instrumented site costs one atomic load when no
+// hook is installed — and tests (and the skysr-bench soak experiment)
+// install hooks to delay, panic, or cancel at precise points inside a
+// search: per-pop delays simulate slow storage and CPU contention,
+// panic-at-pop-N proves the serving tier's recovery middleware and the
+// pool/snapshot unwinding, and cancel-mid-leg drives the cancellation
+// seam from arbitrary depths.
+//
+// Hooks are process-global (the seam cuts across pooled searchers and
+// HTTP handlers, which have no per-request identity to key on), so tests
+// that install them must not run in parallel with tests that assume a
+// fault-free engine. Set returns a restore func for that reason; use it
+// with defer or t.Cleanup.
+package faults
+
+import "sync/atomic"
+
+// Point identifies one instrumented site in the search core.
+type Point int32
+
+const (
+	// RoutePop fires on every partial route popped by a BSSR-family main
+	// loop (ordered, destination, unordered, rated, top-k).
+	RoutePop Point = iota
+	// MDijkstraRun fires at the start of every modified-Dijkstra
+	// expansion (Algorithm 2).
+	MDijkstraRun
+	// DestLeg fires at the start of every exact destination-leg pricing
+	// search (time-dependent destination queries).
+	DestLeg
+	numPoints
+)
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	switch p {
+	case RoutePop:
+		return "route-pop"
+	case MDijkstraRun:
+		return "mdijkstra-run"
+	case DestLeg:
+		return "dest-leg"
+	default:
+		return "unknown-point"
+	}
+}
+
+// hook pairs an installed function with its firing counter. The counter
+// lives beside the function so a Set/restore cycle starts counting from
+// one again.
+type hook struct {
+	fn func(n int64)
+	n  atomic.Int64
+}
+
+var (
+	// installed counts active hooks; Enabled is a single atomic load off
+	// it so the hot paths pay nothing else when the seam is idle.
+	installed atomic.Int32
+	hooks     [numPoints]atomic.Pointer[hook]
+)
+
+// Enabled reports whether any hook is installed. Hot paths gate Fire
+// behind it so a fault-free run pays one atomic load per instrumented
+// event.
+func Enabled() bool { return installed.Load() != 0 }
+
+// Fire invokes the hook installed at p, passing the 1-based count of
+// firings since installation. It is a no-op when p has no hook. The hook
+// runs on the calling goroutine: it may sleep, panic, or cancel a
+// context, and the search core is expected to unwind cleanly from all
+// three.
+func Fire(p Point) {
+	h := hooks[p].Load()
+	if h == nil {
+		return
+	}
+	h.fn(h.n.Add(1))
+}
+
+// Set installs fn at p, replacing any previous hook, and returns a func
+// restoring the point to its uninstalled state. Tests must call restore
+// (defer or t.Cleanup) so later tests see a fault-free engine.
+func Set(p Point, fn func(n int64)) (restore func()) {
+	if hooks[p].Swap(&hook{fn: fn}) == nil {
+		installed.Add(1)
+	}
+	return func() {
+		if hooks[p].Swap(nil) != nil {
+			installed.Add(-1)
+		}
+	}
+}
+
+// Reset uninstalls every hook. Test helpers call it to guarantee a clean
+// slate regardless of restore discipline.
+func Reset() {
+	for p := Point(0); p < numPoints; p++ {
+		if hooks[p].Swap(nil) != nil {
+			installed.Add(-1)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package faults
+
+import "testing"
+
+func TestFireCountsAndRestore(t *testing.T) {
+	if Enabled() {
+		t.Fatal("seam enabled before any Set")
+	}
+	Fire(RoutePop) // no hook: must be a no-op
+
+	var seen []int64
+	restore := Set(RoutePop, func(n int64) { seen = append(seen, n) })
+	if !Enabled() {
+		t.Fatal("seam not enabled after Set")
+	}
+	Fire(RoutePop)
+	Fire(RoutePop)
+	Fire(MDijkstraRun) // different point: no hook
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("hook saw %v, want [1 2]", seen)
+	}
+
+	restore()
+	if Enabled() {
+		t.Fatal("seam still enabled after restore")
+	}
+	Fire(RoutePop)
+	if len(seen) != 2 {
+		t.Fatalf("hook fired after restore: %v", seen)
+	}
+	restore() // second restore must not underflow the install count
+	if Enabled() {
+		t.Fatal("double restore corrupted the install count")
+	}
+}
+
+func TestSetReplacesAndCountsFresh(t *testing.T) {
+	defer Reset()
+	var a, b int64
+	Set(DestLeg, func(n int64) { a = n })
+	Fire(DestLeg)
+	Fire(DestLeg)
+	Set(DestLeg, func(n int64) { b = n })
+	Fire(DestLeg)
+	if a != 2 {
+		t.Fatalf("first hook saw %d fires, want 2", a)
+	}
+	if b != 1 {
+		t.Fatalf("replacement hook saw n=%d, want a fresh count of 1", b)
+	}
+	Reset()
+	if Enabled() {
+		t.Fatal("Reset left the seam enabled")
+	}
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// HTTPConfig tunes the http.Server wrapped around a serve.Server. The
+// zero value applies the defaults documented on each field — chosen so an
+// unconfigured server is still safe against slow-loris clients and
+// abandoned connections.
+type HTTPConfig struct {
+	// ReadHeaderTimeout bounds reading one request's headers (default 5s).
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading one whole request (default 30s).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one whole response, measured from the
+	// end of the headers (default 60s — batch responses can be large).
+	WriteTimeout time.Duration
+	// IdleTimeout bounds how long a keep-alive connection may sit idle
+	// (default 120s).
+	IdleTimeout time.Duration
+	// DrainTimeout bounds the graceful drain after ctx is cancelled
+	// (default 15s): in-flight requests get this long to finish before
+	// their searches are cancelled through the deadline seam and the
+	// listener is torn down.
+	DrainTimeout time.Duration
+}
+
+func (hc HTTPConfig) withDefaults() HTTPConfig {
+	if hc.ReadHeaderTimeout <= 0 {
+		hc.ReadHeaderTimeout = 5 * time.Second
+	}
+	if hc.ReadTimeout <= 0 {
+		hc.ReadTimeout = 30 * time.Second
+	}
+	if hc.WriteTimeout <= 0 {
+		hc.WriteTimeout = 60 * time.Second
+	}
+	if hc.IdleTimeout <= 0 {
+		hc.IdleTimeout = 120 * time.Second
+	}
+	if hc.DrainTimeout <= 0 {
+		hc.DrainTimeout = 15 * time.Second
+	}
+	return hc
+}
+
+// Serve runs the hardened HTTP tier on ln until ctx is cancelled (the
+// caller typically derives ctx from SIGTERM/SIGINT via
+// signal.NotifyContext), then drains gracefully:
+//
+//  1. New heavy requests are rejected with 503 + Retry-After.
+//  2. In-flight requests get HTTPConfig.DrainTimeout to finish.
+//  3. On overrun, the lifecycle context — the BaseContext of every
+//     request, and hence the parent of every search's context — is
+//     cancelled, so stuck searches unwind through the core's cancellation
+//     seam; stragglers get a short grace period, then the server closes.
+//
+// Serve owns ln and always closes it. It returns nil after a drain
+// (graceful or forced) and the listener error otherwise.
+func (s *Server) Serve(ctx context.Context, ln net.Listener, hc HTTPConfig) error {
+	hc = hc.withDefaults()
+	// lifecycle outlives ctx: requests must keep their context through the
+	// polite phase of the drain and lose it only when the budget runs out.
+	lifecycle, kill := context.WithCancel(context.Background())
+	defer kill()
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: hc.ReadHeaderTimeout,
+		ReadTimeout:       hc.ReadTimeout,
+		WriteTimeout:      hc.WriteTimeout,
+		IdleTimeout:       hc.IdleTimeout,
+		BaseContext:       func(net.Listener) context.Context { return lifecycle },
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		// The listener failed on its own; nothing is serving anymore.
+		return err
+	case <-ctx.Done():
+	}
+	s.draining.Store(true)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), hc.DrainTimeout)
+	err := srv.Shutdown(shutdownCtx)
+	cancel()
+	if err != nil {
+		// Polite drain overran its budget: cancel every in-flight request's
+		// context so searches unwind through the deadline seam, give the
+		// unwound handlers a moment to write their 503s, then tear down.
+		kill()
+		graceCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		err = srv.Shutdown(graceCtx)
+		cancel()
+		if err != nil {
+			srv.Close()
+		}
+	}
+	// Shutdown makes Serve return http.ErrServerClosed; reap the goroutine.
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

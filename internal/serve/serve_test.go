@@ -1,24 +1,48 @@
-package main
+package serve
 
 import (
+	"context"
 	"encoding/json"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"skysr"
-	"skysr/internal/bench"
+	"skysr/internal/faults"
 )
 
-func testServer(t *testing.T) (*server, *http.ServeMux) {
+func testServer(t *testing.T) (*Server, http.Handler) {
 	t.Helper()
 	eng, _, _ := skysr.PaperExample()
-	s := &server{eng: eng, survey: bench.NewSurvey(bench.PaperQuestions())}
-	mux := http.NewServeMux()
-	s.registerRoutes(mux)
-	return s, mux
+	s := New(eng, Config{})
+	return s, s.Handler()
+}
+
+// leakCheck fails the test if it ends with more goroutines than it
+// started with. Registered before the server under test so its cleanup
+// runs last (cleanups are LIFO), after the server's own teardown.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= base {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d goroutines, started with %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+	})
 }
 
 func TestIndexPage(t *testing.T) {
@@ -154,6 +178,8 @@ func TestRouteEndpointErrors(t *testing.T) {
 		"missing via":      "/api/route?start=0",
 		"unknown category": "/api/route?start=0&via=Nonexistent",
 		"bad dest":         "/api/route?start=0&via=Gift+Shop&dest=zz",
+		"bad timeout":      "/api/route?start=0&via=Gift+Shop&timeout_ms=0",
+		"huge timeout":     "/api/route?start=0&via=Gift+Shop&timeout_ms=99999999",
 	}
 	for name, url := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -235,6 +261,7 @@ func TestBatchEndpointErrors(t *testing.T) {
 		"unknown category": `{"queries":[{"start":0,"via":["Nonexistent"]}]}`,
 		"bad dest":         `{"queries":[{"start":0,"via":["Gift Shop"],"dest":-2}]}`,
 		"bad workers":      `{"workers":1000,"queries":[{"start":0,"via":["Gift Shop"]}]}`,
+		"bad timeout":      `{"timeout_ms":-1,"queries":[{"start":0,"via":["Gift Shop"]}]}`,
 	}
 	for name, body := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -307,13 +334,6 @@ func TestSurveyEndpoints(t *testing.T) {
 	if out["Q1"].Ratios["I love it"] != 0.5 {
 		t.Errorf("Q1 ratios = %v", out["Q1"].Ratios)
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func TestUpdateEndpoint(t *testing.T) {
@@ -469,3 +489,269 @@ func TestTimeDependentEndpoints(t *testing.T) {
 func itoa(v int32) string { return strconv.Itoa(int(v)) }
 
 func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// TestQueryTimeout injects a per-m-Dijkstra-run delay and asks for a 1ms
+// budget: the first checkpoint after the delay observes the expired
+// deadline, the search unwinds through the cancellation seam, and the
+// handler answers 504. The engine must stay fully usable afterwards.
+func TestQueryTimeout(t *testing.T) {
+	leakCheck(t)
+	s, mux := testServer(t)
+	restore := faults.Set(faults.MDijkstraRun, func(int64) { time.Sleep(5 * time.Millisecond) })
+	defer restore()
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET",
+		"/api/route?start=0&via=Asian+Restaurant,Arts+%26+Entertainment,Gift+Shop&timeout_ms=1", nil))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504: %s", rec.Code, rec.Body.String())
+	}
+	if n := s.timeouts.Load(); n != 1 {
+		t.Errorf("timeouts counter = %d, want 1", n)
+	}
+
+	// Batch-level timeout_ms behaves the same.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/api/batch", strings.NewReader(
+		`{"timeout_ms":1,"queries":[{"start":0,"via":["Asian Restaurant","Arts & Entertainment","Gift Shop"]}]}`)))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("batch status = %d, want 504: %s", rec.Code, rec.Body.String())
+	}
+
+	// With the fault gone, the same request succeeds and snapshots are clean.
+	restore()
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET",
+		"/api/route?start=0&via=Asian+Restaurant,Arts+%26+Entertainment,Gift+Shop", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-timeout status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if n := s.eng.LiveSnapshots(); n != 1 {
+		t.Errorf("live snapshots = %d, want 1 (timed-out queries must release their pins)", n)
+	}
+}
+
+// TestPanicRecovery injects a panic into the search core and checks the
+// middleware converts it into a JSON 500 without crashing the server or
+// leaking the query's snapshot pin.
+func TestPanicRecovery(t *testing.T) {
+	leakCheck(t)
+	s, mux := testServer(t)
+	restore := faults.Set(faults.RoutePop, func(int64) { panic("injected fault") })
+	defer restore()
+
+	// A single-category query finishes in the initial expansion without
+	// ever popping, so the multi-category query is the one that reaches
+	// the RoutePop site.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET",
+		"/api/route?start=0&via=Asian+Restaurant,Arts+%26+Entertainment,Gift+Shop", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500: %s", rec.Code, rec.Body.String())
+	}
+	var out map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("500 body is not JSON: %v", err)
+	}
+	if n := s.panics.Load(); n != 1 {
+		t.Errorf("panics counter = %d, want 1", n)
+	}
+
+	// Batch workers run on their own goroutines where middleware cannot
+	// reach; SearchBatch itself converts the panic into a 400-path error.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("POST", "/api/batch",
+		strings.NewReader(`{"queries":[{"start":0,"via":["Asian Restaurant","Arts & Entertainment","Gift Shop"]}]}`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("batch status = %d, want 400: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "panicked") {
+		t.Errorf("batch error body = %s, want a panic message", rec.Body.String())
+	}
+
+	restore()
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/route?start=0&via=Gift+Shop", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-panic status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if n := s.eng.LiveSnapshots(); n != 1 {
+		t.Errorf("live snapshots = %d, want 1 (panicked queries must release their pins)", n)
+	}
+}
+
+// TestAdmissionSaturation fills the single execution slot and the
+// single-deep queue, then checks the next request is rejected immediately
+// with 429 + Retry-After rather than queueing unboundedly.
+func TestAdmissionSaturation(t *testing.T) {
+	leakCheck(t)
+	eng, _, _ := skysr.PaperExample()
+	s := New(eng, Config{MaxConcurrent: 1, MaxQueue: 1})
+	h := s.Handler()
+
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	restore := faults.Set(faults.RoutePop, func(n int64) {
+		if n == 1 {
+			entered <- struct{}{}
+			<-gate
+		}
+	})
+	defer restore()
+	defer close(gate)
+
+	var wg sync.WaitGroup
+	codes := make([]int, 2)
+	for i := range codes {
+		if i == 1 {
+			<-entered // the first request holds the slot before the second queues
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			// The multi-category query reaches the RoutePop site (a
+			// single-category one finishes in the initial expansion).
+			h.ServeHTTP(rec, httptest.NewRequest("GET",
+				"/api/route?start=0&via=Asian+Restaurant,Arts+%26+Entertainment,Gift+Shop", nil))
+			codes[i] = rec.Code
+		}(i)
+	}
+
+	// Wait for the second request to be counted as queued.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.adm.queueDepth() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("second request never queued (depth = %d)", s.adm.queueDepth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/route?start=0&via=Gift+Shop", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated status = %d, want 429: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+	if n := s.rejected.Load(); n != 1 {
+		t.Errorf("rejected counter = %d, want 1", n)
+	}
+
+	// The epoch endpoint bypasses admission and reports the saturation.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/epoch", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("epoch status under load = %d", rec.Code)
+	}
+	var epochOut struct {
+		Serving struct {
+			InFlight      int64 `json:"in_flight"`
+			QueueDepth    int64 `json:"queue_depth"`
+			MaxConcurrent int   `json:"max_concurrent"`
+			MaxQueue      int   `json:"max_queue"`
+			Rejected      int64 `json:"rejected"`
+		} `json:"serving"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &epochOut); err != nil {
+		t.Fatal(err)
+	}
+	sv := epochOut.Serving
+	if sv.InFlight != 1 || sv.QueueDepth != 1 || sv.MaxConcurrent != 1 || sv.MaxQueue != 1 || sv.Rejected != 1 {
+		t.Errorf("serving block = %+v, want in_flight 1, queue_depth 1, caps 1/1, rejected 1", sv)
+	}
+
+	// Release the gate: both held requests complete successfully.
+	close(entered)
+	gate <- struct{}{} // wake the first request
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Errorf("request %d status = %d, want 200", i, code)
+		}
+	}
+}
+
+// TestDrainingRejectsHeavyEndpoints flips the draining flag and checks
+// heavy endpoints answer 503 + Retry-After while monitoring stays up.
+func TestDrainingRejectsHeavyEndpoints(t *testing.T) {
+	s, mux := testServer(t)
+	s.draining.Store(true)
+	for _, req := range []*http.Request{
+		httptest.NewRequest("GET", "/api/route?start=0&via=Gift+Shop", nil),
+		httptest.NewRequest("POST", "/api/batch", strings.NewReader(`{"queries":[{"start":0,"via":["Gift Shop"]}]}`)),
+		httptest.NewRequest("POST", "/api/update", strings.NewReader(`{"set_weights":[{"u":0,"v":1,"w":2}]}`)),
+	} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("%s %s status = %d, want 503", req.Method, req.URL.Path, rec.Code)
+		}
+		if rec.Header().Get("Retry-After") == "" {
+			t.Errorf("%s %s missing Retry-After", req.Method, req.URL.Path)
+		}
+	}
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/epoch", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("epoch status while draining = %d, want 200", rec.Code)
+	}
+	var out struct {
+		Serving struct {
+			Draining bool `json:"draining"`
+		} `json:"serving"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Serving.Draining {
+		t.Error("epoch endpoint does not report draining")
+	}
+}
+
+// TestGracefulDrain runs the full lifecycle on a real listener: serve a
+// request, cancel the lifecycle context, and check Serve drains and
+// returns without leaking its goroutines.
+func TestGracefulDrain(t *testing.T) {
+	leakCheck(t)
+	eng, _, _ := skysr.PaperExample()
+	s := New(eng, Config{QueryTimeout: 5 * time.Second})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln, HTTPConfig{DrainTimeout: 5 * time.Second}) }()
+
+	url := "http://" + ln.Addr().String() + "/api/route?start=0&via=Gift+Shop"
+	resp, err := http.Get(url)
+	if err != nil {
+		cancel()
+		t.Fatalf("request against live server: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live status = %d", resp.StatusCode)
+	}
+	http.DefaultClient.CloseIdleConnections()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v after drain, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+	if !s.draining.Load() {
+		t.Error("server not marked draining after shutdown")
+	}
+	if n := s.eng.LiveSnapshots(); n != 1 {
+		t.Errorf("live snapshots after drain = %d, want 1", n)
+	}
+}

@@ -1,6 +1,8 @@
 package skysr
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -207,6 +209,19 @@ func (a Algorithm) String() string {
 	}
 }
 
+// Typed search-interruption errors. Both match with errors.Is; when a
+// context caused the interruption the returned error also wraps the
+// context's error, so errors.Is(err, context.Canceled) and errors.Is(err,
+// context.DeadlineExceeded) hold where applicable.
+var (
+	// ErrSearchCancelled reports a search abandoned because its
+	// SearchOptions.Context was cancelled.
+	ErrSearchCancelled = core.ErrCancelled
+	// ErrDeadlineExceeded reports a search abandoned because its
+	// SearchOptions.Deadline (or its context's deadline) passed.
+	ErrDeadlineExceeded = core.ErrDeadlineExceeded
+)
+
 // SearchOptions tunes a Search beyond the defaults. The zero value means:
 // BSSR with all optimizations, Wu–Palmer similarity, product aggregation.
 type SearchOptions struct {
@@ -268,6 +283,40 @@ type SearchOptions struct {
 	// runs; it has no effect on BSSRNoOpt (a pure ablation) or the naive
 	// baselines.
 	ShareCache bool
+	// Context, when non-nil, cancels the search: the BSSR expansion loops
+	// observe it on an amortized schedule (every search start and every
+	// ~1024 units of hot-loop work) and unwind, returning an Answer whose
+	// Routes are nil but whose Stats describe the work done, alongside
+	// ErrSearchCancelled (or ErrDeadlineExceeded when the context's
+	// deadline caused it). The engine, its pools, caches and snapshots
+	// remain fully usable afterwards. The naive baselines check it only
+	// before starting. A nil Context costs nothing.
+	Context context.Context
+	// Deadline, when non-zero, is an absolute wall-clock cutoff enforced
+	// like a context deadline without requiring a context; past it the
+	// search returns ErrDeadlineExceeded the same way. When both Context
+	// and Deadline are set, whichever trips first wins.
+	Deadline time.Time
+}
+
+// interrupted reports whether the options are already cancelled or past
+// deadline, as the search core would report it. It is the pre-dispatch
+// check: algorithms that do not thread cancellation internally (the naive
+// baselines) still refuse to start, in O(1), once their caller has given
+// up.
+func (o SearchOptions) interrupted() error {
+	if o.Context != nil {
+		if err := o.Context.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return fmt.Errorf("%w: %w", ErrDeadlineExceeded, err)
+			}
+			return fmt.Errorf("%w: %w", ErrSearchCancelled, err)
+		}
+	}
+	if !o.Deadline.IsZero() && !time.Now().Before(o.Deadline) {
+		return ErrDeadlineExceeded
+	}
+	return nil
 }
 
 // Query is one SkySR query.
@@ -429,6 +478,9 @@ func (e *Engine) searchOn(sn *snapshot, q Query, opts SearchOptions) (*Answer, e
 	if sn.ds.Graph.TimeVarying() && (opts.Algorithm == NaiveDijkstra || opts.Algorithm == NaivePNE) {
 		return nil, fmt.Errorf("skysr: the naive baselines do not support time-dependent datasets")
 	}
+	if err := opts.interrupted(); err != nil {
+		return nil, err
+	}
 	f := sn.ds.Forest
 	var sim taxonomy.Similarity
 	switch opts.Similarity {
@@ -461,6 +513,8 @@ func (e *Engine) searchOn(sn *snapshot, q Query, opts SearchOptions) (*Answer, e
 		copts.Epoch = sn.epoch
 		copts.TopK = opts.TopK
 		copts.DepartAt = opts.DepartAt
+		copts.Context = opts.Context
+		copts.Deadline = opts.Deadline
 		if opts.UseIndex || opts.UseCategoryIndex {
 			copts.Index = e.categoryIndex(sn)
 			copts.IndexCategories = opts.UseCategoryIndex
@@ -483,6 +537,9 @@ func (e *Engine) searchOn(sn *snapshot, q Query, opts SearchOptions) (*Answer, e
 			}
 			res, err := s.QueryRated(q.Start, seq)
 			if err != nil {
+				if res != nil {
+					return partialAnswer(opts.Algorithm, &res.Stats, began), err
+				}
 				return nil, err
 			}
 			return buildRatedAnswer(sn, q, opts, res, began, s)
@@ -500,6 +557,9 @@ func (e *Engine) searchOn(sn *snapshot, q Query, opts SearchOptions) (*Answer, e
 			res, err = s.Query(q.Start, seq)
 		}
 		if err != nil {
+			if res != nil {
+				return partialAnswer(opts.Algorithm, &res.Stats, began), err
+			}
 			return nil, err
 		}
 		routes = res.Routes
@@ -534,6 +594,14 @@ func (e *Engine) searchOn(sn *snapshot, q Query, opts SearchOptions) (*Answer, e
 		return nil, fmt.Errorf("skysr: unknown algorithm %d", opts.Algorithm)
 	}
 	return buildAnswer(sn, q, opts, routes, stats, began, nil, graph.NoVertex)
+}
+
+// partialAnswer packages the instrumentation of an interrupted search:
+// no routes, but the Stats of the work done before cancellation, so
+// callers can account for abandoned queries. It is returned alongside the
+// interruption error.
+func partialAnswer(alg Algorithm, stats *core.Stats, began time.Time) *Answer {
+	return &Answer{Algorithm: alg, Stats: stats, Elapsed: time.Since(began)}
 }
 
 // buildRatedAnswer converts a three-criteria result into an Answer.
