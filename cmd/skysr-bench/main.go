@@ -16,6 +16,8 @@
 //	skysr-bench -churn -json BENCH_PR3.json -check
 //	skysr-bench -topk -json BENCH_PR4.json -check
 //	skysr-bench -timedep -json BENCH_PR5.json -check
+//	skysr-bench -soak -json BENCH_PR7.json -check
+//	skysr-bench -httpload -json BENCH_PR8.json -check
 package main
 
 import (
@@ -44,6 +46,9 @@ func main() {
 	soakOnly := flag.Bool("soak", false, "run only the fault-injected HTTP serving soak (mixed query/update/cancel storm, recovery asserted afterwards)")
 	soakOps := flag.Int("soak-ops", 160, "with -soak: client operations per dataset")
 	soakWorkers := flag.Int("soak-workers", 8, "with -soak: concurrent client workers")
+	httploadOnly := flag.Bool("httpload", false, "run only the HTTP load + observability scenario (concurrent clients, /metrics scraped mid-run, counter exactness and instrumentation overhead gated)")
+	httploadOps := flag.Int("httpload-ops", 200, "with -httpload: route requests per (dataset, workers) point")
+	httploadWorkers := flag.String("httpload-workers", "1,4,8", "with -httpload: comma-separated concurrent client counts")
 	topkOnly := flag.Bool("topk", false, "run only the ranked top-k sweep (k = 1, 2, 4, 8 vs plain Search and vs k repeated Searches)")
 	timedepOnly := flag.Bool("timedep", false, "run only the cost-metric experiment (static vs constant-profile vs rush-hour time-dependent latency)")
 	jsonOut := flag.String("json", "", "with -latency, -churn, -topk or -timedep: write the machine-readable report (e.g. BENCH_PR2.json ... BENCH_PR5.json) to this path")
@@ -67,6 +72,38 @@ func main() {
 	}
 
 	h := bench.New(cfg)
+	if *httploadOnly {
+		var workerCounts []int
+		for _, s := range splitList(*httploadWorkers) {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "skysr-bench: bad -httpload-workers value %q\n", s)
+				os.Exit(2)
+			}
+			workerCounts = append(workerCounts, n)
+		}
+		rows, overhead, err := runHTTPLoad(h.Config(), *httploadOps, workerCounts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skysr-bench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.RenderHTTPLoad(os.Stdout, rows, overhead)
+		if *jsonOut != "" {
+			if err := bench.WriteHTTPLoadJSON(*jsonOut, h.Config(), rows, overhead); err != nil {
+				fmt.Fprintf(os.Stderr, "skysr-bench: write %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		if *check {
+			if err := bench.CheckHTTPLoad(rows, overhead); err != nil {
+				fmt.Fprintf(os.Stderr, "skysr-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("httpload check passed: scrapes parse under load, counters exact, throughput scales, overhead within 1.05×")
+		}
+		return
+	}
 	if *soakOnly {
 		rows, err := runSoak(h.Config(), *soakOps, *soakWorkers)
 		if err != nil {

@@ -15,13 +15,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
-	"log"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
-	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -32,6 +29,7 @@ import (
 	"skysr"
 	"skysr/internal/bench"
 	"skysr/internal/faults"
+	"skysr/internal/logx"
 	"skysr/internal/serve"
 )
 
@@ -77,15 +75,13 @@ func soakDataset(cfg bench.Config, name string, ops, workers int) (*bench.SoakRo
 		// internal/serve).
 		MaxConcurrent: 4,
 		MaxQueue:      4,
+		// The serving tier logs every recovered panic with a stack dump
+		// and every applied update; during an intentional fault storm that
+		// is pure noise.
+		Logger: logx.Discard(),
 	})
 	ts := httptest.NewServer(srv.Handler())
 	client := ts.Client()
-
-	// The serving tier logs every recovered panic with a stack dump and
-	// every applied update; during an intentional fault storm that is pure
-	// noise, so silence the default logger for the duration.
-	log.SetOutput(io.Discard)
-	defer log.SetOutput(os.Stderr)
 
 	// Fault hooks: every m-Dijkstra run pays a delay (so the deadlined
 	// requests deterministically trip their 1ms budget at the first

@@ -27,6 +27,8 @@
 //	GET  /api/epoch        dataset epoch, index repair counters and serving-tier gauges
 //	POST /api/survey       {"question":"Q1","option":2}
 //	GET  /api/survey       current answer ratios (Figure 9 data)
+//	GET  /metrics          Prometheus text exposition (see README, "Observability")
+//	GET  /debug/pprof/     net/http/pprof profiles, only with -pprof
 //
 // The optional depart parameter (per route request, per batch query) sets
 // the departure time at the start vertex; on datasets carrying
@@ -63,13 +65,22 @@
 // dataset while the server keeps answering: updates publish a new snapshot
 // epoch, in-flight queries finish on the epoch they started on, and the
 // category index is repaired incrementally (see README, "Live updates").
+//
+// # Observability
+//
+// GET /metrics serves the engine's search-stage counters and histograms
+// plus the per-endpoint HTTP series in Prometheus text format (no
+// client dependency — see internal/metrics and README, "Observability").
+// All log output is structured key=value lines through internal/logx;
+// -log-level selects the threshold (debug logs one line per request).
+// -pprof mounts net/http/pprof under /debug/pprof/ for live profiling;
+// it is off by default because profile endpoints expose internals.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"os"
 	"os/signal"
@@ -77,6 +88,7 @@ import (
 	"time"
 
 	"skysr"
+	"skysr/internal/logx"
 	"skysr/internal/serve"
 )
 
@@ -98,10 +110,18 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout")
 	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-drain budget after SIGTERM/SIGINT")
+	logLevel := flag.String("log-level", "info", "log threshold: debug, info, warn, error or off (debug logs every request)")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default: profiling exposes internals)")
 	flag.Parse()
 
+	level, err := logx.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skysr-serve: %v\n", err)
+		os.Exit(2)
+	}
+	logger := logx.New(os.Stderr, level)
+
 	var eng *skysr.Engine
-	var err error
 	switch {
 	case *data != "" && *preset != "":
 		fmt.Fprintln(os.Stderr, "skysr-serve: use either -data or -preset")
@@ -137,8 +157,8 @@ func main() {
 		os.Exit(2)
 	}
 	if st := eng.CategoryIndexStats(); st.FromSidecar {
-		log.Printf("skysr-serve: index cold-start skipped: %d rows (%d KiB) loaded from %s",
-			st.RowsBuilt, st.Bytes>>10, skysr.IndexSidecarPath(*data))
+		logger.Info("index cold-start skipped",
+			"rows", st.RowsBuilt, "kib", st.Bytes>>10, "sidecar", skysr.IndexSidecarPath(*data))
 	}
 	if *warmIndex {
 		began := time.Now()
@@ -156,7 +176,7 @@ func main() {
 			os.Exit(1)
 		}
 		st := eng.CategoryIndexStats()
-		log.Printf("skysr-serve: index warmed: %d rows (%d KiB) in %s", n, st.Bytes>>10, time.Since(began).Round(time.Millisecond))
+		logger.Info("index warmed", "rows", n, "kib", st.Bytes>>10, "elapsed", time.Since(began).Round(time.Millisecond))
 	}
 	if *writeIndex {
 		sidecar := skysr.IndexSidecarPath(*data)
@@ -164,7 +184,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "skysr-serve: write index: %v\n", err)
 			os.Exit(1)
 		}
-		log.Printf("skysr-serve: index persisted to %s", sidecar)
+		logger.Info("index persisted", "sidecar", sidecar)
 	}
 
 	s := serve.New(eng, serve.Config{
@@ -172,6 +192,8 @@ func main() {
 		QueryTimeout:  *queryTimeout,
 		MaxConcurrent: *maxConcurrent,
 		MaxQueue:      *maxQueue,
+		Logger:        logger,
+		EnablePprof:   *enablePprof,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -180,7 +202,8 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("skysr-serve: %s on %s (index profile: %s, query timeout: %s)", eng.Stats(), ln.Addr(), *indexProfile, *queryTimeout)
+	logger.Info("serving", "dataset", eng.Stats(), "addr", ln.Addr().String(),
+		"index_profile", *indexProfile, "query_timeout", *queryTimeout, "pprof", *enablePprof)
 	err = s.Serve(ctx, ln, serve.HTTPConfig{
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ReadTimeout:       *readTimeout,
@@ -192,5 +215,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "skysr-serve: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("skysr-serve: drained, bye")
+	logger.Info("drained, bye")
 }

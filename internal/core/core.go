@@ -331,6 +331,7 @@ func (s *Searcher) prepareIndexRows() {
 			ir.any = true
 		}
 	}
+	s.stats.IndexCovered = ir.covered
 }
 
 // noSemanticReachable reports that the index proves no semantically
@@ -656,6 +657,9 @@ func (s *Searcher) destLeg(v graph.VertexID, depart, budget float64) float64 {
 	if v == s.dest {
 		return 0
 	}
+	s.stats.DestLegRuns++
+	began := time.Now()
+	defer func() { s.stats.DestLegTime += time.Since(began) }()
 	if s.legWS == nil {
 		s.legWS = dijkstra.New(s.d.Graph)
 	}

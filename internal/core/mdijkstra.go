@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"time"
 
 	"skysr/internal/faults"
 	"skysr/internal/graph"
@@ -189,6 +190,8 @@ func (w *mdWorkspace) begin() uint32 {
 // the same relationship to the origin.
 func (s *Searcher) runMDijkstra(from graph.VertexID, pos int, radius, depart float64) *cacheEntry {
 	s.stats.MDijkstraRuns++
+	mdBegan := time.Now()
+	defer func() { s.stats.MDijkstraTime += time.Since(mdBegan) }()
 	s.emit(EventMDijkstraRun, nil)
 	// The fault hook fires before the checkpoint so a hook that cancels a
 	// context is observed within this very run, keeping cancellation

@@ -19,6 +19,10 @@ import (
 type SearcherPool struct {
 	d *dataset.Dataset
 	p sync.Pool
+	// inUse counts searchers currently checked out (the pool-occupancy
+	// gauge): each one holds graph-sized workspaces, so this is also a
+	// transient-memory signal.
+	inUse atomic.Int64
 }
 
 // NewSearcherPool returns an empty pool over d.
@@ -29,6 +33,7 @@ func NewSearcherPool(d *dataset.Dataset) *SearcherPool {
 // Get returns a Searcher configured with sim and opts, reusing a pooled
 // one when available.
 func (p *SearcherPool) Get(sim taxonomy.Similarity, opts Options) *Searcher {
+	p.inUse.Add(1)
 	if s, ok := p.p.Get().(*Searcher); ok {
 		s.Reconfigure(sim, opts)
 		return s
@@ -41,9 +46,14 @@ func (p *SearcherPool) Put(s *Searcher) {
 	if s == nil {
 		return
 	}
+	p.inUse.Add(-1)
 	s.clearTransient()
 	p.p.Put(s)
 }
+
+// InUse returns the number of searchers currently checked out of the
+// pool — the occupancy gauge the metrics layer samples at scrape time.
+func (p *SearcherPool) InUse() int64 { return p.inUse.Load() }
 
 // Reconfigure repoints the searcher at a new similarity function and
 // option set, keeping the reusable workspaces. The per-query state is

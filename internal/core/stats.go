@@ -17,9 +17,21 @@ type Stats struct {
 	// SharedCache (Options.Shared); zero when no cache is attached.
 	SharedCacheHits int64
 
+	// MDijkstraTime totals wall time spent inside runMDijkstra across the
+	// query (the m-Dijkstra stage of the per-search stage breakdown; runs
+	// triggered from NNinit also count toward InitTime, which measures the
+	// whole §5.3.1 phase).
+	MDijkstraTime time.Duration
+
 	// SettledVertices totals graph vertices settled across all searches —
 	// the Table 8 "number of vertices visited" metric.
 	SettledVertices int64
+
+	// IndexCovered reports that every position's category-index rows were
+	// resident or buildable for this query (see indexRows.covered): the
+	// §5.3.3 bounds came from index lookups, not per-query Dijkstras.
+	// Always false when no index profile is active.
+	IndexCovered bool
 
 	// FirstMDijkstraRadius is the explored radius of the first modified
 	// Dijkstra execution — the Table 7 "weight sum" search-space metric.
@@ -38,6 +50,11 @@ type Stats struct {
 	PrunedByBounds  int64   // routes dropped by §5.3.3 pruning
 	PrunedThreshold int64   // routes dropped by the Eq. 3 threshold at pop
 	PrunedByIndex   int64   // routes dropped by the tree-distance index
+
+	// Destination leg (§6 "SkySR with destination", time-dependent exact
+	// pricing; see destLeg).
+	DestLegRuns int64
+	DestLegTime time.Duration
 
 	// Queue and memory accounting (Table 6).
 	RoutesEnqueued int64

@@ -1,0 +1,162 @@
+package logx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// capture returns a logger writing into buf with a frozen clock.
+func capture(level Level) (*Logger, *strings.Builder) {
+	var buf strings.Builder
+	l := New(&buf, level)
+	l.s.now = func() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) }
+	return l, &buf
+}
+
+func TestLineFormat(t *testing.T) {
+	l, buf := capture(LevelInfo)
+	l.Info("update applied", "epoch", 3, "edits", int64(5), "ok", true, "ratio", 1.5)
+	want := "ts=2026-08-08T12:00:00.000Z level=info msg=\"update applied\" epoch=3 edits=5 ok=true ratio=1.5\n"
+	if buf.String() != want {
+		t.Fatalf("line = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	l, buf := capture(LevelWarn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	out := buf.String()
+	if strings.Contains(out, "level=debug") || strings.Contains(out, "level=info") {
+		t.Errorf("below-threshold lines written:\n%s", out)
+	}
+	if !strings.Contains(out, "level=warn") || !strings.Contains(out, "level=error") {
+		t.Errorf("at/above-threshold lines missing:\n%s", out)
+	}
+	l.SetLevel(LevelDebug)
+	l.Debug("now visible")
+	if !strings.Contains(buf.String(), "now visible") {
+		t.Error("SetLevel did not lower the threshold")
+	}
+}
+
+func TestWithBindsFields(t *testing.T) {
+	l, buf := capture(LevelDebug)
+	req := l.With("endpoint", "route", "method", "GET")
+	req.Debug("request", "status", 200)
+	if !strings.Contains(buf.String(), " endpoint=route method=GET status=200") {
+		t.Fatalf("bound fields missing: %q", buf.String())
+	}
+	// The child shares the parent's level.
+	req.SetLevel(LevelOff)
+	buf.Reset()
+	l.Error("silenced")
+	if buf.String() != "" {
+		t.Errorf("parent wrote after child SetLevel(off): %q", buf.String())
+	}
+}
+
+func TestValueFormatting(t *testing.T) {
+	l, buf := capture(LevelInfo)
+	l.Info("m",
+		"dur", 1500*time.Millisecond,
+		"err", errors.New("boom failed"),
+		"quoted", "a b",
+		"eq", "a=b",
+		"empty", "",
+		"nilv", nil,
+	)
+	out := buf.String()
+	for _, want := range []string{
+		"dur=1.5s", `err="boom failed"`, `quoted="a b"`, `eq="a=b"`, `empty=""`, "nilv=<nil>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestMalformedPairs(t *testing.T) {
+	l, buf := capture(LevelInfo)
+	l.Info("m", 42, "v", "dangling")
+	out := buf.String()
+	if !strings.Contains(out, "!BADKEY=v") || !strings.Contains(out, "dangling=!MISSING") {
+		t.Fatalf("malformed pairs not flagged: %q", out)
+	}
+}
+
+func TestNilLoggerIsSilent(t *testing.T) {
+	var l *Logger
+	l.Info("into the void", "k", "v") // must not panic
+	l.SetLevel(LevelDebug)
+	if l.Enabled(LevelError) {
+		t.Error("nil logger reports enabled")
+	}
+	if child := l.With("k", "v"); child != nil {
+		t.Error("nil logger's With returned non-nil")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, "warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, "off": LevelOff,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted nonsense")
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	l, buf := capture(LevelInfo)
+	ctx := NewContext(context.Background(), l.With("req", "abc"))
+	FromContext(ctx).Info("handled")
+	if !strings.Contains(buf.String(), "req=abc") {
+		t.Fatalf("context logger lost fields: %q", buf.String())
+	}
+	if FromContext(context.Background()) != nil {
+		t.Error("empty context returned a logger")
+	}
+}
+
+func TestConcurrentLines(t *testing.T) {
+	l, buf := capture(LevelInfo)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Info("line", "worker", w, "i", i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("got %d lines, want 800", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "ts=") || !strings.Contains(line, "msg=line") {
+			t.Fatalf("interleaved or malformed line: %q", line)
+		}
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if fmt.Sprint(LevelDebug, LevelInfo, LevelWarn, LevelError, LevelOff) != "debug info warn error off" {
+		t.Errorf("level names wrong: %v", fmt.Sprint(LevelDebug, LevelInfo, LevelWarn, LevelError, LevelOff))
+	}
+}

@@ -1,0 +1,345 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func scrape(t *testing.T, r *Registry) (string, map[string]float64) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	samples, err := ParseText(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, buf.String())
+	}
+	return buf.String(), samples
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("requests_total", "Requests served.")
+	g := r.Gauge("queue_depth", "Requests waiting.")
+	c.Inc()
+	c.Add(41)
+	g.Set(7)
+	g.Add(-3)
+	if c.Value() != 42 || g.Value() != 4 {
+		t.Fatalf("counter %d gauge %d, want 42 and 4", c.Value(), g.Value())
+	}
+	_, samples := scrape(t, r)
+	if samples["requests_total"] != 42 || samples["queue_depth"] != 4 {
+		t.Fatalf("scraped %v", samples)
+	}
+}
+
+func TestCounterDecrementPanics(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total", "c")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestLabeledSeries(t *testing.T) {
+	r := New()
+	a := r.Counter("hits_total", "Hits.", L("cache", "query"))
+	b := r.Counter("hits_total", "Hits.", L("cache", "shared"))
+	a.Add(3)
+	b.Add(5)
+	_, samples := scrape(t, r)
+	if samples[`hits_total{cache="query"}`] != 3 || samples[`hits_total{cache="shared"}`] != 5 {
+		t.Fatalf("scraped %v", samples)
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := New()
+	r.Counter("weird_total", "w", L("path", "a\\b\"c\nd")).Inc()
+	text, samples := scrape(t, r)
+	want := `weird_total{path="a\\b\"c\nd"}`
+	if samples[want] != 1 {
+		t.Fatalf("escaped sample missing; got:\n%s", text)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := New()
+	r.Counter("x_total", "x")
+	for name, fn := range map[string]func(){
+		"same name+labels":  func() { r.Counter("x_total", "x") },
+		"conflicting type":  func() { r.Gauge("x_total", "x") },
+		"invalid name":      func() { r.Counter("0bad", "x") },
+		"invalid label":     func() { r.Counter("y_total", "y", L("0bad", "v")) },
+		"histogram le":      func() { r.Histogram("h", "h", []float64{1}, L("le", "1")) },
+		"unsorted buckets":  func() { r.Histogram("h2", "h", []float64{2, 1}) },
+		"non-finite bucket": func() { r.Histogram("h3", "h", []float64{1, math.Inf(1)}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: registration did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestHistogramBucketPlacement pins the le semantics: bounds are
+// inclusive upper bounds, and exposition buckets are cumulative.
+func TestHistogramBucketPlacement(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{1, 2, 3})
+	for _, v := range []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0} {
+		h.Observe(v)
+	}
+	_, samples := scrape(t, r)
+	for key, want := range map[string]float64{
+		`lat_seconds_bucket{le="1"}`:    2, // 0.5, 1.0 — the boundary lands in its own bucket
+		`lat_seconds_bucket{le="2"}`:    4,
+		`lat_seconds_bucket{le="3"}`:    6,
+		`lat_seconds_bucket{le="+Inf"}`: 6,
+		"lat_seconds_count":             6,
+		"lat_seconds_sum":               10.5,
+	} {
+		if samples[key] != want {
+			t.Errorf("%s = %v, want %v", key, samples[key], want)
+		}
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	r := New()
+	h := r.Histogram("h_seconds", "h", []float64{1, 10})
+	h.Observe(10.0001)
+	h.Observe(1e12)
+	_, samples := scrape(t, r)
+	if samples[`h_seconds_bucket{le="10"}`] != 0 {
+		t.Errorf("finite buckets = %v, want 0", samples[`h_seconds_bucket{le="10"}`])
+	}
+	if samples[`h_seconds_bucket{le="+Inf"}`] != 2 || samples["h_seconds_count"] != 2 {
+		t.Errorf("overflow bucket/count wrong: %v", samples)
+	}
+	if samples["h_seconds_sum"] != 10.0001+1e12 {
+		t.Errorf("sum = %v", samples["h_seconds_sum"])
+	}
+}
+
+// TestHistogramZeroObservations checks an untouched histogram still
+// renders a complete, parseable family with all-zero samples.
+func TestHistogramZeroObservations(t *testing.T) {
+	r := New()
+	r.Histogram("idle_seconds", "Never observed.", []float64{0.5, 1})
+	text, samples := scrape(t, r)
+	for _, key := range []string{
+		`idle_seconds_bucket{le="0.5"}`,
+		`idle_seconds_bucket{le="1"}`,
+		`idle_seconds_bucket{le="+Inf"}`,
+		"idle_seconds_sum",
+		"idle_seconds_count",
+	} {
+		got, ok := samples[key]
+		if !ok {
+			t.Fatalf("missing %s in:\n%s", key, text)
+		}
+		if got != 0 {
+			t.Errorf("%s = %v, want 0", key, got)
+		}
+	}
+	if !strings.Contains(text, "# TYPE idle_seconds histogram") {
+		t.Errorf("missing TYPE header:\n%s", text)
+	}
+}
+
+func TestHistogramLabeledBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("req_seconds", "r", []float64{1}, L("endpoint", "route"))
+	h.Observe(0.5)
+	_, samples := scrape(t, r)
+	if samples[`req_seconds_bucket{endpoint="route",le="1"}`] != 1 {
+		t.Fatalf("labeled bucket missing: %v", samples)
+	}
+	if samples[`req_seconds_count{endpoint="route"}`] != 1 {
+		t.Fatalf("labeled count missing: %v", samples)
+	}
+}
+
+// TestHistogramAccumulationProperty drives random observations against a
+// brute-force reference. Single-threaded, the CAS float accumulation
+// performs the same additions in the same order as the reference, so the
+// sum must match bit-for-bit, and every bucket count exactly.
+func TestHistogramAccumulationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		nb := 1 + rng.Intn(10)
+		bounds := make([]float64, 0, nb)
+		x := rng.Float64() * 0.01
+		for len(bounds) < nb {
+			x += rng.Float64() + 1e-9
+			bounds = append(bounds, x)
+		}
+		r := New()
+		h := r.Histogram("p_seconds", "p", bounds)
+		refCounts := make([]int64, nb+1)
+		refSum := 0.0
+		var refCount int64
+		for i := 0; i < 200; i++ {
+			v := rng.Float64() * x * 1.5
+			if rng.Intn(10) == 0 {
+				v = bounds[rng.Intn(nb)] // exact boundary hits
+			}
+			h.Observe(v)
+			refSum += v
+			refCount++
+			j := 0
+			for j < nb && v > bounds[j] {
+				j++
+			}
+			refCounts[j]++
+		}
+		if h.Sum() != refSum {
+			t.Fatalf("trial %d: sum %v != reference %v", trial, h.Sum(), refSum)
+		}
+		if h.Count() != refCount {
+			t.Fatalf("trial %d: count %d != reference %d", trial, h.Count(), refCount)
+		}
+		_, samples := scrape(t, r)
+		var cum int64
+		for j := range refCounts {
+			cum += refCounts[j]
+			le := "+Inf"
+			if j < nb {
+				le = formatFloat(bounds[j])
+			}
+			key := "p_seconds_bucket{le=\"" + le + "\"}"
+			if samples[key] != float64(cum) {
+				t.Fatalf("trial %d: %s = %v, want %d", trial, key, samples[key], cum)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := New()
+	h := r.Histogram("q_seconds", "q", []float64{1, 2, 4})
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty quantile = %v, want 0", h.Quantile(0.5))
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(0.99) // all in the first bucket
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > 1 {
+		t.Errorf("p50 = %v, want within (0, 1]", q)
+	}
+	h.Observe(100) // overflow: attributed to the top finite bound
+	if q := h.Quantile(1); q != 4 {
+		t.Errorf("p100 with overflow = %v, want 4", q)
+	}
+}
+
+func TestGaugeAndCounterFuncs(t *testing.T) {
+	r := New()
+	v := 3.5
+	r.GaugeFunc("temp", "t", func() float64 { return v })
+	r.CounterFunc("ticks_total", "t", func() float64 { return 9 })
+	_, samples := scrape(t, r)
+	if samples["temp"] != 3.5 || samples["ticks_total"] != 9 {
+		t.Fatalf("scraped %v", samples)
+	}
+	v = math.Inf(1)
+	_, samples = scrape(t, r)
+	if !math.IsInf(samples["temp"], 1) {
+		t.Fatalf("inf gauge = %v", samples["temp"])
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	for name, in := range map[string]string{
+		"bad name":        "0bad 1",
+		"no value":        "metric_name",
+		"bad value":       "metric_name one",
+		"bad label name":  `m{0bad="v"} 1`,
+		"unquoted label":  `m{k=v} 1`,
+		"unterminated":    `m{k="v} 1`,
+		"bad escape":      `m{k="a\x"} 1`,
+		"duplicate":       "m 1\nm 2",
+		"bad type":        "# TYPE m rainbow",
+		"malformed type":  "# TYPE m",
+		"malformed help":  "# HELP",
+		"bad timestamp":   "m 1 soon",
+		"trailing fields": "m 1 2 3",
+	} {
+		if _, err := ParseText([]byte(in)); err == nil {
+			t.Errorf("%s: ParseText(%q) accepted", name, in)
+		}
+	}
+}
+
+func TestParseTextValues(t *testing.T) {
+	samples, err := ParseText([]byte("# bare comment\nup 1\nlat{q=\"0.5\"} 0.25 1712345678\ninf +Inf\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples["up"] != 1 || samples[`lat{q="0.5"}`] != 0.25 || !math.IsInf(samples["inf"], 1) {
+		t.Fatalf("parsed %v", samples)
+	}
+}
+
+// TestConcurrentObserveAndScrape hammers every metric type while scraping
+// in a loop; run under -race this is the package's data-race guard.
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total", "c")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h_seconds", "h", DefTimeBuckets)
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 5000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) / 1000)
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := r.WriteText(&buf); err != nil {
+				t.Errorf("WriteText: %v", err)
+				return
+			}
+			if _, err := ParseText(buf.Bytes()); err != nil {
+				t.Errorf("mid-storm scrape invalid: %v", err)
+				return
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	scraper.Wait()
+	if c.Value() != 20000 || h.Count() != 20000 || g.Value() != 20000 {
+		t.Fatalf("lost updates: counter %d, histogram %d, gauge %d", c.Value(), h.Count(), g.Value())
+	}
+}

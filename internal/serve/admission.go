@@ -73,16 +73,16 @@ func (s *Server) admit(next http.HandlerFunc) http.HandlerFunc {
 		if s.draining.Load() {
 			s.rejected.Add(1)
 			w.Header().Set("Retry-After", retryAfter)
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "server is draining"})
+			s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "server is draining"})
 			return
 		}
 		if err := s.adm.acquire(r.Context()); err != nil {
 			s.rejected.Add(1)
 			w.Header().Set("Retry-After", retryAfter)
 			if errors.Is(err, errSaturated) {
-				writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "server overloaded; retry later"})
+				s.writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "server overloaded; retry later"})
 			} else {
-				writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "request abandoned while queued"})
+				s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "request abandoned while queued"})
 			}
 			return
 		}

@@ -8,6 +8,12 @@
 // (lifecycle.go). The skysr-bench soak experiment drives this package
 // directly, with fault injection enabled, to prove the tier recovers
 // without goroutine or snapshot leaks.
+//
+// The tier is observable end to end: GET /metrics exposes the engine's
+// search-stage instrumentation and the per-endpoint HTTP series in
+// Prometheus text format (metrics.go), every log line goes through a
+// leveled structured logger (internal/logx), and Config.EnablePprof
+// mounts the net/http/pprof handlers for live profiling.
 package serve
 
 import (
@@ -16,7 +22,6 @@ import (
 	"errors"
 	"fmt"
 	"html/template"
-	"log"
 	"math"
 	"net/http"
 	"runtime"
@@ -29,6 +34,8 @@ import (
 
 	"skysr"
 	"skysr/internal/bench"
+	"skysr/internal/logx"
+	"skysr/internal/metrics"
 )
 
 // Config tunes a Server. The zero value serves with no per-query timeout
@@ -52,6 +59,20 @@ type Config struct {
 	MaxQueue int
 	// RetryAfter is the hint sent with 429/503 rejections; 0 means 1s.
 	RetryAfter time.Duration
+	// Logger receives the tier's structured log output; nil means the
+	// process-wide default (key=value lines on stderr at info level).
+	// Tests and embedded runners pass logx.Discard().
+	Logger *logx.Logger
+	// Registry receives the tier's metrics and the engine's search-stage
+	// instrumentation; nil means a fresh private registry. The registry
+	// is served on GET /metrics. Note an engine reports to one registry
+	// only (the first it is enabled on), so callers constructing several
+	// servers over one engine should share one Registry.
+	Registry *metrics.Registry
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/
+	// (the skysr-serve -pprof flag). Off by default: profiling endpoints
+	// expose internals and can be heavy, so an operator opts in.
+	EnablePprof bool
 }
 
 // Server is the HTTP serving tier over one Engine. Create with New; it is
@@ -60,6 +81,9 @@ type Server struct {
 	eng *skysr.Engine
 	cfg Config
 	adm *admission
+	log *logx.Logger
+	reg *metrics.Registry
+	hm  *httpMetrics
 
 	mu     sync.Mutex
 	survey *bench.Survey
@@ -85,12 +109,26 @@ func New(eng *skysr.Engine, cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
-	return &Server{
+	if cfg.Logger == nil {
+		cfg.Logger = logx.Default()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.New()
+	}
+	s := &Server{
 		eng:    eng,
 		cfg:    cfg,
 		adm:    newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
+		log:    cfg.Logger,
+		reg:    cfg.Registry,
 		survey: bench.NewSurvey(bench.PaperQuestions()),
 	}
+	// Engine metrics first, then the HTTP families: a scrape renders
+	// families in registration order, so search counters lead the page.
+	eng.EnableMetrics(cfg.Registry)
+	s.hm = newHTTPMetrics(cfg.Registry)
+	s.registerServerMetrics(cfg.Registry)
+	return s
 }
 
 // Engine returns the engine the server answers from.
@@ -110,14 +148,18 @@ func (s *Server) Handler() http.Handler {
 // the admission queue; epoch, categories and survey bypass it so
 // monitoring keeps working while the tier is saturated.
 func (s *Server) registerRoutes(mux *http.ServeMux) {
-	mux.HandleFunc("GET /{$}", s.handleIndex)
-	mux.HandleFunc("GET /api/categories", s.handleCategories)
-	mux.HandleFunc("GET /api/route", s.admit(s.handleRoute))
-	mux.HandleFunc("POST /api/batch", s.admit(s.handleBatch))
-	mux.HandleFunc("POST /api/update", s.admit(s.handleUpdate))
-	mux.HandleFunc("GET /api/epoch", s.handleEpoch)
-	mux.HandleFunc("POST /api/survey", s.handleSurveyPost)
-	mux.HandleFunc("GET /api/survey", s.handleSurveyGet)
+	mux.HandleFunc("GET /{$}", s.instrument("index", s.handleIndex))
+	mux.HandleFunc("GET /api/categories", s.instrument("categories", s.handleCategories))
+	mux.HandleFunc("GET /api/route", s.instrument("route", s.admit(s.handleRoute)))
+	mux.HandleFunc("POST /api/batch", s.instrument("batch", s.admit(s.handleBatch)))
+	mux.HandleFunc("POST /api/update", s.instrument("update", s.admit(s.handleUpdate)))
+	mux.HandleFunc("GET /api/epoch", s.instrument("epoch", s.handleEpoch))
+	mux.HandleFunc("POST /api/survey", s.instrument("survey_post", s.handleSurveyPost))
+	mux.HandleFunc("GET /api/survey", s.instrument("survey_get", s.handleSurveyGet))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	if s.cfg.EnablePprof {
+		registerPprof(mux)
+	}
 }
 
 // recoverPanics converts a handler panic into a JSON 500 instead of
@@ -135,10 +177,11 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 				panic(p)
 			}
 			s.panics.Add(1)
-			log.Printf("skysr-serve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			s.log.Error("panic recovered", "method", r.Method, "path", r.URL.Path,
+				"panic", p, "stack", string(debug.Stack()))
 			// If the handler already wrote a header this write fails;
 			// nothing more can be done for that response.
-			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "internal server error"})
+			s.writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "internal server error"})
 		}()
 		next.ServeHTTP(w, r)
 	})
@@ -170,11 +213,11 @@ func (s *Server) writeSearchError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, skysr.ErrDeadlineExceeded):
 		s.timeouts.Add(1)
-		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": "query deadline exceeded"})
+		s.writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": "query deadline exceeded"})
 	case errors.Is(err, skysr.ErrSearchCancelled):
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "query cancelled"})
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "query cancelled"})
 	default:
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 	}
 }
 
@@ -200,12 +243,12 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		Leaves []string
 	}{s.eng.Name(), s.eng.Stats(), s.eng.LeafCategories()})
 	if err != nil {
-		log.Printf("index render: %v", err)
+		logx.FromContext(r.Context()).Error("index render failed", "err", err)
 	}
 }
 
 func (s *Server) handleCategories(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"all":    s.eng.Categories(),
 		"leaves": s.eng.LeafCategories(),
 	})
@@ -278,36 +321,36 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	qv := r.URL.Query()
 	start, err := strconv.Atoi(qv.Get("start"))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad start vertex"})
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad start vertex"})
 		return
 	}
 	var dest *int
 	if destRaw := qv.Get("dest"); destRaw != "" {
 		d, err := strconv.Atoi(destRaw)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad dest vertex"})
+			s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad dest vertex"})
 			return
 		}
 		dest = &d
 	}
 	k, err := parseTopK(qv.Get("k"))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
 	depart, err := parseDepart(qv.Get("depart"))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
 	timeoutMS, err := parseTimeoutMS(qv.Get("timeout_ms"))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
 	q, err := s.makeQuery(start, strings.Split(qv.Get("via"), ","), dest, qv.Get("unordered") == "1")
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
 	ctx, cancel := s.queryContext(r, timeoutMS)
@@ -322,7 +365,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		s.writeSearchError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.routeResponseOf(ans))
+	s.writeJSON(w, http.StatusOK, s.routeResponseOf(ans))
 }
 
 // makeQuery validates and assembles one query from request parameters.
@@ -392,27 +435,27 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&body); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
+			s.writeJSON(w, http.StatusRequestEntityTooLarge,
 				map[string]string{"error": fmt.Sprintf("body exceeds %d bytes; chunk the batch", tooLarge.Limit)})
 			return
 		}
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON"})
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON"})
 		return
 	}
 	if len(body.Queries) == 0 {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "queries is required"})
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": "queries is required"})
 		return
 	}
 	if len(body.Queries) > maxBatch {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("batch exceeds %d queries", maxBatch)})
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("batch exceeds %d queries", maxBatch)})
 		return
 	}
 	if body.Workers < 0 || body.Workers > maxBatchWorkers {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("workers must be in [0, %d]", maxBatchWorkers)})
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("workers must be in [0, %d]", maxBatchWorkers)})
 		return
 	}
 	if body.TimeoutMS < 0 || body.TimeoutMS > maxTimeoutMS {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("timeout_ms must be in [0, %d]", maxTimeoutMS)})
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("timeout_ms must be in [0, %d]", maxTimeoutMS)})
 		return
 	}
 	workers := body.Workers
@@ -424,17 +467,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, bq := range body.Queries {
 		q, err := s.makeQuery(bq.Start, bq.Via, bq.Dest, bq.Unordered)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("query %d: %v", i, err)})
+			s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("query %d: %v", i, err)})
 			return
 		}
 		// Unlike the route endpoint's string parameter, an absent JSON k
 		// decodes to 0, so 0 must stay legal here and means "classic".
 		if bq.K < 0 || bq.K > maxTopKPerRequest {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("query %d: k must be in [0, %d] (0 or omitted = classic skyline)", i, maxTopKPerRequest)})
+			s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("query %d: k must be in [0, %d] (0 or omitted = classic skyline)", i, maxTopKPerRequest)})
 			return
 		}
 		if bq.Depart < 0 || math.IsNaN(bq.Depart) || math.IsInf(bq.Depart, 0) {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("query %d: depart must be a non-negative finite number", i)})
+			s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("query %d: depart must be a non-negative finite number", i)})
 			return
 		}
 		queries[i] = q
@@ -454,7 +497,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for _, ans := range answers {
 		resp.Answers = append(resp.Answers, s.routeResponseOf(ans))
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // routeResponseOf converts an answer into its JSON form.
@@ -529,7 +572,7 @@ const maxUpdateEdits = 4096
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	var body updateRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&body); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON"})
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON"})
 		return
 	}
 	batch := new(skysr.UpdateBatch)
@@ -558,21 +601,22 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		batch.Recategorize(p.V, p.Categories...)
 	}
 	if batch.Len() == 0 {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "empty update batch"})
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": "empty update batch"})
 		return
 	}
 	if batch.Len() > maxUpdateEdits {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("batch exceeds %d edits", maxUpdateEdits)})
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("batch exceeds %d edits", maxUpdateEdits)})
 		return
 	}
 	res, err := s.eng.ApplyUpdates(batch)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
-	log.Printf("skysr-serve: update applied: epoch %d (%d edits, %d rows carried, %d dirtied)",
-		res.Epoch, batch.Len(), res.RowsCarried, res.RowsDirtied)
-	writeJSON(w, http.StatusOK, updateResponse{
+	logx.FromContext(r.Context()).Info("update applied",
+		"epoch", res.Epoch, "edits", batch.Len(),
+		"rows_carried", res.RowsCarried, "rows_dirtied", res.RowsDirtied)
+	s.writeJSON(w, http.StatusOK, updateResponse{
 		Epoch:             res.Epoch,
 		WeightsChanged:    res.WeightsChanged,
 		EdgesAdded:        res.EdgesAdded,
@@ -591,7 +635,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.CategoryIndexStats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"epoch":          s.eng.Epoch(),
 		"live_snapshots": s.eng.LiveSnapshots(),
 		"index": map[string]any{
@@ -621,17 +665,17 @@ type surveyPost struct {
 func (s *Server) handleSurveyPost(w http.ResponseWriter, r *http.Request) {
 	var body surveyPost
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON"})
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON"})
 		return
 	}
 	s.mu.Lock()
 	err := s.survey.Record(bench.SurveyResponse{QuestionID: body.Question, Option: body.Option})
 	s.mu.Unlock()
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "recorded"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "recorded"})
 }
 
 func (s *Server) handleSurveyGet(w http.ResponseWriter, r *http.Request) {
@@ -653,13 +697,13 @@ func (s *Server) handleSurveyGet(w http.ResponseWriter, r *http.Request) {
 		}
 		out[q.ID] = entry
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("encode response: %v", err)
+		s.log.Warn("encode response failed", "err", err)
 	}
 }

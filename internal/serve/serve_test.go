@@ -16,12 +16,15 @@ import (
 
 	"skysr"
 	"skysr/internal/faults"
+	"skysr/internal/logx"
 )
 
 func testServer(t *testing.T) (*Server, http.Handler) {
 	t.Helper()
 	eng, _, _ := skysr.PaperExample()
-	s := New(eng, Config{})
+	// Discard logs: the fault-injection tests would otherwise dump every
+	// recovered panic's stack into the test output.
+	s := New(eng, Config{Logger: logx.Discard()})
 	return s, s.Handler()
 }
 

@@ -538,10 +538,12 @@ func (e *Engine) searchOn(sn *snapshot, q Query, opts SearchOptions) (*Answer, e
 			res, err := s.QueryRated(q.Start, seq)
 			if err != nil {
 				if res != nil {
+					e.observeSearch(&res.Stats, true)
 					return partialAnswer(opts.Algorithm, &res.Stats, began), err
 				}
 				return nil, err
 			}
+			e.observeSearch(&res.Stats, false)
 			return buildRatedAnswer(sn, q, opts, res, began, s)
 		}
 		var res *core.Result
@@ -558,12 +560,14 @@ func (e *Engine) searchOn(sn *snapshot, q Query, opts SearchOptions) (*Answer, e
 		}
 		if err != nil {
 			if res != nil {
+				e.observeSearch(&res.Stats, true)
 				return partialAnswer(opts.Algorithm, &res.Stats, began), err
 			}
 			return nil, err
 		}
 		routes = res.Routes
 		stats = &res.Stats
+		e.observeSearch(stats, false)
 		if opts.ExpandPaths {
 			dest := graph.NoVertex
 			if q.HasDestination {

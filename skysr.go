@@ -129,6 +129,12 @@ type Engine struct {
 	// freely. numMatchers enforces maxCachedMatchers (see compiledMatcher).
 	matchers    sync.Map
 	numMatchers atomic.Int64
+
+	// metricsv observes every finished search once EnableMetrics ran; nil
+	// until then, so unmetered engines pay nothing per query. metricsOnce
+	// makes EnableMetrics first-call-wins (metric names register once).
+	metricsv    atomic.Pointer[core.Metrics]
+	metricsOnce sync.Once
 }
 
 // snapshot is one immutable version of the engine's dataset plus the
