@@ -5,12 +5,18 @@ package main
 // mid-run. Every scrape must parse as valid Prometheus text and carry
 // the required families, and the scraped counter deltas must equal the
 // client-observed request counts exactly — end-to-end proof that the
-// observability layer is both robust under fire and truthful. The
-// overhead phase interleaves the same queries through a metered and an
-// unmetered engine and reports the median-latency ratio the CI gate
-// bounds at 1.05×.
+// observability layer is both robust under fire and truthful. The load
+// server samples every request trace (TraceSample=1), so the phase also
+// checks the flight recorder: skysr_trace_kept_total must advance once
+// per request, and /api/debug/traces must serve a parseable listing and
+// a full span tree while still hot from the storm. The overhead phase
+// interleaves the same queries through an instrumented engine (metrics
+// fold + per-query trace + recorder Offer) and a bare one and reports
+// the median-latency ratio the CI gate bounds at 1.05×.
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -29,6 +35,7 @@ import (
 	"skysr/internal/metrics"
 	"skysr/internal/serve"
 	"skysr/internal/stats"
+	"skysr/internal/trace"
 )
 
 // httpOverheadRounds is how many interleaved metered/unmetered rounds the
@@ -75,6 +82,9 @@ func httpLoadDataset(cfg bench.Config, name string, ops int, workerCounts []int)
 		MaxConcurrent: maxWorkers + 4,
 		Logger:        logx.Discard(),
 		Registry:      reg,
+		// Keep every trace: with sample=1 the kept counter must advance
+		// exactly once per request, which the gate checks as a delta.
+		TraceSample: 1,
 	})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -199,7 +209,52 @@ func httpLoadPhase(client *http.Client, base, dataset string, vias [][]string, o
 	row.SearchDelta = delta("skysr_search_total")
 	row.RouteOKDelta = delta(`skysr_http_requests_total{endpoint="route",code="2xx"}`)
 	row.RouteObsDelta = delta(`skysr_http_request_seconds_count{endpoint="route"}`)
+	row.TraceDelta = delta("skysr_trace_kept_total")
+	row.TracesListed, row.TracesOK = httpTracesCheck(client, base)
 	return row, nil
+}
+
+// httpTracesCheck pulls the flight recorder after a load phase: the
+// listing must parse and be non-empty, and the newest trace's full span
+// tree must be servable by ID and carry a search span — proof the
+// recorder holds usable explains under storm load, not just bytes.
+func httpTracesCheck(client *http.Client, base string) (int, bool) {
+	resp, err := client.Get(base + "/api/debug/traces")
+	if err != nil {
+		return 0, false
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return 0, false
+	}
+	var list struct {
+		Traces []struct {
+			ID string `json:"id"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(data, &list); err != nil || len(list.Traces) == 0 {
+		return 0, false
+	}
+	resp, err = client.Get(base + "/api/debug/traces/" + list.Traces[0].ID)
+	if err != nil {
+		return len(list.Traces), false
+	}
+	data, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return len(list.Traces), false
+	}
+	var full trace.TraceJSON
+	if err := json.Unmarshal(data, &full); err != nil {
+		return len(list.Traces), false
+	}
+	for _, c := range full.Root.Children {
+		if c.Name == "search" {
+			return len(list.Traces), true
+		}
+	}
+	return len(list.Traces), false
 }
 
 // httpLoadGet issues one GET /api/route and returns the status and the
@@ -234,8 +289,10 @@ func httpScrape(client *http.Client, base string) (map[string]float64, error) {
 }
 
 // httpOverheadDataset measures the instrumentation cost: two engines
-// built identically, one metered, answering the same queries interleaved
-// (base, metered, base, ...) so scheduler drift hits both alike. The
+// built identically, one carrying the full observability stack — metrics
+// plus a per-query trace offered to a keep-everything flight recorder
+// (the worst case) — answering the same queries interleaved (base,
+// instrumented, base, ...) so scheduler drift hits both alike. The
 // reported ratio is the best (smallest) across rounds — the round least
 // polluted by noise bounds the true overhead from above.
 func httpOverheadDataset(cfg bench.Config, name string) (*bench.HTTPOverheadRow, error) {
@@ -248,30 +305,43 @@ func httpOverheadDataset(cfg bench.Config, name string) (*bench.HTTPOverheadRow,
 		return nil, err
 	}
 	engMet.EnableMetrics(metrics.New())
+	rec := trace.NewRecorder(0, 0, 1) // sample=1: every query's trace is kept
 
 	queries, _, err := soakWorkload(engBase, 24, cfg.Seed+811)
 	if err != nil {
 		return nil, err
 	}
 	opts := skysr.SearchOptions{UseCategoryIndex: true}
-	run := func(eng *skysr.Engine, q skysr.Query) (float64, error) {
+	runBase := func(q skysr.Query) (float64, error) {
 		began := time.Now()
-		if _, err := eng.SearchWith(q, opts); err != nil {
+		if _, err := engBase.SearchWith(q, opts); err != nil {
 			return 0, err
 		}
 		return float64(time.Since(began).Nanoseconds()) / 1000, nil
 	}
+	runMet := func(q skysr.Query) (float64, error) {
+		began := time.Now()
+		tr := trace.New("route")
+		o := opts
+		o.Context = trace.NewContext(context.Background(), tr)
+		if _, err := engMet.SearchWith(q, o); err != nil {
+			return 0, err
+		}
+		tr.Finish()
+		rec.Offer(tr)
+		return float64(time.Since(began).Nanoseconds()) / 1000, nil
+	}
 	// Warmup both engines over the whole workload.
 	for _, q := range queries {
-		if _, err := run(engBase, q); err != nil {
+		if _, err := runBase(q); err != nil {
 			return nil, err
 		}
-		if _, err := run(engMet, q); err != nil {
+		if _, err := runMet(q); err != nil {
 			return nil, err
 		}
 	}
 
-	row := &bench.HTTPOverheadRow{Dataset: name, Rounds: httpOverheadRounds}
+	row := &bench.HTTPOverheadRow{Dataset: name, Rounds: httpOverheadRounds, Traced: true}
 	n := max(cfg.Queries, len(queries))
 	for round := 0; round < httpOverheadRounds; round++ {
 		baseTimes := make([]float64, 0, n)
@@ -282,21 +352,21 @@ func httpOverheadDataset(cfg bench.Config, name string) (*bench.HTTPOverheadRow,
 			// Alternate which engine goes first so warm-cache ordering
 			// effects cancel across iterations.
 			if i%2 == 0 {
-				b, err := run(engBase, q)
+				b, err := runBase(q)
 				if err != nil {
 					return nil, err
 				}
-				m, err := run(engMet, q)
+				m, err := runMet(q)
 				if err != nil {
 					return nil, err
 				}
 				baseTimes, metTimes = append(baseTimes, b), append(metTimes, m)
 			} else {
-				m, err := run(engMet, q)
+				m, err := runMet(q)
 				if err != nil {
 					return nil, err
 				}
-				b, err := run(engBase, q)
+				b, err := runBase(q)
 				if err != nil {
 					return nil, err
 				}

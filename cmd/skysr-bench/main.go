@@ -18,12 +18,14 @@
 //	skysr-bench -timedep -json BENCH_PR5.json -check
 //	skysr-bench -soak -json BENCH_PR7.json -check
 //	skysr-bench -httpload -json BENCH_PR8.json -check
+//	skysr-bench -compare -json BENCH_TRAJECTORY.json -check   # merge historical reports, gate drift
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -49,6 +51,7 @@ func main() {
 	httploadOnly := flag.Bool("httpload", false, "run only the HTTP load + observability scenario (concurrent clients, /metrics scraped mid-run, counter exactness and instrumentation overhead gated)")
 	httploadOps := flag.Int("httpload-ops", 200, "with -httpload: route requests per (dataset, workers) point")
 	httploadWorkers := flag.String("httpload-workers", "1,4,8", "with -httpload: comma-separated concurrent client counts")
+	compareOnly := flag.Bool("compare", false, "merge the historical bench reports (positional args, default BENCH_PR*.json) into one trajectory and gate cross-PR latency drift")
 	topkOnly := flag.Bool("topk", false, "run only the ranked top-k sweep (k = 1, 2, 4, 8 vs plain Search and vs k repeated Searches)")
 	timedepOnly := flag.Bool("timedep", false, "run only the cost-metric experiment (static vs constant-profile vs rush-hour time-dependent latency)")
 	jsonOut := flag.String("json", "", "with -latency, -churn, -topk or -timedep: write the machine-readable report (e.g. BENCH_PR2.json ... BENCH_PR5.json) to this path")
@@ -72,6 +75,38 @@ func main() {
 	}
 
 	h := bench.New(cfg)
+	if *compareOnly {
+		paths := flag.Args()
+		if len(paths) == 0 {
+			var err error
+			paths, err = filepath.Glob("BENCH_PR*.json")
+			if err != nil || len(paths) == 0 {
+				fmt.Fprintln(os.Stderr, "skysr-bench: -compare found no BENCH_PR*.json reports (pass paths as arguments)")
+				os.Exit(1)
+			}
+		}
+		points, err := bench.LoadTrajectory(paths)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skysr-bench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.RenderTrajectory(os.Stdout, points)
+		if *jsonOut != "" {
+			if err := bench.WriteTrajectoryJSON(*jsonOut, points); err != nil {
+				fmt.Fprintf(os.Stderr, "skysr-bench: write %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		if *check {
+			if err := bench.CheckTrajectory(points); err != nil {
+				fmt.Fprintf(os.Stderr, "skysr-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("compare check passed: latest plain-search medians within tolerance of the best historical report")
+		}
+		return
+	}
 	if *httploadOnly {
 		var workerCounts []int
 		for _, s := range splitList(*httploadWorkers) {

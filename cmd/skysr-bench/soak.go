@@ -15,6 +15,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -79,6 +80,15 @@ func soakDataset(cfg bench.Config, name string, ops, workers int) (*bench.SoakRo
 		// and every applied update; during an intentional fault storm that
 		// is pure noise.
 		Logger: logx.Discard(),
+		// Tail sampling only: the fault hooks make every query artificially
+		// slow, so the slow-query rule and random sampling are both off —
+		// everything the recorder retains is a genuine failure, and the
+		// post-storm scrape can attribute each to its typed status. The
+		// capacity comfortably exceeds the storm's op count so no failure
+		// trace is evicted before the scrape.
+		SlowQuery:     -1,
+		TraceSample:   -1,
+		TraceCapacity: 8192,
 	})
 	ts := httptest.NewServer(srv.Handler())
 	client := ts.Client()
@@ -130,6 +140,7 @@ func soakDataset(cfg bench.Config, name string, ops, workers int) (*bench.SoakRo
 	wg.Wait()
 	restoreSleep()
 	restorePanic()
+	soakScrapeTraces(client, ts.URL, row)
 	ts.Close()
 	client.CloseIdleConnections()
 	row.DurationMS = float64(time.Since(began).Microseconds()) / 1000
@@ -146,6 +157,41 @@ func soakDataset(cfg bench.Config, name string, ops, workers int) (*bench.SoakRo
 	}
 	row.Identical = identical
 	return row, nil
+}
+
+// soakScrapeTraces pulls the flight recorder while the server is still
+// up and tallies the retained traces by typed status. The soak server
+// runs with sampling and the slow-query rule off, so everything here was
+// tail-kept as a failure: the storm's deadline hits, client walk-aways
+// and recovered panics must each have left their annotation.
+func soakScrapeTraces(client *http.Client, base string, row *bench.SoakRow) {
+	resp, err := client.Get(base + "/api/debug/traces")
+	if err != nil {
+		return
+	}
+	data, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil || resp.StatusCode != http.StatusOK {
+		return
+	}
+	var list struct {
+		Traces []struct {
+			Status string `json:"status"`
+		} `json:"traces"`
+	}
+	if json.Unmarshal(data, &list) != nil {
+		return
+	}
+	for _, t := range list.Traces {
+		switch t.Status {
+		case "deadline":
+			row.TracedDeadlines++
+		case "cancelled":
+			row.TracedCancels++
+		case "panic":
+			row.TracedPanics++
+		}
+	}
 }
 
 // soakWorkload builds n three-category queries plus the category-name

@@ -15,15 +15,23 @@
 // per similarity level (the top-k band) instead of the single best per
 // level. Each result line carries the route's rank, length and semantic
 // similarity score.
+//
+// -trace prints the query's span tree after the results — one span per
+// search stage (NNinit, bounds, each leg's modified Dijkstra, the
+// destination leg) annotated with the work it did: settled vertices,
+// cache hits, pruning-rule fire counts, index-row coverage. It is the
+// offline form of the serving tier's GET /api/debug/traces explain.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"skysr"
+	"skysr/internal/trace"
 )
 
 func main() {
@@ -37,6 +45,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print BSSR instrumentation counters")
 	k := flag.Int("k", 1, "ranked alternatives per similarity level (top-k; 1 = classic skyline)")
 	depart := flag.Float64("depart", 0, "departure time at the start vertex (time-dependent datasets price legs at traversal time)")
+	traceFlag := flag.Bool("trace", false, "print the query's span tree (per-stage explain) after the results")
 	flag.Parse()
 
 	if *data == "" || *via == "" {
@@ -58,8 +67,25 @@ func main() {
 		q.Destination = int32(*dest)
 		q.HasDestination = true
 	}
-	ans, err := eng.SearchWith(q, skysr.SearchOptions{Algorithm: alg, ExpandPaths: *expand, TopK: *k, DepartAt: *depart})
+	opts := skysr.SearchOptions{Algorithm: alg, ExpandPaths: *expand, TopK: *k, DepartAt: *depart}
+	var tr *trace.Trace
+	if *traceFlag {
+		tr = trace.New("query")
+		opts.Context = trace.NewContext(context.Background(), tr)
+	}
+	ans, err := eng.SearchWith(q, opts)
+	if tr != nil {
+		if err != nil {
+			tr.SetStatus(trace.StatusError, err.Error())
+		}
+		tr.Finish()
+	}
 	if err != nil {
+		if tr != nil {
+			// The partial tree explains where the query died; print it
+			// before failing.
+			tr.Render(os.Stderr)
+		}
 		fail(err)
 	}
 
@@ -87,6 +113,10 @@ func main() {
 			fmt.Printf("top-k: k=%d levels=%d extraPops=%d evictions=%d\n",
 				s.TopK, s.TopKLevels, s.TopKExtraPops, s.TopKEvictions)
 		}
+	}
+	if tr != nil {
+		fmt.Println()
+		tr.Render(os.Stdout)
 	}
 }
 

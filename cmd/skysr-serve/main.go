@@ -28,6 +28,8 @@
 //	POST /api/survey       {"question":"Q1","option":2}
 //	GET  /api/survey       current answer ratios (Figure 9 data)
 //	GET  /metrics          Prometheus text exposition (see README, "Observability")
+//	GET  /api/debug/traces      flight-recorder listing: recent sampled request traces
+//	GET  /api/debug/traces/{id} one full span tree — the query's "explain"
 //	GET  /debug/pprof/     net/http/pprof profiles, only with -pprof
 //
 // The optional depart parameter (per route request, per batch query) sets
@@ -75,6 +77,15 @@
 // -log-level selects the threshold (debug logs one line per request).
 // -pprof mounts net/http/pprof under /debug/pprof/ for live profiling;
 // it is off by default because profile endpoints expose internals.
+//
+// Every heavy request additionally runs under a per-request trace: a span
+// tree mirroring the search stages, kept in a bounded in-memory flight
+// recorder with tail sampling — errors, cancellations, panics and queries
+// slower than -slow-query are always retained, a -trace-sample fraction
+// of the rest. Slow queries also emit a structured warning log line and
+// pin their trace ID to the latency histogram as an exemplar. Inspect via
+// GET /api/debug/traces; disable with -no-trace (see README, "Tracing &
+// slow queries").
 package main
 
 import (
@@ -112,6 +123,10 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-drain budget after SIGTERM/SIGINT")
 	logLevel := flag.String("log-level", "info", "log threshold: debug, info, warn, error or off (debug logs every request)")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default: profiling exposes internals)")
+	noTrace := flag.Bool("no-trace", false, "disable per-request tracing and the flight recorder")
+	traceCapacity := flag.Int("trace-capacity", 0, "flight-recorder ring size: how many recent traces /api/debug/traces serves (0 = 256)")
+	slowQuery := flag.Duration("slow-query", 0, "latency at which a request is always traced and logged as a slow query (0 = 500ms, negative = off)")
+	traceSample := flag.Float64("trace-sample", 0, "probability of retaining a fast successful request's trace (0 = 0.01, negative = never)")
 	flag.Parse()
 
 	level, err := logx.ParseLevel(*logLevel)
@@ -188,12 +203,16 @@ func main() {
 	}
 
 	s := serve.New(eng, serve.Config{
-		BaseOpts:      baseOpts,
-		QueryTimeout:  *queryTimeout,
-		MaxConcurrent: *maxConcurrent,
-		MaxQueue:      *maxQueue,
-		Logger:        logger,
-		EnablePprof:   *enablePprof,
+		BaseOpts:       baseOpts,
+		QueryTimeout:   *queryTimeout,
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+		Logger:         logger,
+		EnablePprof:    *enablePprof,
+		DisableTracing: *noTrace,
+		TraceCapacity:  *traceCapacity,
+		SlowQuery:      *slowQuery,
+		TraceSample:    *traceSample,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

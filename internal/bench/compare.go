@@ -1,0 +1,231 @@
+package bench
+
+// The -compare mode folds the historical per-PR bench reports
+// (BENCH_PR*.json) into one trajectory: every report that measured the
+// canonical plain-BSSR query — the latency report's "baseline" profile,
+// the top-k report's k=1 base_median_us, the timedep report's "static"
+// mode, all at seq size 3 on the same generated datasets — contributes
+// one median-latency point per dataset. The merged series is written as
+// BENCH_TRAJECTORY.json, and the gate fails when the newest report's
+// median regresses past a tolerance over the best historical median for
+// the same dataset — a drift alarm across PRs, not just within one.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// maxTrajectoryRatio is the cross-PR drift gate: the newest report's
+// plain-search median may be at most this factor above the best
+// historical median for the same dataset. Looser than the in-report
+// gates because the points come from different PRs run on different CI
+// machines — it catches sustained drift, not run-to-run noise.
+const maxTrajectoryRatio = 1.25
+
+// TrajectoryPoint is one (report, dataset) plain-search measurement.
+type TrajectoryPoint struct {
+	Source      string  `json:"source"`       // report file the point came from
+	GeneratedAt string  `json:"generated_at"` // the report's own timestamp (orders the trajectory)
+	Kind        string  `json:"kind"`         // which row family supplied the median
+	Dataset     string  `json:"dataset"`      // normalized to lower case
+	MedianUS    float64 `json:"median_us"`
+}
+
+// TrajectoryReport is the merged record -compare writes
+// (BENCH_TRAJECTORY.json).
+type TrajectoryReport struct {
+	GeneratedAt string            `json:"generated_at"`
+	Tolerance   float64           `json:"tolerance"`
+	Sources     []string          `json:"sources"`
+	Points      []TrajectoryPoint `json:"points"`
+}
+
+// LoadTrajectory reads the given bench report files and extracts every
+// comparable plain-search point. Reports without one (churn, soak,
+// httpload) contribute nothing and are not an error; a file that does
+// not parse is.
+func LoadTrajectory(paths []string) ([]TrajectoryPoint, error) {
+	var points []TrajectoryPoint
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("compare: %w", err)
+		}
+		var rep struct {
+			GeneratedAt string           `json:"generated_at"`
+			Rows        []map[string]any `json:"rows"`
+		}
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("compare: %s: %w", path, err)
+		}
+		for _, row := range rep.Rows {
+			kind, median, ok := plainSearchMedian(row)
+			if !ok {
+				continue
+			}
+			ds, _ := row["dataset"].(string)
+			points = append(points, TrajectoryPoint{
+				Source:      path,
+				GeneratedAt: rep.GeneratedAt,
+				Kind:        kind,
+				Dataset:     strings.ToLower(ds),
+				MedianUS:    median,
+			})
+		}
+	}
+	sort.SliceStable(points, func(i, j int) bool {
+		if points[i].GeneratedAt != points[j].GeneratedAt {
+			return points[i].GeneratedAt < points[j].GeneratedAt
+		}
+		return points[i].Dataset < points[j].Dataset
+	})
+	return points, nil
+}
+
+// plainSearchMedian classifies one report row: does it measure the
+// canonical plain BSSR query (3-category sequence, no extras), and if so
+// under which name does it carry the median?
+func plainSearchMedian(row map[string]any) (string, float64, bool) {
+	if n, ok := rowNumber(row, "seq_size"); ok && n != 3 {
+		return "", 0, false
+	}
+	if profile, ok := row["profile"].(string); ok {
+		// Latency report: the "baseline" profile is plain Search.
+		if profile != "baseline" {
+			return "", 0, false
+		}
+		m, ok := rowNumber(row, "median_us")
+		return "latency/baseline", m, ok
+	}
+	if k, ok := rowNumber(row, "k"); ok {
+		// Top-k report: every row carries the plain-Search reference
+		// median; the k=1 row's is the uncontaminated one.
+		if k != 1 {
+			return "", 0, false
+		}
+		m, ok := rowNumber(row, "base_median_us")
+		return "topk/base", m, ok
+	}
+	if mode, ok := row["mode"].(string); ok {
+		// Timedep report: the "static" mode is plain Search.
+		if mode != "static" {
+			return "", 0, false
+		}
+		m, ok := rowNumber(row, "median_us")
+		return "timedep/static", m, ok
+	}
+	return "", 0, false
+}
+
+func rowNumber(row map[string]any, key string) (float64, bool) {
+	n, ok := row[key].(float64) // encoding/json decodes every number as float64
+	return n, ok
+}
+
+// RenderTrajectory writes the merged trajectory and the per-dataset
+// verdicts as text.
+func RenderTrajectory(w io.Writer, points []TrajectoryPoint) {
+	writeln(w, "Trajectory: plain-search median across historical bench reports (seq size 3)")
+	writeln(w, "%-24s %-20s %-16s %-8s %10s", "Source", "generated", "kind", "dataset", "median µs")
+	for _, p := range points {
+		writeln(w, "%-24s %-20s %-16s %-8s %10.1f", p.Source, p.GeneratedAt, p.Kind, p.Dataset, p.MedianUS)
+	}
+	for _, ds := range trajectoryDatasets(points) {
+		latest, best, n := trajectoryEndpoints(points, ds)
+		if n < 2 {
+			writeln(w, "%s: %d point(s) — nothing to compare", ds, n)
+			continue
+		}
+		writeln(w, "%s: latest %.1fµs vs best historical %.1fµs (%.2f×, tolerance %.2f×)",
+			ds, latest.MedianUS, best, latest.MedianUS/best, maxTrajectoryRatio)
+	}
+}
+
+// WriteTrajectoryJSON writes the merged report to path.
+func WriteTrajectoryJSON(path string, points []TrajectoryPoint) error {
+	seen := map[string]bool{}
+	var sources []string
+	for _, p := range points {
+		if !seen[p.Source] {
+			seen[p.Source] = true
+			sources = append(sources, p.Source)
+		}
+	}
+	rep := TrajectoryReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Tolerance:   maxTrajectoryRatio,
+		Sources:     sources,
+		Points:      points,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// trajectoryDatasets lists the datasets present, in first-seen order.
+func trajectoryDatasets(points []TrajectoryPoint) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range points {
+		if !seen[p.Dataset] {
+			seen[p.Dataset] = true
+			out = append(out, p.Dataset)
+		}
+	}
+	return out
+}
+
+// trajectoryEndpoints returns a dataset's newest point (by the report
+// timestamp, ties broken by position), the best (smallest) median among
+// the remaining points, and the total point count.
+func trajectoryEndpoints(points []TrajectoryPoint, dataset string) (TrajectoryPoint, float64, int) {
+	var ds []TrajectoryPoint
+	for _, p := range points {
+		if p.Dataset == dataset {
+			ds = append(ds, p)
+		}
+	}
+	if len(ds) == 0 {
+		return TrajectoryPoint{}, 0, 0
+	}
+	latest := ds[len(ds)-1] // LoadTrajectory sorts by GeneratedAt
+	best := 0.0
+	for _, p := range ds[:len(ds)-1] {
+		if best == 0 || p.MedianUS < best {
+			best = p.MedianUS
+		}
+	}
+	return latest, best, len(ds)
+}
+
+// CheckTrajectory enforces the cross-PR drift gate: for every dataset
+// with at least two points, the newest report's median must stay within
+// maxTrajectoryRatio of the best historical one.
+func CheckTrajectory(points []TrajectoryPoint) error {
+	if len(points) == 0 {
+		return fmt.Errorf("compare check: no comparable points in the given reports")
+	}
+	compared := 0
+	for _, ds := range trajectoryDatasets(points) {
+		latest, best, n := trajectoryEndpoints(points, ds)
+		if n < 2 || best <= 0 {
+			continue
+		}
+		compared++
+		if latest.MedianUS > maxTrajectoryRatio*best {
+			return fmt.Errorf("compare check: %s: latest median %.1fµs (%s) is %.2f× the best historical %.1fµs — over the %.2f× tolerance",
+				ds, latest.MedianUS, latest.Source, latest.MedianUS/best, best, maxTrajectoryRatio)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("compare check: no dataset has two or more points — nothing was gated")
+	}
+	return nil
+}

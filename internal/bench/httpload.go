@@ -43,6 +43,8 @@ var RequiredMetricNames = []string{
 	"skysr_http_rejected_total",
 	"skysr_http_panics_total",
 	"skysr_http_timeouts_total",
+	"skysr_trace_kept_total",
+	"skysr_trace_dropped_total",
 }
 
 // HasMetric reports whether a parsed scrape (metrics.ParseText output,
@@ -93,15 +95,28 @@ type HTTPLoadRow struct {
 	SearchDelta   float64 `json:"search_delta"`    // skysr_search_total
 	RouteOKDelta  float64 `json:"route_ok_delta"`  // skysr_http_requests_total{route,2xx}
 	RouteObsDelta float64 `json:"route_obs_delta"` // skysr_http_request_seconds_count{route}
+	TraceDelta    float64 `json:"trace_delta"`     // skysr_trace_kept_total
+
+	// Flight-recorder evidence: the load server samples every request
+	// (TraceSample=1), so after the phase /api/debug/traces must list
+	// parseable traces and serve one full span tree by ID.
+	TracesListed int  `json:"traces_listed"`
+	TracesOK     bool `json:"traces_ok"`
 
 	DurationMS float64 `json:"duration_ms"`
 }
 
 // HTTPOverheadRow is one dataset's instrumentation-overhead measurement:
-// the same queries on a metered and an unmetered engine, interleaved.
+// the same queries on an instrumented and a bare engine, interleaved. The
+// instrumented engine pays the full observability stack — metrics fold
+// plus a per-query trace with span synthesis and a flight-recorder Offer
+// (sample=1, the worst case) — so the gated ratio bounds metrics and
+// tracing together.
 type HTTPOverheadRow struct {
 	Dataset string `json:"dataset"`
 	Rounds  int    `json:"rounds"`
+	// Traced records that the metered side also ran per-query tracing.
+	Traced bool `json:"traced"`
 	// Medians of the best round (the one with the smallest ratio — the
 	// round least polluted by scheduler noise).
 	BaseMicros    float64 `json:"base_micros"`
@@ -160,10 +175,12 @@ func WriteHTTPLoadJSON(path string, cfg Config, rows []HTTPLoadRow, overhead []H
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// maxOverheadRatio is the CI gate on instrumentation cost: the metered
-// engine's best-round median single-query latency must stay within 5% of
-// the unmetered engine's (the fold-from-Stats design makes the per-query
-// cost one ObserveSearch call, so 5% is generous headroom for noise).
+// maxOverheadRatio is the CI gate on instrumentation cost: the
+// instrumented engine's best-round median single-query latency — with
+// metrics AND per-query tracing enabled — must stay within 5% of the bare
+// engine's. Both layers fold from counters the search already keeps (one
+// ObserveSearch call; span synthesis once per query at finish), so 5% is
+// generous headroom for noise.
 const maxOverheadRatio = 1.05
 
 // CheckHTTPLoad enforces the observability gates: every request
@@ -194,6 +211,14 @@ func CheckHTTPLoad(rows []HTTPLoadRow, overhead []HTTPOverheadRow) error {
 		if r.RouteOKDelta != float64(r.OK) || r.RouteObsDelta != float64(r.OK) {
 			return fmt.Errorf("httpload check: %s@%d workers: route counters moved (%v, %v) for %d requests",
 				r.Dataset, r.Workers, r.RouteOKDelta, r.RouteObsDelta, r.OK)
+		}
+		if r.TraceDelta != float64(r.OK) {
+			return fmt.Errorf("httpload check: %s@%d workers: skysr_trace_kept_total moved %v for %d sampled requests",
+				r.Dataset, r.Workers, r.TraceDelta, r.OK)
+		}
+		if !r.TracesOK || r.TracesListed == 0 {
+			return fmt.Errorf("httpload check: %s@%d workers: flight recorder held no parseable traces after the load",
+				r.Dataset, r.Workers)
 		}
 		if r.Workers == 1 {
 			single[r.Dataset] = r.QPS

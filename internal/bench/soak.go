@@ -44,6 +44,15 @@ type SoakRow struct {
 	LiveSnapshots    int  `json:"live_snapshots"`
 	Identical        bool `json:"identical_to_fresh_engine"`
 
+	// Flight-recorder evidence, scraped from /api/debug/traces before the
+	// server shut down. The soak server runs with sampling off, so every
+	// retained trace is a tail-kept failure; the storm's deadline hits,
+	// recovered panics and client walk-aways must each show up with the
+	// matching typed status annotation.
+	TracedDeadlines int64 `json:"traced_deadlines"`
+	TracedCancels   int64 `json:"traced_cancels"`
+	TracedPanics    int64 `json:"traced_panics"`
+
 	DurationMS float64 `json:"duration_ms"`
 }
 
@@ -60,13 +69,14 @@ type SoakReport struct {
 // RenderSoak writes the soak results as a text table.
 func RenderSoak(w io.Writer, rows []SoakRow) {
 	writeln(w, "Soak: fault-injected HTTP serving (mixed query/update/cancel traffic; recovery asserted after the storm)")
-	writeln(w, "%-8s %7s %5s %6s %8s %8s %7s %7s %8s %8s %6s %5s %9s %9s",
-		"Dataset", "workers", "ops", "ok", "timeouts", "rejected", "unavail", "panics", "cancels", "updates", "leaks", "snaps", "identical", "ms")
+	writeln(w, "%-8s %7s %5s %6s %8s %8s %7s %7s %8s %8s %6s %5s %9s %14s %9s",
+		"Dataset", "workers", "ops", "ok", "timeouts", "rejected", "unavail", "panics", "cancels", "updates", "leaks", "snaps", "identical", "traced d/c/p", "ms")
 	for _, r := range rows {
-		writeln(w, "%-8s %7d %5d %6d %8d %8d %7d %7d %8d %8d %6d %5d %9v %9.0f",
+		traced := fmt.Sprintf("%d/%d/%d", r.TracedDeadlines, r.TracedCancels, r.TracedPanics)
+		writeln(w, "%-8s %7d %5d %6d %8d %8d %7d %7d %8d %8d %6d %5d %9v %14s %9.0f",
 			r.Dataset, r.Workers, r.Ops, r.OK, r.Timeouts, r.Rejected, r.Unavailable,
 			r.ServerPanics, r.ClientCancels, r.Updates, r.LeakedGoroutines, r.LiveSnapshots,
-			r.Identical, r.DurationMS)
+			r.Identical, traced, r.DurationMS)
 	}
 }
 
@@ -111,6 +121,17 @@ func CheckSoak(rows []SoakRow) error {
 		}
 		if r.Timeouts+r.Rejected+r.ServerPanics+r.ClientCancels == 0 {
 			return fmt.Errorf("soak check: %s observed no faults — the storm exercised nothing", r.Dataset)
+		}
+		// Every failure class the clients observed must have left a trace
+		// with the matching typed status in the flight recorder.
+		if r.Timeouts > 0 && r.TracedDeadlines == 0 {
+			return fmt.Errorf("soak check: %s saw %d timeouts but the recorder holds no deadline-status traces", r.Dataset, r.Timeouts)
+		}
+		if r.ServerPanics > 0 && r.TracedPanics == 0 {
+			return fmt.Errorf("soak check: %s saw %d recovered panics but the recorder holds no panic-status traces", r.Dataset, r.ServerPanics)
+		}
+		if r.ClientCancels > 0 && r.TracedCancels == 0 {
+			return fmt.Errorf("soak check: %s saw %d client cancels but the recorder holds no cancelled-status traces", r.Dataset, r.ClientCancels)
 		}
 	}
 	return nil

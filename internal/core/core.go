@@ -33,6 +33,7 @@ import (
 	"skysr/internal/route"
 	"skysr/internal/taxonomy"
 	"skysr/internal/topk"
+	"skysr/internal/trace"
 )
 
 // Options configures a Searcher. The zero value is "BSSR w/o Opt": plain
@@ -121,6 +122,16 @@ type Options struct {
 	// updates). Intended for debugging and the trace-level tests; adds
 	// overhead when set.
 	Trace func(Event)
+
+	// Span, when non-nil, is the parent span the query attaches its
+	// explain tree to (tracespan.go): one "search" child span annotated
+	// with the run's totals, beneath it one synthesized span per search
+	// stage — nninit, bounds, each per-position leg with its aggregated
+	// modified-Dijkstra counters, and the destination leg. Span
+	// construction happens once at query end from Stats, so the hot loops
+	// pay only nil-checked counter bumps. A nil Span leaves every code
+	// path byte-identical to the untraced engine.
+	Span *trace.Span
 
 	// Context, when non-nil, is observed by every search loop: once it is
 	// cancelled the query unwinds within one check stride (see
@@ -233,6 +244,11 @@ type Searcher struct {
 	// cc is the per-query cancellation state (cancel.go); inert unless
 	// Options.Context or Options.Deadline is set.
 	cc canceller
+
+	// span/legs are the per-query explain state (tracespan.go); nil
+	// unless Options.Span is set.
+	span *trace.Span
+	legs []legTrace
 }
 
 // initMetric establishes the per-query cost-metric state from the
@@ -430,6 +446,7 @@ func (s *Searcher) query(start graph.VertexID, seq route.Sequence, dest graph.Ve
 		}
 	}
 	s.prepareIndexRows()
+	s.initTrace(true)
 	s.ws.ResetStats()
 	if dest != graph.NoVertex {
 		s.dest = dest
@@ -458,21 +475,34 @@ func (s *Searcher) query(start graph.VertexID, seq route.Sequence, dest graph.Ve
 		r := qb.Pop()
 		s.stats.RoutesPopped++
 		s.emit(EventPop, r)
+		lg := s.legHook(r.Size())
+		if lg != nil {
+			lg.popped++
+		}
 		// Re-check the Lemma 5.3 threshold at pop time: S may have
 		// improved since r was enqueued (Table 4 steps 6 and 9).
 		if r.Length() >= s.sky.Threshold(r.Semantic()) {
 			s.stats.PrunedThreshold++
+			if lg != nil {
+				lg.prunedThreshold++
+			}
 			s.emit(EventPruneThreshold, r)
 			continue
 		}
 		s.noteTopKPop(r)
 		if s.idxRows.any && s.pruneByIndex(r) {
 			s.stats.PrunedByIndex++
+			if lg != nil {
+				lg.prunedIndex++
+			}
 			s.emit(EventPruneIndex, r)
 			continue
 		}
 		if s.bounds != nil && s.bounds.prune(r, s.sky, s.scorer) {
 			s.stats.PrunedByBounds++
+			if lg != nil {
+				lg.prunedBounds++
+			}
 			s.emit(EventPruneBounds, r)
 			continue
 		}
@@ -486,6 +516,7 @@ func (s *Searcher) query(start graph.VertexID, seq route.Sequence, dest graph.Ve
 	s.stats.SettledVertices += s.ws.SettledCount()
 	s.stats.Results = s.sky.Len()
 	s.harvestTopKStats()
+	s.finishTrace(s.cc.err)
 	// On-the-fly caching frees its results once the query finishes
 	// (§5.3.4): the cache rarely helps across different inputs.
 	s.cache = nil
@@ -586,11 +617,17 @@ func (s *Searcher) expand(r *route.Route, from graph.VertexID, qb *pq.Heap[*rout
 			// only shrinks in the meantime), so don't queue it at all.
 			if s.idxRows.any && s.pruneByIndex(rt) {
 				s.stats.PrunedByIndex++
+				if lg := s.legHook(rt.Size()); lg != nil {
+					lg.prunedIndex++
+				}
 				s.emit(EventPruneIndex, rt)
 				continue
 			}
 			qb.Push(rt)
 			s.stats.RoutesEnqueued++
+			if lg := s.legHook(rt.Size() - 1); lg != nil {
+				lg.enqueued++
+			}
 			s.emit(EventEnqueue, rt)
 			if qb.Len() > s.stats.PeakQueueLen {
 				s.stats.PeakQueueLen = qb.Len()

@@ -80,6 +80,9 @@ func (s *Searcher) nextPoIs(r *route.Route, from graph.VertexID) []candidate {
 		key := cacheKey{from: from, pos: pos, depart: depart}
 		if e, ok := s.cache[key]; ok && (e.complete || e.radius >= radius) {
 			s.stats.CacheHits++
+			if lg := s.legHook(pos); lg != nil {
+				lg.cacheHits++
+			}
 			s.emit(EventCacheHit, nil)
 			return e.items
 		}
@@ -117,6 +120,9 @@ func (s *Searcher) sharedOrRun(from graph.VertexID, pos int, radius, depart floa
 	key := sharedKey{from: from, cat: cat.ID(), origin: pos == 0}
 	if e := shared.lookup(key, radius, s.opts.Epoch); e != nil {
 		s.stats.SharedCacheHits++
+		if lg := s.legHook(pos); lg != nil {
+			lg.sharedHits++
+		}
 		s.emit(EventCacheHit, nil)
 		return e
 	}
@@ -191,7 +197,20 @@ func (w *mdWorkspace) begin() uint32 {
 func (s *Searcher) runMDijkstra(from graph.VertexID, pos int, radius, depart float64) *cacheEntry {
 	s.stats.MDijkstraRuns++
 	mdBegan := time.Now()
-	defer func() { s.stats.MDijkstraTime += time.Since(mdBegan) }()
+	settled := 0
+	defer func() {
+		d := time.Since(mdBegan)
+		s.stats.MDijkstraTime += d
+		if lg := s.legHook(pos); lg != nil {
+			lg.runs++
+			lg.settled += int64(settled)
+			lg.time += d
+			if !lg.hasDepart && s.td {
+				lg.firstDepart = depart
+				lg.hasDepart = true
+			}
+		}
+	}()
 	s.emit(EventMDijkstraRun, nil)
 	// The fault hook fires before the checkpoint so a hook that cancels a
 	// context is observed within this very run, keeping cancellation
@@ -237,7 +256,6 @@ func (s *Searcher) runMDijkstra(from graph.VertexID, pos int, radius, depart flo
 	// the cache entry is complete at any radius.
 	cut := false
 	maxSettled := 0.0
-	settled := 0
 	for h.Len() > 0 {
 		if s.cc.tick() {
 			break

@@ -80,6 +80,12 @@ func (s *Searcher) clearTransient() {
 	s.opts.Shared = nil
 	s.opts.Index = nil
 	s.opts.Context = nil
+	// Drop the explain state too: an idle searcher must not pin a
+	// finished request's trace tree (the flight recorder may hold it for
+	// a long time).
+	s.opts.Span = nil
+	s.span = nil
+	s.legs = nil
 	s.idxRows = indexRows{}
 	// Drop the cancellation state (and its context reference): a cancelled
 	// query must leave the pooled searcher indistinguishable from a fresh

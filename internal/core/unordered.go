@@ -53,6 +53,7 @@ func (s *Searcher) QueryUnordered(start graph.VertexID, seq route.Sequence) (*Re
 	s.bounds = nil
 	s.destDist = nil
 	s.idxRows = indexRows{} // the unordered loop takes no index shortcuts
+	s.initTrace(false)
 	s.ws.ResetStats()
 
 	if s.opts.InitialSearch && !s.cc.cancelled() {
@@ -125,6 +126,7 @@ func (s *Searcher) QueryUnordered(start graph.VertexID, seq route.Sequence) (*Re
 	s.stats.SettledVertices += s.ws.SettledCount()
 	s.stats.Results = s.sky.Len()
 	s.harvestTopKStats()
+	s.finishTrace(s.cc.err)
 	if err := s.cc.err; err != nil {
 		return &Result{Stats: s.stats}, err
 	}

@@ -160,3 +160,48 @@ func TestLevelString(t *testing.T) {
 		t.Errorf("level names wrong: %v", fmt.Sprint(LevelDebug, LevelInfo, LevelWarn, LevelError, LevelOff))
 	}
 }
+
+// TestWithFieldOrdering pins the contract the serving tier's tracing
+// relies on: With-bound fields render before the call-site fields, in
+// binding order, so the trace ID stamped by the instrument middleware
+// always appears in the same position on every line of one request.
+func TestWithFieldOrdering(t *testing.T) {
+	l, buf := capture(LevelInfo)
+	req := l.With("endpoint", "route").With("trace", "00000000deadbeef")
+	req.Info("slow query", "elapsed", 2*time.Second)
+	line := buf.String()
+	want := " endpoint=route trace=00000000deadbeef elapsed=2s"
+	if !strings.Contains(line, want) {
+		t.Fatalf("line = %q, want fields ordered as %q", line, want)
+	}
+	// Grandchildren inherit the whole chain, trace ID included.
+	buf.Reset()
+	req.With("stage", "mdijkstra").Info("leg done")
+	if !strings.Contains(buf.String(), "endpoint=route trace=00000000deadbeef stage=mdijkstra") {
+		t.Fatalf("grandchild lost inherited fields: %q", buf.String())
+	}
+}
+
+// TestContextCarriesTraceFields checks the request-scoped logger a
+// handler recovers via FromContext still carries the trace ID bound
+// before NewContext — the plumbing instrument() depends on.
+func TestContextCarriesTraceFields(t *testing.T) {
+	l, buf := capture(LevelInfo)
+	bound := l.With("trace", "0123456789abcdef")
+	ctx := NewContext(context.Background(), bound)
+
+	deepHandler := func(ctx context.Context) {
+		FromContext(ctx).Info("deep work", "step", 2)
+	}
+	deepHandler(ctx)
+	if !strings.Contains(buf.String(), "trace=0123456789abcdef step=2") {
+		t.Fatalf("context-recovered logger dropped the trace field: %q", buf.String())
+	}
+	// A context without a logger yields nil, which logs nothing and does
+	// not panic — optional tracing must not need guards at call sites.
+	buf.Reset()
+	deepHandler(context.Background())
+	if buf.String() != "" {
+		t.Errorf("nil context logger wrote output: %q", buf.String())
+	}
+}

@@ -287,6 +287,18 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is the +Inf overflow bucket
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	// exemplars holds at most one tagged observation per bucket
+	// (last-writer-wins), rendered as an OpenMetrics-style exemplar suffix
+	// on that bucket's sample line.
+	exemplars []atomic.Pointer[exemplar]
+}
+
+// exemplar is one tagged observation pinned to a histogram bucket — the
+// serving tier uses it to attach slow-query trace IDs to the latency
+// bucket the query landed in.
+type exemplar struct {
+	labels string // pre-rendered {k="v"}
+	value  float64
 }
 
 // Histogram registers and returns a new histogram with the given bucket
@@ -311,6 +323,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	}
 	h := &Histogram{bounds: append([]float64(nil), bounds...)}
 	h.counts = make([]atomic.Int64, len(bounds)+1)
+	h.exemplars = make([]atomic.Pointer[exemplar], len(bounds)+1)
 	r.register(name, help, "histogram", labels, h)
 	return h
 }
@@ -327,6 +340,17 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// Exemplar tags the bucket v falls into with an OpenMetrics-style
+// exemplar: a ` # {key="val"} value` suffix on that bucket's sample line.
+// It does not observe v — call Observe separately. Last writer per bucket
+// wins; the write is one atomic pointer store, so tagging is safe on the
+// serving path. ParseText tolerates and validates the suffix, so scrape
+// consumers that predate exemplars keep working.
+func (h *Histogram) Exemplar(v float64, key, val string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&exemplar{labels: renderLabels([]Label{L(key, val)}), value: v})
 }
 
 // Count returns the number of observations.
@@ -395,7 +419,15 @@ func (h *Histogram) collect(w io.Writer, name, labels string) error {
 		if inner != "" {
 			sep = ","
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, inner, sep, le, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d", name, inner, sep, le, cum); err != nil {
+			return err
+		}
+		if ex := h.exemplars[i].Load(); ex != nil {
+			if _, err := fmt.Fprintf(w, " # %s %s", ex.labels, formatFloat(ex.value)); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
 			return err
 		}
 	}

@@ -343,3 +343,106 @@ func TestConcurrentObserveAndScrape(t *testing.T) {
 		t.Fatalf("lost updates: counter %d, histogram %d, gauge %d", c.Value(), h.Count(), g.Value())
 	}
 }
+
+// TestParseTextEmptyFamilies checks an exposition consisting only of
+// HELP/TYPE headers — a registry whose families have no series yet, or a
+// scrape filtered down to nothing — parses to an empty sample map rather
+// than erroring.
+func TestParseTextEmptyFamilies(t *testing.T) {
+	in := "# HELP skysr_search_total Searches answered.\n" +
+		"# TYPE skysr_search_total counter\n" +
+		"\n" +
+		"# HELP skysr_http_request_seconds Request wall time.\n" +
+		"# TYPE skysr_http_request_seconds histogram\n"
+	samples, err := ParseText([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 0 {
+		t.Fatalf("samples = %v, want none", samples)
+	}
+	// Entirely empty and whitespace-only inputs are fine too.
+	for _, in := range []string{"", "\n\n", "  \n"} {
+		if samples, err = ParseText([]byte(in)); err != nil || len(samples) != 0 {
+			t.Errorf("ParseText(%q) = %v, %v", in, samples, err)
+		}
+	}
+}
+
+// TestParseTextOverflowBucket checks the +Inf bucket round-trips through
+// a real scrape: its sample key keeps the literal le="+Inf" and its
+// cumulative count equals _count even when every observation overflowed.
+func TestParseTextOverflowBucket(t *testing.T) {
+	r := New()
+	h := r.Histogram("t_seconds", "h.", []float64{0.1, 1})
+	h.Observe(5)  // overflow
+	h.Observe(50) // overflow
+	_, samples := scrape(t, r)
+	if got := samples[`t_seconds_bucket{le="+Inf"}`]; got != 2 {
+		t.Errorf(`+Inf bucket = %v, want 2`, got)
+	}
+	if got := samples[`t_seconds_bucket{le="1"}`]; got != 0 {
+		t.Errorf(`le=1 bucket = %v, want 0`, got)
+	}
+	if samples["t_seconds_count"] != 2 || samples["t_seconds_sum"] != 55 {
+		t.Errorf("count/sum = %v/%v, want 2/55",
+			samples["t_seconds_count"], samples["t_seconds_sum"])
+	}
+}
+
+// TestHistogramExemplar checks Exemplar pins a trace reference to the
+// right bucket, that the suffix survives WriteText → ParseText, and that
+// the sample values are unaffected.
+func TestHistogramExemplar(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat_seconds", "h.", []float64{0.1, 1}, L("endpoint", "route"))
+	h.Observe(0.05)
+	h.Observe(0.7)
+	h.Exemplar(0.7, "trace_id", "0123456789abcdef")
+	text, samples := scrape(t, r)
+	wantLine := `lat_seconds_bucket{endpoint="route",le="1"} 2 # {trace_id="0123456789abcdef"} 0.7`
+	if !strings.Contains(text, wantLine) {
+		t.Fatalf("scrape lacks exemplar line %q:\n%s", wantLine, text)
+	}
+	if samples[`lat_seconds_bucket{endpoint="route",le="1"}`] != 2 {
+		t.Errorf("exemplar suffix changed the parsed sample: %v", samples)
+	}
+	// Overflow observations can carry exemplars too (the +Inf bucket is
+	// where the worst queries land — exactly the ones worth tracing).
+	h.Observe(30)
+	h.Exemplar(30, "trace_id", "deadbeefdeadbeef")
+	text, _ = scrape(t, r)
+	if !strings.Contains(text, `le="+Inf"} 3 # {trace_id="deadbeefdeadbeef"} 30`) {
+		t.Fatalf("overflow exemplar missing:\n%s", text)
+	}
+	// Last writer per bucket wins.
+	h.Exemplar(0.9, "trace_id", "feedfacefeedface")
+	text, _ = scrape(t, r)
+	if !strings.Contains(text, `le="1"} 2 # {trace_id="feedfacefeedface"} 0.9`) {
+		t.Fatalf("exemplar not overwritten:\n%s", text)
+	}
+}
+
+// TestParseTextRejectsMalformedExemplars extends the malformed-input
+// table to the exemplar suffix grammar.
+func TestParseTextRejectsMalformedExemplars(t *testing.T) {
+	for name, in := range map[string]string{
+		"no labels":     `m_bucket{le="1"} 2 # 0.7`,
+		"bad labels":    `m_bucket{le="1"} 2 # {k=v} 0.7`,
+		"no value":      `m_bucket{le="1"} 2 # {k="v"}`,
+		"bad value":     `m_bucket{le="1"} 2 # {k="v"} fast`,
+		"bad timestamp": `m_bucket{le="1"} 2 # {k="v"} 0.7 soon`,
+	} {
+		if _, err := ParseText([]byte(in)); err == nil {
+			t.Errorf("%s: ParseText(%q) accepted", name, in)
+		}
+	}
+	// A well-formed exemplar with a timestamp parses.
+	samples, err := ParseText([]byte(`m_bucket{le="1"} 2 # {trace_id="ab"} 0.7 1712345678.5`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples[`m_bucket{le="1"}`] != 2 {
+		t.Fatalf("parsed %v", samples)
+	}
+}

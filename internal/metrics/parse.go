@@ -86,6 +86,16 @@ func parseSample(line string) (key string, val float64, err error) {
 		}
 		labels, rest = rest[:end], rest[end:]
 	}
+	// An OpenMetrics-style exemplar may trail the value:
+	// ` # {k="v"} value [timestamp]`. Validate and strip it — the sample
+	// key/value are unaffected (Registry.WriteText emits these on
+	// histogram buckets tagged via Histogram.Exemplar).
+	if j := strings.Index(rest, " # "); j >= 0 {
+		if err := validateExemplar(rest[j+3:]); err != nil {
+			return "", 0, err
+		}
+		rest = rest[:j]
+	}
 	fields := strings.Fields(rest)
 	if len(fields) < 1 || len(fields) > 2 {
 		return "", 0, fmt.Errorf("malformed sample %q", line)
@@ -100,6 +110,31 @@ func parseSample(line string) (key string, val float64, err error) {
 		}
 	}
 	return name + labels, val, nil
+}
+
+// validateExemplar checks the `{k="v",...} value [timestamp]` tail of an
+// exemplar suffix.
+func validateExemplar(s string) error {
+	if s == "" || s[0] != '{' {
+		return fmt.Errorf("malformed exemplar %q", s)
+	}
+	end, err := scanLabels(s)
+	if err != nil {
+		return err
+	}
+	fields := strings.Fields(s[end:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("malformed exemplar %q", s)
+	}
+	if _, err := parseValue(fields[0]); err != nil {
+		return err
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return fmt.Errorf("invalid exemplar timestamp %q", fields[1])
+		}
+	}
+	return nil
 }
 
 // scanLabels validates a `{k="v",...}` block starting at s[0] == '{' and

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strconv"
 	"sync/atomic"
+
+	"skysr/internal/trace"
 )
 
 // errSaturated reports that both the execution slots and the wait queue
@@ -82,6 +84,12 @@ func (s *Server) admit(next http.HandlerFunc) http.HandlerFunc {
 			if errors.Is(err, errSaturated) {
 				s.writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "server overloaded; retry later"})
 			} else {
+				// The client walked away (or the server began draining)
+				// while the request sat in the queue: for the flight
+				// recorder that is a cancellation, not a server error.
+				if tr := trace.FromContext(r.Context()); tr != nil {
+					tr.SetStatus(trace.StatusCancelled, "request abandoned while queued")
+				}
 				s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "request abandoned while queued"})
 			}
 			return

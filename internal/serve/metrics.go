@@ -15,20 +15,28 @@ package serve
 // operator actions, not traffic.
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"time"
 
 	"skysr/internal/logx"
 	"skysr/internal/metrics"
+	"skysr/internal/trace"
 )
 
 // httpEndpoints names every instrumented route; registerRoutes and the
 // tests both iterate it, so an endpoint cannot ship without its series.
 var httpEndpoints = []string{
 	"index", "categories", "route", "batch", "update", "epoch",
-	"survey_post", "survey_get", "metrics",
+	"survey_post", "survey_get", "metrics", "traces_list", "traces_get",
 }
+
+// tracedEndpoints names the endpoints whose requests get a per-request
+// trace: the heavy ones, where "why was this slow" is a real question.
+// The cheap read-only endpoints stay untraced — a trace of a map lookup
+// is noise in the flight recorder's bounded ring.
+var tracedEndpoints = map[string]bool{"route": true, "batch": true, "update": true}
 
 // codeClasses are the response-code classes the request counter is
 // partitioned by. 1xx is folded into 2xx: the tier never writes one, and
@@ -157,11 +165,36 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 // has no meaningful latency or status to record.
 func (s *Server) instrument(endpoint string, next http.HandlerFunc) http.HandlerFunc {
 	em := s.hm.endpoints[endpoint]
+	traced := s.rec != nil && tracedEndpoints[endpoint]
 	return func(w http.ResponseWriter, r *http.Request) {
 		began := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
 		rl := s.log.With("endpoint", endpoint)
-		next(sw, r.WithContext(logx.NewContext(r.Context(), rl)))
+		ctx := r.Context()
+		if traced {
+			// Every traced request carries a trace: the span tree is built
+			// by the search core, the tail-sampling decision happens only
+			// at completion (finishTrace), and the trace ID is stamped into
+			// every log line the request emits. The deferred finish runs
+			// after the normal-path metrics below, and — unlike them — also
+			// on panic: a request that never completed is exactly the kind
+			// the flight recorder must keep.
+			tr := trace.New(endpoint)
+			rl = rl.With("trace", tr.ID().String())
+			ctx = trace.NewContext(ctx, tr)
+			defer func() {
+				if p := recover(); p != nil {
+					tr.SetStatus(trace.StatusPanic, fmt.Sprint(p))
+					s.finishTrace(tr, em, rl)
+					panic(p) // recoverPanics converts it to a JSON 500
+				}
+				if code := sw.status; code >= 400 && tr.Status() == trace.StatusOK {
+					tr.SetStatus(trace.StatusError, http.StatusText(code))
+				}
+				s.finishTrace(tr, em, rl)
+			}()
+		}
+		next(sw, r.WithContext(logx.NewContext(ctx, rl)))
 		code := sw.status
 		if code == 0 {
 			code = http.StatusOK
@@ -172,6 +205,22 @@ func (s *Server) instrument(endpoint string, next http.HandlerFunc) http.Handler
 			rl.Debug("request served", "method", r.Method, "path", r.URL.Path,
 				"status", code, "elapsed", time.Since(began))
 		}
+	}
+}
+
+// finishTrace completes one request's trace: it seals the root span,
+// offers the trace to the flight recorder (tail sampling: errors and slow
+// queries always kept, the rest probabilistically), and emits the
+// structured slow-query warning with a latency exemplar pinned to the
+// bucket the request landed in.
+func (s *Server) finishTrace(tr *trace.Trace, em *endpointMetrics, rl *logx.Logger) {
+	tr.Finish()
+	dur := tr.Duration()
+	reason, kept := s.rec.Offer(tr)
+	if slow := s.rec.SlowThreshold(); slow > 0 && dur >= slow {
+		em.latency.Exemplar(dur.Seconds(), "trace_id", tr.ID().String())
+		rl.Warn("slow query", "elapsed", dur, "threshold", slow,
+			"status", tr.Status().String(), "kept", kept, "reason", reason)
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"skysr/internal/bench"
 	"skysr/internal/logx"
 	"skysr/internal/metrics"
+	"skysr/internal/trace"
 )
 
 // Config tunes a Server. The zero value serves with no per-query timeout
@@ -73,6 +74,25 @@ type Config struct {
 	// (the skysr-serve -pprof flag). Off by default: profiling endpoints
 	// expose internals and can be heavy, so an operator opts in.
 	EnablePprof bool
+
+	// DisableTracing turns off per-request tracing and the flight
+	// recorder entirely (the skysr-serve -no-trace flag). Tracing is on
+	// by default: span synthesis happens once per query from counters the
+	// search already keeps, so its cost sits inside the same ≤1.05×
+	// envelope the metrics layer is gated on.
+	DisableTracing bool
+	// TraceCapacity is the flight recorder's ring size — how many recent
+	// traces /api/debug/traces can serve; 0 means trace.DefaultCapacity.
+	TraceCapacity int
+	// SlowQuery is the latency at or above which a finished request is
+	// always retained by the recorder and logged as a structured
+	// slow-query warning (the -slow-query flag). 0 means 500ms; negative
+	// disables the slow rule.
+	SlowQuery time.Duration
+	// TraceSample is the probability of retaining a fast successful
+	// request (errors, cancellations, panics and slow requests are always
+	// retained — tail sampling). 0 means 0.01; negative means never.
+	TraceSample float64
 }
 
 // Server is the HTTP serving tier over one Engine. Create with New; it is
@@ -84,6 +104,7 @@ type Server struct {
 	log *logx.Logger
 	reg *metrics.Registry
 	hm  *httpMetrics
+	rec *trace.Recorder // flight recorder; nil when tracing is disabled
 
 	mu     sync.Mutex
 	survey *bench.Survey
@@ -123,11 +144,29 @@ func New(eng *skysr.Engine, cfg Config) *Server {
 		reg:    cfg.Registry,
 		survey: bench.NewSurvey(bench.PaperQuestions()),
 	}
+	if !cfg.DisableTracing {
+		slow := cfg.SlowQuery
+		if slow == 0 {
+			slow = 500 * time.Millisecond
+		} else if slow < 0 {
+			slow = 0
+		}
+		sample := cfg.TraceSample
+		if sample == 0 {
+			sample = 0.01
+		} else if sample < 0 {
+			sample = 0
+		}
+		s.rec = trace.NewRecorder(cfg.TraceCapacity, slow, sample)
+	}
 	// Engine metrics first, then the HTTP families: a scrape renders
 	// families in registration order, so search counters lead the page.
 	eng.EnableMetrics(cfg.Registry)
 	s.hm = newHTTPMetrics(cfg.Registry)
 	s.registerServerMetrics(cfg.Registry)
+	if s.rec != nil {
+		s.registerTraceMetrics(cfg.Registry)
+	}
 	return s
 }
 
@@ -157,6 +196,10 @@ func (s *Server) registerRoutes(mux *http.ServeMux) {
 	mux.HandleFunc("POST /api/survey", s.instrument("survey_post", s.handleSurveyPost))
 	mux.HandleFunc("GET /api/survey", s.instrument("survey_get", s.handleSurveyGet))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	// Like /metrics, the trace endpoints bypass admission: inspecting why
+	// queries are slow must keep working while the tier is saturated.
+	mux.HandleFunc("GET /api/debug/traces", s.instrument("traces_list", s.handleTracesList))
+	mux.HandleFunc("GET /api/debug/traces/{id}", s.instrument("traces_get", s.handleTracesGet))
 	if s.cfg.EnablePprof {
 		registerPprof(mux)
 	}
@@ -208,15 +251,27 @@ func (s *Server) queryContext(r *http.Request, timeoutMS int) (context.Context, 
 // writeSearchError maps a search error onto HTTP semantics: a deadline is
 // the server refusing to spend more compute (504), a cancellation means
 // the client went away or the server is draining (503), anything else is
-// a bad request.
-func (s *Server) writeSearchError(w http.ResponseWriter, err error) {
+// a bad request. The request's trace (when sampled) is annotated with the
+// same classification, so the flight recorder's tail sampling always
+// keeps these outcomes.
+func (s *Server) writeSearchError(w http.ResponseWriter, r *http.Request, err error) {
+	tr := trace.FromContext(r.Context())
 	switch {
 	case errors.Is(err, skysr.ErrDeadlineExceeded):
 		s.timeouts.Add(1)
+		if tr != nil {
+			tr.SetStatus(trace.StatusDeadline, err.Error())
+		}
 		s.writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": "query deadline exceeded"})
 	case errors.Is(err, skysr.ErrSearchCancelled):
+		if tr != nil {
+			tr.SetStatus(trace.StatusCancelled, err.Error())
+		}
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "query cancelled"})
 	default:
+		if tr != nil {
+			tr.SetStatus(trace.StatusError, err.Error())
+		}
 		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 	}
 }
@@ -362,7 +417,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	opts.Context = ctx
 	ans, err := s.eng.SearchWith(q, opts)
 	if err != nil {
-		s.writeSearchError(w, err)
+		s.writeSearchError(w, r, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, s.routeResponseOf(ans))
@@ -490,7 +545,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	began := time.Now()
 	answers, err := s.eng.SearchBatch(queries, skysr.BatchOptions{Workers: workers, PerQuery: perQuery, Context: ctx})
 	if err != nil {
-		s.writeSearchError(w, err)
+		s.writeSearchError(w, r, err)
 		return
 	}
 	resp := batchResponse{ElapsedMS: float64(time.Since(began).Microseconds()) / 1000}

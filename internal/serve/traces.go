@@ -1,0 +1,92 @@
+package serve
+
+// Flight-recorder endpoints: GET /api/debug/traces lists the recorder's
+// retained traces newest-first (summaries only), and
+// GET /api/debug/traces/{id} returns one full span tree — the query
+// "explain". Both bypass the admission queue for the same reason
+// /metrics does: the moment an operator needs them is the moment the
+// tier is saturated. Payloads are bounded by the recorder's ring
+// capacity, so neither endpoint can be made expensive by traffic.
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"skysr/internal/metrics"
+	"skysr/internal/trace"
+)
+
+// tracesListResponse is the envelope of GET /api/debug/traces.
+type tracesListResponse struct {
+	Capacity     int             `json:"capacity"`
+	KeptTotal    int64           `json:"kept_total"`
+	DroppedTotal int64           `json:"dropped_total"`
+	SlowQueryMS  float64         `json:"slow_query_ms"`
+	SampleRate   float64         `json:"sample_rate"`
+	Traces       []trace.Summary `json:"traces"`
+}
+
+func (s *Server) handleTracesList(w http.ResponseWriter, r *http.Request) {
+	if s.rec == nil {
+		s.writeJSON(w, http.StatusNotFound, map[string]string{"error": "tracing disabled"})
+		return
+	}
+	limit := 0
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": "limit must be a positive integer"})
+			return
+		}
+		limit = n
+	}
+	traces := s.rec.Traces()
+	if limit > 0 && len(traces) > limit {
+		traces = traces[:limit]
+	}
+	resp := tracesListResponse{
+		Capacity:     s.rec.Capacity(),
+		KeptTotal:    s.rec.KeptTotal(),
+		DroppedTotal: s.rec.DroppedTotal(),
+		SlowQueryMS:  float64(s.rec.SlowThreshold()) / float64(time.Millisecond),
+		SampleRate:   s.rec.SampleRate(),
+		Traces:       make([]trace.Summary, 0, len(traces)),
+	}
+	for _, t := range traces {
+		resp.Traces = append(resp.Traces, t.Summary())
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTracesGet(w http.ResponseWriter, r *http.Request) {
+	if s.rec == nil {
+		s.writeJSON(w, http.StatusNotFound, map[string]string{"error": "tracing disabled"})
+		return
+	}
+	id, ok := trace.ParseID(r.PathValue("id"))
+	if !ok {
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad trace id (want 16 hex digits)"})
+		return
+	}
+	t := s.rec.Get(id)
+	if t == nil {
+		s.writeJSON(w, http.StatusNotFound, map[string]string{"error": "trace not found (evicted or never retained)"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, t.JSON())
+}
+
+// registerTraceMetrics exports the flight recorder's tail-sampling
+// counters, sampled at scrape time from the recorder's own atomics.
+func (s *Server) registerTraceMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("skysr_trace_kept_total",
+		"Finished request traces retained by the flight recorder (errors, slow queries, and the sampled tail).",
+		func() float64 { return float64(s.rec.KeptTotal()) })
+	reg.CounterFunc("skysr_trace_dropped_total",
+		"Finished request traces discarded by tail sampling.",
+		func() float64 { return float64(s.rec.DroppedTotal()) })
+	reg.GaugeFunc("skysr_trace_recorder_len",
+		"Traces currently held in the flight recorder's ring.",
+		func() float64 { return float64(s.rec.Len()) })
+}

@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"skysr"
+	"skysr/internal/faults"
+	"skysr/internal/logx"
+	"skysr/internal/metrics"
+	"skysr/internal/trace"
+)
+
+// tracedServer builds a server that retains every finished trace
+// (sample=1), so the list/get assertions are deterministic.
+func tracedServer(t *testing.T, cfg Config) (*Server, http.Handler) {
+	t.Helper()
+	eng, _, _ := skysr.PaperExample()
+	if cfg.Logger == nil {
+		cfg.Logger = logx.Discard()
+	}
+	if cfg.TraceSample == 0 {
+		cfg.TraceSample = 1
+	}
+	s := New(eng, cfg)
+	return s, s.Handler()
+}
+
+const tracedRouteURL = "/api/route?start=0&via=Asian+Restaurant,Arts+%26+Entertainment,Gift+Shop"
+
+func listTraces(t *testing.T, mux http.Handler, query string) tracesListResponse {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/debug/traces"+query, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("traces list status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var out tracesListResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("traces list body: %v", err)
+	}
+	return out
+}
+
+func TestTracesListAndGet(t *testing.T) {
+	_, mux := tracedServer(t, Config{})
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", tracedRouteURL, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("route status = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	out := listTraces(t, mux, "")
+	if len(out.Traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(out.Traces))
+	}
+	sum := out.Traces[0]
+	if sum.Name != "route" || sum.Status != "ok" {
+		t.Errorf("summary = %+v, want name=route status=ok", sum)
+	}
+	if sum.Spans < 2 {
+		t.Errorf("spans = %d, want root + search at least", sum.Spans)
+	}
+	if out.Capacity != trace.DefaultCapacity || out.KeptTotal != 1 {
+		t.Errorf("envelope = %+v", out)
+	}
+
+	// Full tree by ID: the root holds a search span that mirrors the
+	// query's stages — this is the "explain" payload.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/debug/traces/"+sum.ID, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("trace get status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var full trace.TraceJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.ID != sum.ID {
+		t.Errorf("trace id = %q, want %q", full.ID, sum.ID)
+	}
+	if len(full.Root.Children) != 1 || full.Root.Children[0].Name != "search" {
+		t.Fatalf("root children = %+v, want one search span", full.Root.Children)
+	}
+	search := full.Root.Children[0]
+	if search.Attrs["md_runs"] == "" || search.Attrs["popped"] == "" {
+		t.Errorf("search span attrs missing counters: %v", search.Attrs)
+	}
+	var legs int
+	for _, c := range search.Children {
+		if strings.HasPrefix(c.Name, "leg[") {
+			legs++
+		}
+	}
+	if legs != 3 {
+		t.Errorf("leg spans = %d, want 3 (one per category)", legs)
+	}
+
+	// Unparseable and unknown IDs are client errors, not 500s.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/debug/traces/nothex", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad id status = %d, want 400", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/debug/traces/00000000deadbeef", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown id status = %d, want 404", rec.Code)
+	}
+}
+
+func TestTracesDisabled(t *testing.T) {
+	eng, _, _ := skysr.PaperExample()
+	s := New(eng, Config{Logger: logx.Discard(), DisableTracing: true})
+	mux := s.Handler()
+	for _, path := range []string{"/api/debug/traces", "/api/debug/traces/0123456789abcdef"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("%s status = %d, want 404 when tracing is disabled", path, rec.Code)
+		}
+	}
+}
+
+// TestSlowQueryRetainedAndLogged turns sampling off entirely and makes
+// every query "slow": tail sampling must still keep it, the slow-query
+// warning must carry the trace ID, and the latency histogram must expose
+// the trace ID as an exemplar that ParseText accepts.
+func TestSlowQueryRetainedAndLogged(t *testing.T) {
+	var logBuf bytes.Buffer
+	reg := metrics.New()
+	_, mux := tracedServer(t, Config{
+		Logger:      logx.New(&logBuf, logx.LevelWarn),
+		Registry:    reg,
+		SlowQuery:   time.Nanosecond, // everything is slow
+		TraceSample: -1,              // never sample; only tail rules keep
+	})
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", tracedRouteURL, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("route status = %d", rec.Code)
+	}
+
+	out := listTraces(t, mux, "")
+	if len(out.Traces) != 1 || out.Traces[0].Kept != "slow" {
+		t.Fatalf("traces = %+v, want one kept=slow", out.Traces)
+	}
+	id := out.Traces[0].ID
+
+	logLine := logBuf.String()
+	if !strings.Contains(logLine, "slow query") || !strings.Contains(logLine, "trace="+id) {
+		t.Errorf("slow-query log line missing or untagged: %q", logLine)
+	}
+
+	var scrape bytes.Buffer
+	if err := reg.WriteText(&scrape); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(scrape.String(), `# {trace_id="`+id+`"}`) {
+		t.Error("latency histogram lacks the slow query's trace_id exemplar")
+	}
+	if _, err := metrics.ParseText(scrape.Bytes()); err != nil {
+		t.Errorf("scrape with exemplars does not parse: %v", err)
+	}
+}
+
+// TestErrorTracesRetained drives the three failure shapes — timeout,
+// handler panic and plain bad request — with sampling off, and checks the
+// recorder keeps each with the right status annotation.
+func TestErrorTracesRetained(t *testing.T) {
+	_, mux := tracedServer(t, Config{SlowQuery: -1, TraceSample: -1})
+
+	// Deadline: slow the search down and give it 1ms.
+	restore := faults.Set(faults.MDijkstraRun, func(int64) { time.Sleep(5 * time.Millisecond) })
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", tracedRouteURL+"&timeout_ms=1", nil))
+	restore()
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", rec.Code)
+	}
+
+	// Panic inside the search core.
+	restore = faults.Set(faults.RoutePop, func(int64) { panic("injected fault") })
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", tracedRouteURL, nil))
+	restore()
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+
+	// Bad request (unknown category).
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/route?start=0&via=No+Such+Category", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", rec.Code)
+	}
+
+	// A successful request with sampling off must NOT be retained.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", tracedRouteURL, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+
+	out := listTraces(t, mux, "")
+	got := map[string]int{}
+	for _, sum := range out.Traces {
+		got[sum.Status]++
+		if sum.Kept != "error" {
+			t.Errorf("trace %s kept=%q, want error", sum.ID, sum.Kept)
+		}
+	}
+	want := map[string]int{"deadline": 1, "panic": 1, "error": 1}
+	if len(out.Traces) != 3 {
+		t.Fatalf("traces = %+v, want exactly the three failures", out.Traces)
+	}
+	for st, n := range want {
+		if got[st] != n {
+			t.Errorf("status %q count = %d, want %d (have %v)", st, got[st], n, got)
+		}
+	}
+}
+
+// TestTraceListLimit checks ?limit= truncation and newest-first order.
+func TestTraceListLimit(t *testing.T) {
+	_, mux := tracedServer(t, Config{})
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", tracedRouteURL, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("route status = %d", rec.Code)
+		}
+	}
+	out := listTraces(t, mux, "?limit=2")
+	if len(out.Traces) != 2 {
+		t.Fatalf("limited traces = %d, want 2", len(out.Traces))
+	}
+	if out.KeptTotal != 3 {
+		t.Errorf("kept_total = %d, want 3", out.KeptTotal)
+	}
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/debug/traces?limit=bogus", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad limit status = %d, want 400", rec.Code)
+	}
+}
+
+// TestTraceMetricsRegistered checks the recorder's counters land on the
+// scrape page alongside the HTTP families.
+func TestTraceMetricsRegistered(t *testing.T) {
+	reg := metrics.New()
+	_, mux := tracedServer(t, Config{Registry: reg})
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", tracedRouteURL, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("route status = %d", rec.Code)
+	}
+	var scrape bytes.Buffer
+	if err := reg.WriteText(&scrape); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := metrics.ParseText(scrape.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples["skysr_trace_kept_total"] != 1 {
+		t.Errorf("skysr_trace_kept_total = %v, want 1", samples["skysr_trace_kept_total"])
+	}
+	if samples["skysr_trace_recorder_len"] != 1 {
+		t.Errorf("skysr_trace_recorder_len = %v, want 1", samples["skysr_trace_recorder_len"])
+	}
+}

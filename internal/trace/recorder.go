@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder is the flight recorder: a bounded ring buffer of recently
+// finished traces with a tail-sampling admission policy. Tail sampling
+// decides retention *after* the request finishes, when its outcome is
+// known:
+//
+//   - errors, cancellations, deadline blows, and panics are always kept;
+//   - requests at or above the slow threshold are always kept;
+//   - the healthy fast majority is sampled with probability Sample.
+//
+// The common case — a fast, successful, unsampled request — takes no
+// lock at all: Offer reads the immutable thresholds, advances a
+// lock-free PRNG, and returns. Only kept traces pay one mutex
+// acquisition to enter the ring.
+type Recorder struct {
+	capacity int
+	slow     time.Duration
+	sample   float64
+	// sampleBits is Sample mapped onto the uint64 range so the keep
+	// decision is one integer compare against the PRNG output.
+	sampleBits uint64
+	rng        atomic.Uint64
+
+	kept    atomic.Int64
+	dropped atomic.Int64
+
+	mu   sync.Mutex
+	ring []*Trace // ring[next] is the oldest slot once full
+	next int
+	full bool
+}
+
+// DefaultCapacity is the ring size used when NewRecorder is given a
+// non-positive capacity.
+const DefaultCapacity = 256
+
+// NewRecorder builds a flight recorder. capacity <= 0 defaults to
+// DefaultCapacity; slow <= 0 disables the slow-query rule; sample is
+// clamped to [0, 1].
+func NewRecorder(capacity int, slow time.Duration, sample float64) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if sample < 0 {
+		sample = 0
+	}
+	if sample > 1 {
+		sample = 1
+	}
+	r := &Recorder{
+		capacity: capacity,
+		slow:     slow,
+		sample:   sample,
+		ring:     make([]*Trace, capacity),
+	}
+	switch {
+	case sample >= 1:
+		r.sampleBits = ^uint64(0)
+	default:
+		r.sampleBits = uint64(sample * float64(1<<63) * 2)
+	}
+	r.rng.Store(uint64(time.Now().UnixNano()) | 1)
+	return r
+}
+
+// SlowThreshold returns the configured slow-query threshold (zero when
+// disabled).
+func (r *Recorder) SlowThreshold() time.Duration { return r.slow }
+
+// SampleRate returns the configured probabilistic sampling rate.
+func (r *Recorder) SampleRate() float64 { return r.sample }
+
+// Capacity returns the ring size.
+func (r *Recorder) Capacity() int { return r.capacity }
+
+// KeptTotal returns how many traces have been admitted since start.
+func (r *Recorder) KeptTotal() int64 { return r.kept.Load() }
+
+// DroppedTotal returns how many finished traces were offered but not
+// retained.
+func (r *Recorder) DroppedTotal() int64 { return r.dropped.Load() }
+
+// Offer applies the tail-sampling policy to a finished trace. It
+// reports whether the trace was kept and the reason ("error", "slow",
+// or "sampled"); dropped traces return ("", false) without locking.
+func (r *Recorder) Offer(t *Trace) (string, bool) {
+	if r == nil || t == nil {
+		return "", false
+	}
+	reason := ""
+	switch {
+	case t.Status() != StatusOK:
+		reason = "error"
+	case r.slow > 0 && t.Duration() >= r.slow:
+		reason = "slow"
+	case r.nextRand() < r.sampleBits:
+		reason = "sampled"
+	default:
+		r.dropped.Add(1)
+		return "", false
+	}
+	t.setKeptReason(reason)
+	r.kept.Add(1)
+	r.mu.Lock()
+	r.ring[r.next] = t
+	r.next++
+	if r.next == r.capacity {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+	return reason, true
+}
+
+// nextRand advances the lock-free xorshift64 sampling PRNG. A CAS race
+// between concurrent requests merely reuses a state once — harmless for
+// sampling purposes — so the loop-free form is fine.
+func (r *Recorder) nextRand() uint64 {
+	x := r.rng.Load()
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.rng.Store(x)
+	return x
+}
+
+// Traces returns the retained traces, newest first.
+func (r *Recorder) Traces() []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = r.capacity
+	}
+	out := make([]*Trace, 0, n)
+	for i := 0; i < n; i++ {
+		// Walk backwards from the most recently written slot.
+		idx := (r.next - 1 - i + r.capacity) % r.capacity
+		if tr := r.ring[idx]; tr != nil {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// Get returns the retained trace with the given ID, or nil.
+func (r *Recorder) Get(id ID) *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, tr := range r.ring {
+		if tr != nil && tr.id == id {
+			return tr
+		}
+	}
+	return nil
+}
+
+// Len returns how many traces the ring currently holds.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return r.capacity
+	}
+	return r.next
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// The wire and terminal forms of a trace. JSON() feeds the
+// /api/debug/traces/{id} endpoint; Summary() feeds the list endpoint;
+// Render() prints the human-readable tree skysr-query -trace shows.
+
+// SpanJSON is the wire form of one span. StartNS is the offset from the
+// trace start, so a client can lay spans on a timeline without parsing
+// timestamps.
+type SpanJSON struct {
+	Name       string            `json:"name"`
+	StartNS    int64             `json:"start_ns"`
+	DurationNS int64             `json:"duration_ns"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []SpanJSON        `json:"children,omitempty"`
+}
+
+// TraceJSON is the wire form of a full trace tree.
+type TraceJSON struct {
+	ID         string   `json:"id"`
+	Name       string   `json:"name"`
+	Start      string   `json:"start"`
+	DurationMS float64  `json:"duration_ms"`
+	Status     string   `json:"status"`
+	Error      string   `json:"error,omitempty"`
+	Kept       string   `json:"kept,omitempty"`
+	Root       SpanJSON `json:"root"`
+}
+
+// Summary is the wire form of one list-endpoint entry.
+type Summary struct {
+	ID         string  `json:"id"`
+	Name       string  `json:"name"`
+	Start      string  `json:"start"`
+	DurationMS float64 `json:"duration_ms"`
+	Status     string  `json:"status"`
+	Error      string  `json:"error,omitempty"`
+	Kept       string  `json:"kept,omitempty"`
+	Spans      int     `json:"spans"`
+}
+
+// JSON converts the trace to its wire form.
+func (t *Trace) JSON() TraceJSON {
+	return TraceJSON{
+		ID:         t.id.String(),
+		Name:       t.name,
+		Start:      t.start.UTC().Format(time.RFC3339Nano),
+		DurationMS: float64(t.Duration().Nanoseconds()) / 1e6,
+		Status:     t.Status().String(),
+		Error:      t.Err(),
+		Kept:       t.KeptReason(),
+		Root:       spanJSON(t.root, t.start),
+	}
+}
+
+func spanJSON(s *Span, origin time.Time) SpanJSON {
+	out := SpanJSON{
+		Name:       s.name,
+		StartNS:    s.start.Sub(origin).Nanoseconds(),
+		DurationNS: s.Duration().Nanoseconds(),
+	}
+	if attrs := s.Attrs(); len(attrs) > 0 {
+		out.Attrs = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			out.Attrs[a.Key] = a.Val
+		}
+	}
+	for _, c := range s.Children() {
+		out.Children = append(out.Children, spanJSON(c, origin))
+	}
+	return out
+}
+
+// Summary converts the trace to its list-entry form.
+func (t *Trace) Summary() Summary {
+	return Summary{
+		ID:         t.id.String(),
+		Name:       t.name,
+		Start:      t.start.UTC().Format(time.RFC3339Nano),
+		DurationMS: float64(t.Duration().Nanoseconds()) / 1e6,
+		Status:     t.Status().String(),
+		Error:      t.Err(),
+		Kept:       t.KeptReason(),
+		Spans:      countSpans(t.root),
+	}
+}
+
+func countSpans(s *Span) int {
+	n := 1
+	for _, c := range s.Children() {
+		n += countSpans(c)
+	}
+	return n
+}
+
+// Render writes the human-readable tree:
+//
+//	trace 1f3c... route 12.4ms status=ok
+//	└─ route 12.4ms
+//	   ├─ nninit 1.2ms routes=14 ratio=0.43
+//	   ├─ bounds 0.4ms semantic=812.4
+//	   ...
+func (t *Trace) Render(w io.Writer) {
+	fmt.Fprintf(w, "trace %s %s %s status=%s", t.id, t.name,
+		fmtDur(t.Duration()), t.Status())
+	if msg := t.Err(); msg != "" {
+		fmt.Fprintf(w, " error=%q", msg)
+	}
+	fmt.Fprintln(w)
+	renderSpan(w, t.root, "", true)
+}
+
+func renderSpan(w io.Writer, s *Span, prefix string, last bool) {
+	connector, childPrefix := "├─ ", prefix+"│  "
+	if last {
+		connector, childPrefix = "└─ ", prefix+"   "
+	}
+	var b strings.Builder
+	b.WriteString(prefix)
+	b.WriteString(connector)
+	b.WriteString(s.name)
+	b.WriteByte(' ')
+	b.WriteString(fmtDur(s.Duration()))
+	for _, a := range s.Attrs() {
+		b.WriteByte(' ')
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(a.Val)
+	}
+	fmt.Fprintln(w, b.String())
+	children := s.Children()
+	for i, c := range children {
+		renderSpan(w, c, childPrefix, i == len(children)-1)
+	}
+}
+
+// fmtDur rounds a duration to a readable precision: microsecond below a
+// millisecond, 10µs below a second, millisecond above.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d < time.Second:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}

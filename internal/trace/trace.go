@@ -1,0 +1,324 @@
+// Package trace is a dependency-free span-tree tracer for the serving
+// tier. A Trace captures one sampled request as a tree of Spans that
+// mirrors the search stages — NNinit, the §5.3.3 bounds, each per-leg
+// modified-Dijkstra phase, the §6 destination leg — each annotated with
+// the counters the stage accumulated (settled vertices, cache hits,
+// pruning-rule fires, TD departure offsets). A finished trace therefore
+// doubles as a query "explain": it answers "why was *this* query slow?"
+// where the aggregate /metrics histograms can only answer "how slow are
+// queries lately?".
+//
+// The package is deliberately minimal: no OpenTelemetry, no exporters,
+// no clock abstraction. Traces propagate via context.Context (NewContext
+// / FromContext), the search core attaches its spans through
+// SpanFromContext, and the flight recorder (recorder.go) retains recent
+// traces for the /api/debug/traces endpoints.
+package trace
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ID identifies one trace. IDs render as 16 lower-case hex digits — the
+// form stamped into log lines, metric exemplars, and the debug API.
+type ID uint64
+
+// String implements fmt.Stringer.
+func (id ID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// ParseID parses the 16-hex-digit form produced by String. It reports
+// false for anything else, including the zero ID (which New never
+// issues).
+func ParseID(s string) (ID, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil || v == 0 {
+		return 0, false
+	}
+	return ID(v), true
+}
+
+// idState seeds the splitmix64 ID sequence. Seeding from the wall clock
+// makes IDs differ across process restarts; the atomic add makes
+// generation lock-free and collision-free within a process.
+var idState atomic.Uint64
+
+func init() { idState.Store(uint64(time.Now().UnixNano())) }
+
+// NewID returns a process-unique non-zero trace ID.
+func NewID() ID {
+	for {
+		x := idState.Add(0x9e3779b97f4a7c15) // splitmix64
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		if x != 0 {
+			return ID(x)
+		}
+	}
+}
+
+// Status classifies how a traced request ended. The tail-sampling policy
+// keeps every non-OK trace unconditionally.
+type Status int
+
+const (
+	// StatusOK marks a request that completed normally.
+	StatusOK Status = iota
+	// StatusCancelled marks a request abandoned because the client went
+	// away (maps from skysr.ErrSearchCancelled / HTTP 503).
+	StatusCancelled
+	// StatusDeadline marks a request that ran out of its deadline
+	// (skysr.ErrDeadlineExceeded / HTTP 504).
+	StatusDeadline
+	// StatusError marks any other failure (bad request, search error).
+	StatusError
+	// StatusPanic marks a request whose handler panicked; the serving
+	// tier records the panic value before re-raising for recovery.
+	StatusPanic
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusCancelled:
+		return "cancelled"
+	case StatusDeadline:
+		return "deadline"
+	case StatusError:
+		return "error"
+	case StatusPanic:
+		return "panic"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Attr is one key=value annotation on a span. Values are pre-rendered to
+// strings at Set time so finished traces hold no live references into
+// engine state.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// Span is one timed node of a trace tree. All methods are safe for
+// concurrent use — batch requests attach per-query child spans from
+// worker goroutines — but a single span's Set/End callers are expected
+// to be one goroutine, as in net/http handlers.
+type Span struct {
+	name  string
+	start time.Time
+	end   time.Time
+
+	mu       sync.Mutex
+	attrs    []Attr
+	children []*Span
+}
+
+// Name returns the span's stage name.
+func (s *Span) Name() string { return s.name }
+
+// Start returns when the span began.
+func (s *Span) Start() time.Time { return s.start }
+
+// Duration returns the span's elapsed time; for an unfinished span it
+// reports the time elapsed so far.
+func (s *Span) Duration() time.Duration {
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// StartSpan creates and returns a running child span. Safe to call from
+// multiple goroutines on the same parent.
+func (s *Span) StartSpan(name string) *Span {
+	child := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+	return child
+}
+
+// Record attaches an already-finished child span covering [start,
+// start+d). The search core uses it to synthesize stage spans from
+// Stats after the query completes, keeping the hot loops free of span
+// bookkeeping.
+func (s *Span) Record(name string, start time.Time, d time.Duration) *Span {
+	child := &Span{name: name, start: start, end: start.Add(d)}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+	return child
+}
+
+// End marks the span finished. Subsequent Ends are no-ops.
+func (s *Span) End() {
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+}
+
+// Set annotates the span with key=value. Values render via %v; durations
+// render in their native unit string.
+func (s *Span) Set(key string, val any) {
+	var rendered string
+	switch v := val.(type) {
+	case string:
+		rendered = v
+	case time.Duration:
+		rendered = v.String()
+	case float64:
+		rendered = strconv.FormatFloat(v, 'g', -1, 64)
+	case bool:
+		rendered = strconv.FormatBool(v)
+	case int:
+		rendered = strconv.Itoa(v)
+	case int64:
+		rendered = strconv.FormatInt(v, 10)
+	default:
+		rendered = fmt.Sprintf("%v", val)
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Val: rendered})
+	s.mu.Unlock()
+}
+
+// Attrs returns a copy of the span's annotations in Set order.
+func (s *Span) Attrs() []Attr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// Children returns a copy of the span's child slice in creation order.
+func (s *Span) Children() []*Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Trace is one sampled request: an ID, a root span tree, and a terminal
+// status. Create with New, finish with Finish, then hand to a Recorder.
+type Trace struct {
+	id    ID
+	name  string
+	start time.Time
+	root  *Span
+
+	mu     sync.Mutex
+	status Status
+	errMsg string
+	kept   string // tail-sampling reason, set by Recorder.Offer
+}
+
+// New creates a running trace whose root span carries the given name
+// (typically the endpoint, e.g. "route").
+func New(name string) *Trace {
+	now := time.Now()
+	return &Trace{
+		id:    NewID(),
+		name:  name,
+		start: now,
+		root:  &Span{name: name, start: now},
+	}
+}
+
+// ID returns the trace's identifier.
+func (t *Trace) ID() ID { return t.id }
+
+// Name returns the root span name.
+func (t *Trace) Name() string { return t.name }
+
+// Start returns when the trace began.
+func (t *Trace) Start() time.Time { return t.start }
+
+// Root returns the root span.
+func (t *Trace) Root() *Span { return t.root }
+
+// SetStatus records how the request ended. Later non-OK statuses
+// overwrite earlier ones; an OK status never overwrites a failure, so
+// handlers can set failures as they detect them and finish
+// unconditionally.
+func (t *Trace) SetStatus(st Status, errMsg string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st == StatusOK && t.status != StatusOK {
+		return
+	}
+	t.status = st
+	t.errMsg = errMsg
+}
+
+// Status returns the trace's terminal status.
+func (t *Trace) Status() Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.status
+}
+
+// Err returns the recorded error message, empty for OK traces.
+func (t *Trace) Err() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.errMsg
+}
+
+// KeptReason returns why the flight recorder retained this trace
+// ("error", "slow", or "sampled"); empty until offered.
+func (t *Trace) KeptReason() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.kept
+}
+
+func (t *Trace) setKeptReason(reason string) {
+	t.mu.Lock()
+	t.kept = reason
+	t.mu.Unlock()
+}
+
+// Finish ends the root span. Idempotent.
+func (t *Trace) Finish() { t.root.End() }
+
+// Duration returns the root span's elapsed time.
+func (t *Trace) Duration() time.Duration { return t.root.Duration() }
+
+// ctxKey carries a *Trace through a context.
+type ctxKey struct{}
+
+// NewContext returns a context carrying t.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}
+
+// SpanFromContext returns the root span of the trace carried by ctx, or
+// nil when the request is untraced. The search core calls it once per
+// query and attaches its stage spans beneath.
+func SpanFromContext(ctx context.Context) *Span {
+	if t := FromContext(ctx); t != nil {
+		return t.root
+	}
+	return nil
+}

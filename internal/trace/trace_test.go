@@ -1,0 +1,293 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIDStringParseRoundTrip(t *testing.T) {
+	seen := map[ID]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if id == 0 {
+			t.Fatal("NewID returned zero")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ID %s after %d draws", id, i)
+		}
+		seen[id] = true
+		s := id.String()
+		if len(s) != 16 {
+			t.Fatalf("ID string %q is not 16 chars", s)
+		}
+		back, ok := ParseID(s)
+		if !ok || back != id {
+			t.Fatalf("ParseID(%q) = %v, %v; want %v, true", s, back, ok, id)
+		}
+	}
+	for _, bad := range []string{"", "xyz", "00000000000000000", "000000000000000g", "0000000000000000"} {
+		if _, ok := ParseID(bad); ok {
+			t.Errorf("ParseID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSpanTreeAndStatus(t *testing.T) {
+	tr := New("route")
+	if tr.Status() != StatusOK {
+		t.Fatalf("new trace status = %v, want ok", tr.Status())
+	}
+	root := tr.Root()
+	a := root.StartSpan("nninit")
+	a.Set("routes", 14)
+	a.Set("ratio", 0.43)
+	a.End()
+	b := root.Record("bounds", tr.Start(), 3*time.Millisecond)
+	b.Set("from_index", true)
+	tr.SetStatus(StatusDeadline, "deadline exceeded")
+	tr.SetStatus(StatusOK, "") // must not clear the failure
+	tr.Finish()
+
+	if got := tr.Status(); got != StatusDeadline {
+		t.Fatalf("status = %v, want deadline", got)
+	}
+	if tr.Err() != "deadline exceeded" {
+		t.Fatalf("err = %q", tr.Err())
+	}
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "nninit" || kids[1].Name() != "bounds" {
+		t.Fatalf("children = %v", kids)
+	}
+	attrs := kids[0].Attrs()
+	if len(attrs) != 2 || attrs[0] != (Attr{"routes", "14"}) || attrs[1] != (Attr{"ratio", "0.43"}) {
+		t.Fatalf("attrs = %v", attrs)
+	}
+	if d := kids[1].Duration(); d != 3*time.Millisecond {
+		t.Fatalf("recorded duration = %v", d)
+	}
+}
+
+func TestConcurrentChildren(t *testing.T) {
+	tr := New("batch")
+	root := tr.Root()
+	var wg sync.WaitGroup
+	const n = 64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := root.StartSpan("query")
+			sp.Set("k", 1)
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	tr.Finish()
+	if got := len(root.Children()); got != n {
+		t.Fatalf("children = %d, want %d", got, n)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("FromContext on empty context should be nil")
+	}
+	if SpanFromContext(nil) != nil {
+		t.Fatal("SpanFromContext(nil) should be nil")
+	}
+	tr := New("route")
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("FromContext lost the trace")
+	}
+	if SpanFromContext(ctx) != tr.Root() {
+		t.Fatal("SpanFromContext did not return the root span")
+	}
+}
+
+func TestJSONAndSummary(t *testing.T) {
+	tr := New("route")
+	sp := tr.Root().StartSpan("leg[0]")
+	sp.Set("settled", 123)
+	sp.End()
+	tr.SetStatus(StatusError, "boom")
+	tr.Finish()
+
+	j := tr.JSON()
+	if j.ID != tr.ID().String() || j.Status != "error" || j.Error != "boom" {
+		t.Fatalf("JSON header = %+v", j)
+	}
+	if len(j.Root.Children) != 1 || j.Root.Children[0].Attrs["settled"] != "123" {
+		t.Fatalf("JSON tree = %+v", j.Root)
+	}
+	if _, err := json.Marshal(j); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+
+	sum := tr.Summary()
+	if sum.Spans != 2 || sum.Status != "error" || sum.ID != j.ID {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestRender(t *testing.T) {
+	tr := New("route")
+	a := tr.Root().StartSpan("nninit")
+	a.Set("routes", 3)
+	a.End()
+	tr.Root().StartSpan("leg[0]").End()
+	tr.Finish()
+	var b strings.Builder
+	tr.Render(&b)
+	out := b.String()
+	for _, want := range []string{"trace " + tr.ID().String(), "status=ok", "├─ nninit", "routes=3", "└─ leg[0]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRecorderTailSampling(t *testing.T) {
+	rec := NewRecorder(8, 50*time.Millisecond, 0)
+
+	// Fast OK traces with sample=0 are always dropped, lock-free.
+	fast := New("route")
+	fast.Finish()
+	if reason, kept := rec.Offer(fast); kept {
+		t.Fatalf("fast OK trace kept (%q) at sample=0", reason)
+	}
+
+	// Errors are always kept.
+	bad := New("route")
+	bad.SetStatus(StatusCancelled, "client gone")
+	bad.Finish()
+	if reason, kept := rec.Offer(bad); !kept || reason != "error" {
+		t.Fatalf("error trace: kept=%v reason=%q", kept, reason)
+	}
+	if bad.KeptReason() != "error" {
+		t.Fatalf("kept reason not stamped: %q", bad.KeptReason())
+	}
+
+	// Slow traces are always kept: fake slowness via a backdated root.
+	slow := New("route")
+	slow.root.start = time.Now().Add(-time.Second)
+	slow.Finish()
+	if reason, kept := rec.Offer(slow); !kept || reason != "slow" {
+		t.Fatalf("slow trace: kept=%v reason=%q", kept, reason)
+	}
+
+	if rec.KeptTotal() != 2 || rec.DroppedTotal() != 1 {
+		t.Fatalf("kept=%d dropped=%d", rec.KeptTotal(), rec.DroppedTotal())
+	}
+	if got := rec.Traces(); len(got) != 2 || got[0] != slow || got[1] != bad {
+		t.Fatalf("Traces() = %v", got)
+	}
+	if rec.Get(bad.ID()) != bad {
+		t.Fatal("Get lost the error trace")
+	}
+	if rec.Get(fast.ID()) != nil {
+		t.Fatal("Get found a dropped trace")
+	}
+}
+
+func TestRecorderSampleAll(t *testing.T) {
+	rec := NewRecorder(4, 0, 1)
+	for i := 0; i < 10; i++ {
+		tr := New("route")
+		tr.Finish()
+		if reason, kept := rec.Offer(tr); !kept || reason != "sampled" {
+			t.Fatalf("sample=1 trace %d: kept=%v reason=%q", i, kept, reason)
+		}
+	}
+	if rec.Len() != 4 {
+		t.Fatalf("ring len = %d, want capacity 4", rec.Len())
+	}
+	if got := rec.Traces(); len(got) != 4 {
+		t.Fatalf("Traces() len = %d", len(got))
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	rec := NewRecorder(3, 0, 0)
+	var traces []*Trace
+	for i := 0; i < 5; i++ {
+		tr := New("route")
+		tr.SetStatus(StatusError, "e")
+		tr.Finish()
+		rec.Offer(tr)
+		traces = append(traces, tr)
+	}
+	got := rec.Traces()
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	// Newest first: traces[4], traces[3], traces[2].
+	for i := 0; i < 3; i++ {
+		if got[i] != traces[4-i] {
+			t.Fatalf("Traces()[%d] = %v, want %v", i, got[i].ID(), traces[4-i].ID())
+		}
+	}
+	if rec.Get(traces[0].ID()) != nil {
+		t.Fatal("evicted trace still reachable")
+	}
+}
+
+func TestRecorderConcurrentOffer(t *testing.T) {
+	rec := NewRecorder(16, 0, 0.5)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				tr := New("route")
+				if j%7 == 0 {
+					tr.SetStatus(StatusPanic, "p")
+				}
+				tr.Finish()
+				rec.Offer(tr)
+			}
+		}()
+	}
+	wg.Wait()
+	if rec.Len() != 16 {
+		t.Fatalf("ring len = %d", rec.Len())
+	}
+	total := rec.KeptTotal() + rec.DroppedTotal()
+	if total != 1600 {
+		t.Fatalf("kept+dropped = %d, want 1600", total)
+	}
+	// ~29% guaranteed keeps (panics) plus half of the rest: the kept
+	// count must be well away from both extremes.
+	if rec.KeptTotal() < 400 || rec.KeptTotal() > 1400 {
+		t.Fatalf("kept = %d, implausible for sample=0.5 + forced errors", rec.KeptTotal())
+	}
+}
+
+func TestNilRecorderOffer(t *testing.T) {
+	var rec *Recorder
+	tr := New("route")
+	tr.Finish()
+	if reason, kept := rec.Offer(tr); kept || reason != "" {
+		t.Fatal("nil recorder kept a trace")
+	}
+	if _, kept := NewRecorder(4, 0, 1).Offer(nil); kept {
+		t.Fatal("nil trace kept")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	cases := map[Status]string{
+		StatusOK: "ok", StatusCancelled: "cancelled", StatusDeadline: "deadline",
+		StatusError: "error", StatusPanic: "panic", Status(42): "Status(42)",
+	}
+	for st, want := range cases {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(st), st.String(), want)
+		}
+	}
+}

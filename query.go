@@ -13,6 +13,7 @@ import (
 	"skysr/internal/osr"
 	"skysr/internal/route"
 	"skysr/internal/taxonomy"
+	"skysr/internal/trace"
 )
 
 // Requirement is one position of a query: what kind of PoI must be visited
@@ -515,6 +516,11 @@ func (e *Engine) searchOn(sn *snapshot, q Query, opts SearchOptions) (*Answer, e
 		copts.DepartAt = opts.DepartAt
 		copts.Context = opts.Context
 		copts.Deadline = opts.Deadline
+		// A trace carried by the context (serve's sampled requests,
+		// skysr-query -trace) receives the query's explain span tree.
+		if sp := trace.SpanFromContext(opts.Context); sp != nil {
+			copts.Span = sp
+		}
 		if opts.UseIndex || opts.UseCategoryIndex {
 			copts.Index = e.categoryIndex(sn)
 			copts.IndexCategories = opts.UseCategoryIndex
