@@ -1,0 +1,171 @@
+package skysr
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// identicalAnswers requires bit-identical results: same routes, same PoIs,
+// same score bits. The UseCH profile promises byte-identity with the plain
+// path, not just equivalence.
+func identicalAnswers(t *testing.T, tag string, want, got *Answer) {
+	t.Helper()
+	if len(want.Routes) != len(got.Routes) {
+		t.Fatalf("%s: %d routes != %d routes", tag, len(got.Routes), len(want.Routes))
+	}
+	for i := range want.Routes {
+		w, g := want.Routes[i], got.Routes[i]
+		if math.Float64bits(w.LengthScore) != math.Float64bits(g.LengthScore) ||
+			math.Float64bits(w.SemanticScore) != math.Float64bits(g.SemanticScore) {
+			t.Fatalf("%s route %d: scores (%v,%v) != (%v,%v)", tag, i,
+				g.LengthScore, g.SemanticScore, w.LengthScore, w.SemanticScore)
+		}
+		if len(w.PoIs) != len(g.PoIs) {
+			t.Fatalf("%s route %d: PoI count differs", tag, i)
+		}
+		for j := range w.PoIs {
+			if w.PoIs[j] != g.PoIs[j] {
+				t.Fatalf("%s route %d: PoI %d: %d != %d", tag, i, j, g.PoIs[j], w.PoIs[j])
+			}
+		}
+	}
+}
+
+// chWorkload runs the same destination-carrying workload plain and with
+// UseCH and requires identical answers; returns how many UseCH queries
+// actually exercised the CH leg bound.
+func chWorkload(t *testing.T, eng *Engine, preset string, run func(q Query, opts SearchOptions) (*Answer, error)) int64 {
+	t.Helper()
+	queries, err := eng.Workload(10, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lbRuns int64
+	for i, q := range queries {
+		if i%2 == 0 {
+			q.HasDestination = true
+			q.Destination = eng.RandomVertex(int64(100 + i))
+		}
+		want, err := run(q, SearchOptions{})
+		if err != nil {
+			t.Fatalf("%s query %d plain: %v", preset, i, err)
+		}
+		got, err := run(q, SearchOptions{UseCH: true})
+		if err != nil {
+			t.Fatalf("%s query %d UseCH: %v", preset, i, err)
+		}
+		identicalAnswers(t, preset, want, got)
+		if got.Stats != nil {
+			lbRuns += got.Stats.CHLegLBRuns
+		}
+	}
+	return lbRuns
+}
+
+// TestCHIdentityAcrossPresets: with a warmed overlay, UseCH answers are
+// bit-identical to plain Search on all three paper presets, for ordered
+// queries with and without destinations — and the destination queries
+// really go through the CH bound.
+func TestCHIdentityAcrossPresets(t *testing.T) {
+	for _, preset := range []string{"tokyo", "nyc", "cal"} {
+		eng, err := Generate(preset, 0.25, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := eng.WarmCH(context.Background(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Built || st.Stale {
+			t.Fatalf("%s: overlay not serving after WarmCH: %+v", preset, st)
+		}
+		lbRuns := chWorkload(t, eng, preset, eng.SearchWith)
+		if lbRuns == 0 {
+			t.Errorf("%s: no query exercised the CH leg bound", preset)
+		}
+	}
+}
+
+// TestCHIdentityTopK: the k-skyband enumeration is bit-identical under
+// UseCH too.
+func TestCHIdentityTopK(t *testing.T) {
+	eng, err := Generate("tokyo", 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.WarmCH(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	chWorkload(t, eng, "tokyo/top4", func(q Query, opts SearchOptions) (*Answer, error) {
+		return eng.SearchTopK(q, 4, opts)
+	})
+}
+
+// TestCHIdentityTimeDependent: on a time-dependent dataset the CH bounds
+// (over the lower-bound weight column) prune destination legs while the
+// survivors are re-priced by the exact time-dependent search — SearchAt
+// answers stay bit-identical.
+func TestCHIdentityTimeDependent(t *testing.T) {
+	eng, err := Generate("tokyo", 0.25, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.AttachTimeProfiles(0.4, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.HasTimeProfiles() {
+		t.Fatal("no profiles attached")
+	}
+	if _, err := eng.WarmCH(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, depart := range []float64{0, 8.5 * 3600, 17 * 3600} {
+		lbRuns := chWorkload(t, eng, "tokyo/td", func(q Query, opts SearchOptions) (*Answer, error) {
+			return eng.SearchAt(q, depart, opts)
+		})
+		if lbRuns == 0 {
+			t.Errorf("depart %v: no query exercised the CH leg bound", depart)
+		}
+	}
+}
+
+// TestCHFallbackWithoutOverlay: UseCH on an engine that never warmed the
+// overlay silently serves the plain path.
+func TestCHFallbackWithoutOverlay(t *testing.T) {
+	eng, err := Generate("tokyo", 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.CHInfo(); st.Built {
+		t.Fatalf("overlay materialized unbidden: %+v", st)
+	}
+	lbRuns := chWorkload(t, eng, "tokyo/cold", eng.SearchWith)
+	if lbRuns != 0 {
+		t.Fatalf("CH leg bound ran %d times without an overlay", lbRuns)
+	}
+}
+
+// TestCHWarmProgressAndReuse: progress reaches the full contraction count
+// and a second WarmCH reuses the fresh overlay instead of rebuilding.
+func TestCHWarmProgressAndReuse(t *testing.T) {
+	eng, err := Generate("tokyo", 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastDone, total int
+	st, err := eng.WarmCH(context.Background(), func(done, n int) { lastDone, total = done, n })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastDone != total || total != eng.NumVertices() {
+		t.Fatalf("progress ended at %d/%d, want %d", lastDone, total, eng.NumVertices())
+	}
+	again, err := eng.WarmCH(context.Background(), func(done, n int) { t.Error("rebuilt a fresh overlay") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != st {
+		t.Fatalf("second WarmCH returned %+v, want %+v", again, st)
+	}
+}

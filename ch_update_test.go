@@ -1,0 +1,195 @@
+package skysr
+
+import (
+	"context"
+	"testing"
+)
+
+// pickEdge returns an existing edge of the engine's current dataset.
+func pickEdge(t *testing.T, eng *Engine) (VertexID, VertexID, float64) {
+	t.Helper()
+	for v := VertexID(0); int(v) < eng.NumVertices(); v++ {
+		ts, ws := eng.Neighbors(v)
+		if len(ts) > 0 {
+			return v, ts[0], ws[0]
+		}
+	}
+	t.Fatal("no edges")
+	return 0, 0, 0
+}
+
+// TestCHUpdateCarryAndStale: weight increases carry the overlay live
+// across the epoch; decreases and structural edits mark it stale, UseCH
+// falls back to the plain path (still answering identically), and WarmCH
+// rebuilds it fresh.
+func TestCHUpdateCarryAndStale(t *testing.T) {
+	eng, err := Generate("tokyo", 0.2, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.WarmCH(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	u, v, w := pickEdge(t, eng)
+
+	// Weight increase: distances can only grow, the overlay's bounds stay
+	// admissible — carried.
+	res, err := eng.ApplyUpdates(new(UpdateBatch).SetEdgeWeight(u, v, w*2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CHCarried || res.CHStaled {
+		t.Fatalf("increase: carried=%v staled=%v, want carried", res.CHCarried, res.CHStaled)
+	}
+	if st := eng.CHInfo(); !st.Built || st.Stale {
+		t.Fatalf("increase: overlay state %+v, want fresh", st)
+	}
+	if lb := chWorkload(t, eng, "carried", eng.SearchWith); lb == 0 {
+		t.Error("carried overlay never exercised")
+	}
+
+	// Weight decrease: a shorter path may exist that the overlay does not
+	// bound — stale.
+	res, err = eng.ApplyUpdates(new(UpdateBatch).SetEdgeWeight(u, v, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CHCarried || !res.CHStaled {
+		t.Fatalf("decrease: carried=%v staled=%v, want staled", res.CHCarried, res.CHStaled)
+	}
+	if st := eng.CHInfo(); !st.Built || !st.Stale {
+		t.Fatalf("decrease: overlay state %+v, want stale", st)
+	}
+	if lb := chWorkload(t, eng, "stale", eng.SearchWith); lb != 0 {
+		t.Fatalf("stale overlay served %d CH bounds", lb)
+	}
+
+	// WarmCH rebuilds over the updated weights and serving resumes.
+	st, err := eng.WarmCH(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Built || st.Stale {
+		t.Fatalf("rebuild: overlay state %+v, want fresh", st)
+	}
+	if lb := chWorkload(t, eng, "rebuilt", eng.SearchWith); lb == 0 {
+		t.Error("rebuilt overlay never exercised")
+	}
+
+	// Structural edit: stale again, even though a removal alone could
+	// only grow distances — the carry rule is deliberately conservative
+	// for arc-structure changes.
+	res, err = eng.ApplyUpdates(new(UpdateBatch).RemoveEdge(u, v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CHStaled {
+		t.Fatal("structural edit did not stale the overlay")
+	}
+
+	// A batch on an already-stale overlay keeps it stale (never
+	// resurrects), and an engine without an overlay reports neither flag.
+	uu, vv, ww := pickEdge(t, eng)
+	res, err = eng.ApplyUpdates(new(UpdateBatch).SetEdgeWeight(uu, vv, ww*2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CHCarried {
+		t.Fatal("increase resurrected a stale overlay")
+	}
+	fresh, err := Generate("tokyo", 0.2, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, v, w = pickEdge(t, fresh)
+	res, err = fresh.ApplyUpdates(new(UpdateBatch).SetEdgeWeight(u, v, w*2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CHCarried || res.CHStaled {
+		t.Fatalf("no-overlay engine reported CH flags: %+v", res)
+	}
+}
+
+// TestCHUpdateProfileCarry: attaching rush-hour profiles keeps the
+// lower-bound weight column unchanged, so the overlay is carried and the
+// time-dependent CH path serves immediately.
+func TestCHUpdateProfileCarry(t *testing.T) {
+	eng, err := Generate("tokyo", 0.2, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.WarmCH(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	epoch := eng.Epoch()
+	if _, err := eng.AttachTimeProfiles(0.3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Epoch() != epoch+1 {
+		t.Fatalf("epoch %d, want %d", eng.Epoch(), epoch+1)
+	}
+	if st := eng.CHInfo(); !st.Built || st.Stale {
+		t.Fatalf("profile attach staled the overlay: %+v", st)
+	}
+	if lb := chWorkload(t, eng, "td-carried", func(q Query, opts SearchOptions) (*Answer, error) {
+		return eng.SearchAt(q, 8.5*3600, opts)
+	}); lb == 0 {
+		t.Error("carried overlay never exercised after profile attach")
+	}
+}
+
+// TestCHBinaryRoundTripThroughEngine: SaveBinary embeds a fresh overlay,
+// Open adopts it (no WarmCH needed), and answers stay bit-identical to
+// the text-loaded engine.
+func TestCHBinaryRoundTripThroughEngine(t *testing.T) {
+	eng, err := Generate("nyc", 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.WarmCH(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	binPath := dir + "/nyc.skysrb"
+	textPath := dir + "/nyc.skysr"
+	if err := eng.SaveBinary(binPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Save(textPath); err != nil {
+		t.Fatal(err)
+	}
+	binEng, err := Open(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := binEng.CHInfo(); !st.Built || st.Stale {
+		t.Fatalf("binary open did not adopt the overlay: %+v", st)
+	}
+	textEng, err := Open(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := eng.Workload(6, 3, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lbRuns int64
+	for i, q := range queries {
+		q.HasDestination = true
+		q.Destination = eng.RandomVertex(int64(50 + i))
+		want, err := textEng.SearchWith(q, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := binEng.SearchWith(q, SearchOptions{UseCH: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalAnswers(t, "binary-vs-text", want, got)
+		lbRuns += got.Stats.CHLegLBRuns
+	}
+	if lbRuns == 0 {
+		t.Error("adopted overlay never exercised")
+	}
+}

@@ -18,6 +18,7 @@
 //	skysr-bench -timedep -json BENCH_PR5.json -check
 //	skysr-bench -soak -json BENCH_PR7.json -check
 //	skysr-bench -httpload -json BENCH_PR8.json -check
+//	skysr-bench -ch -scale 4 -datasets osm -json BENCH_PR10.json -check
 //	skysr-bench -compare -json BENCH_TRAJECTORY.json -check   # merge historical reports, gate drift
 package main
 
@@ -53,6 +54,7 @@ func main() {
 	httploadWorkers := flag.String("httpload-workers", "1,4,8", "with -httpload: comma-separated concurrent client counts")
 	compareOnly := flag.Bool("compare", false, "merge the historical bench reports (positional args, default BENCH_PR*.json) into one trajectory and gate cross-PR latency drift")
 	topkOnly := flag.Bool("topk", false, "run only the ranked top-k sweep (k = 1, 2, 4, 8 vs plain Search and vs k repeated Searches)")
+	chOnly := flag.Bool("ch", false, "run only the contraction-hierarchy experiment (leg microbenchmark, destination-query identity, text-vs-mmap open) on the first -datasets entry")
 	timedepOnly := flag.Bool("timedep", false, "run only the cost-metric experiment (static vs constant-profile vs rush-hour time-dependent latency)")
 	jsonOut := flag.String("json", "", "with -latency, -churn, -topk or -timedep: write the machine-readable report (e.g. BENCH_PR2.json ... BENCH_PR5.json) to this path")
 	check := flag.Bool("check", false, "with -latency, -churn, -topk or -timedep: exit non-zero if the profile regresses (identical answers, latency / incremental-repair / k=1 / metric-overhead gates)")
@@ -182,6 +184,29 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Println("churn check passed: answers identical after updates, repairs below full-rebuild work")
+		}
+		return
+	}
+	if *chOnly {
+		rep, err := h.CH()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skysr-bench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.RenderCH(os.Stdout, rep)
+		if *jsonOut != "" {
+			if err := bench.WriteCHJSON(*jsonOut, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "skysr-bench: write %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		if *check {
+			if err := bench.CheckCH(rep); err != nil {
+				fmt.Fprintf(os.Stderr, "skysr-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("ch check passed: answers identical, leg bounds admissible, leg and open speedups over their floors")
 		}
 		return
 	}

@@ -5,32 +5,46 @@
 //
 //	skysr-gen -preset tokyo -scale 0.5 -seed 42 -out tokyo.skysr
 //	skysr-gen -preset tokyo -time-profiles 0.5 -out tokyo-td.skysr
+//	skysr-gen -preset osm -scale 4 -binary -ch -out osm.skysrb
 //
 // -time-profiles attaches rush-hour travel-time profiles (two congestion
 // peaks over a one-day period) to the given fraction of edges, making the
 // dataset time-dependent: skysr-query -depart and the serve API's depart
 // parameter then price every leg at its actual traversal time.
+//
+// -binary writes the mmap-ready binary format instead of text; a later
+// Open maps it without parsing. -ch (binary only) builds the
+// contraction-hierarchy overlay and embeds it, so the opening engine
+// serves the UseCH profile with no warm-up.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"skysr"
 )
 
 func main() {
-	preset := flag.String("preset", "tokyo", "dataset preset: tokyo, nyc or cal")
+	preset := flag.String("preset", "tokyo", "dataset preset: tokyo, nyc, cal or osm")
 	scale := flag.Float64("scale", 0.25, "size scale (1.0 ≈ 1:100 of the paper's datasets)")
 	seed := flag.Int64("seed", 42, "generation seed")
 	timeProfiles := flag.Float64("time-profiles", 0, "fraction of edges to wrap in rush-hour travel-time profiles (0 = static dataset)")
+	binary := flag.Bool("binary", false, "write the mmap-ready binary format instead of text")
+	ch := flag.Bool("ch", false, "build and embed the contraction-hierarchy overlay (requires -binary)")
 	out := flag.String("out", "", "output file (required)")
 	flag.Parse()
 
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "skysr-gen: -out is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *ch && !*binary {
+		fmt.Fprintln(os.Stderr, "skysr-gen: -ch requires -binary (the text format has no overlay section)")
 		os.Exit(2)
 	}
 	eng, err := skysr.Generate(*preset, *scale, *seed)
@@ -46,7 +60,20 @@ func main() {
 		}
 		fmt.Printf("attached rush-hour profiles to %d of %d edges (period %g)\n", n, eng.NumEdges(), eng.TimePeriod())
 	}
-	if err := eng.Save(*out); err != nil {
+	if *ch {
+		began := time.Now()
+		st, err := eng.WarmCH(context.Background(), nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skysr-gen: ch build: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("built CH overlay: %d shortcuts in %v\n", st.Shortcuts, time.Since(began).Round(time.Millisecond))
+	}
+	save := eng.Save
+	if *binary {
+		save = eng.SaveBinary
+	}
+	if err := save(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "skysr-gen: %v\n", err)
 		os.Exit(1)
 	}

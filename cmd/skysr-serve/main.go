@@ -9,12 +9,18 @@
 //	skysr-serve -data tokyo.skysr -addr :8080
 //	skysr-serve -preset tokyo -scale 0.25      # generate in memory
 //	skysr-serve -data tokyo.skysr -warm-index -write-index
+//	skysr-serve -data osm.skysrb -ch           # CH profile; overlay mmapped from the binary dataset
 //	skysr-serve -preset tokyo -query-timeout 2s -max-concurrent 8
 //
 // The -index flag selects the serving profile (none, tree or category —
 // see README, "Serving profiles"); -data automatically adopts a matching
 // index sidecar (<file>.cidx) so cold-starts skip the index rebuild, and
-// -warm-index/-write-index build and persist one.
+// -warm-index/-write-index build and persist one. -ch layers the
+// contraction-hierarchy profile on top: the overlay is warmed at startup
+// (instant when -data is a binary dataset with an embedded overlay) and
+// destination legs are priced through it, byte-identical to the plain
+// path. A SIGTERM during any of the startup preprocessing is honoured:
+// the CH build cancels and the process exits cleanly.
 //
 // Endpoints:
 //
@@ -110,6 +116,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "seed for -preset")
 	addr := flag.String("addr", ":8080", "listen address")
 	indexProfile := flag.String("index", "category", "serving profile: none, tree or category (see README, Serving profiles)")
+	chProfile := flag.Bool("ch", false, "warm the contraction-hierarchy overlay at startup (instant when -data embeds one) and serve destination legs through it")
 	indexBudgetMB := flag.Int64("index-budget-mb", 0, "category-index row budget in MiB (0 = default)")
 	warmIndex := flag.Bool("warm-index", false, "build index rows for all roots and populated leaf categories at startup")
 	writeIndex := flag.Bool("write-index", false, "with -data: persist the built index to the dataset's sidecar so later cold-starts skip the rebuild")
@@ -171,6 +178,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "skysr-serve: -write-index requires -data")
 		os.Exit(2)
 	}
+
+	// Register the shutdown signals before preprocessing, not after: a
+	// SIGTERM delivered while the index or CH overlay warms must not kill
+	// the process mid-build with default disposition — the CH build is
+	// cancelled through ctx, and a signal during the index warm makes
+	// Serve drain immediately once preprocessing returns.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if st := eng.CategoryIndexStats(); st.FromSidecar {
 		logger.Info("index cold-start skipped",
 			"rows", st.RowsBuilt, "kib", st.Bytes>>10, "sidecar", skysr.IndexSidecarPath(*data))
@@ -187,7 +203,7 @@ func main() {
 			n, err = eng.WarmCategoryIndex(eng.RootCategories()...)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "skysr-serve: warm index: %v\n", err)
+			logger.Error("index warm-up failed", "err", err)
 			os.Exit(1)
 		}
 		st := eng.CategoryIndexStats()
@@ -196,10 +212,27 @@ func main() {
 	if *writeIndex {
 		sidecar := skysr.IndexSidecarPath(*data)
 		if err := eng.SaveIndex(sidecar); err != nil {
-			fmt.Fprintf(os.Stderr, "skysr-serve: write index: %v\n", err)
+			logger.Error("index persist failed", "sidecar", sidecar, "err", err)
 			os.Exit(1)
 		}
 		logger.Info("index persisted", "sidecar", sidecar)
+	}
+	if *chProfile {
+		baseOpts.UseCH = true
+		began := time.Now()
+		st, err := eng.WarmCH(ctx, func(done, total int) {
+			logger.Debug("ch build progress", "contracted", done, "total", total)
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				logger.Info("ch warm-up cancelled by shutdown signal, bye")
+				return
+			}
+			logger.Error("ch warm-up failed", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("ch overlay ready", "shortcuts", st.Shortcuts, "vertices", st.Vertices,
+			"kib", st.MemoryBytes>>10, "elapsed", time.Since(began).Round(time.Millisecond))
 	}
 
 	s := serve.New(eng, serve.Config{
@@ -219,10 +252,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "skysr-serve: %v\n", err)
 		os.Exit(1)
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	logger.Info("serving", "dataset", eng.Stats(), "addr", ln.Addr().String(),
-		"index_profile", *indexProfile, "query_timeout", *queryTimeout, "pprof", *enablePprof)
+		"index_profile", *indexProfile, "ch", *chProfile, "query_timeout", *queryTimeout, "pprof", *enablePprof)
 	err = s.Serve(ctx, ln, serve.HTTPConfig{
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ReadTimeout:       *readTimeout,

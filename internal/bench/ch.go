@@ -1,0 +1,425 @@
+package bench
+
+// The CH experiment measures what PR10's contraction-hierarchy overlay and
+// binary dataset format buy the serving tier, and gates the exactness
+// contract while doing so:
+//
+//   - leg microbenchmark: the median point-to-point destination-leg
+//     distance via a full Dijkstra (what the plain path pays per query)
+//     versus one bidirectional CH bound, on the same vertex pairs. Every
+//     CH bound is checked against the Dijkstra distance — an admissible
+//     lower bound within float32 rounding, or the run fails.
+//   - full-query comparison: the destination-carrying workload under the
+//     category-index profile with and without Options.CH, requiring
+//     bit-identical answers.
+//   - dataset open: parsing the text format versus memory-mapping the
+//     binary format of the same dataset (overlay embedded).
+//
+// The canonical plain-search row (profile "baseline", no destination) is
+// also measured so the report contributes a trajectory point for the
+// dataset like every other per-PR report (see compare.go).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"skysr/internal/core"
+	"skysr/internal/dataset"
+	"skysr/internal/dijkstra"
+	"skysr/internal/gen"
+	"skysr/internal/graph"
+	"skysr/internal/index"
+	"skysr/internal/stats"
+	"skysr/internal/taxonomy"
+)
+
+// CH profile names.
+const (
+	CHProfileBaseline = "baseline" // canonical plain search, no destination
+	CHProfilePlain    = "dest-plain"
+	CHProfileCH       = "dest-ch"
+)
+
+// CHRow is one (dataset, profile) full-query measurement.
+type CHRow struct {
+	Dataset string `json:"dataset"`
+	Profile string `json:"profile"`
+	SeqSize int    `json:"seq_size"`
+	Queries int    `json:"queries"`
+
+	MedianMicros float64 `json:"median_us"`
+	P95Micros    float64 `json:"p95_us"`
+
+	// Identical reports that every answer matched the dest-plain profile's
+	// answer for the same query (true vacuously for baseline/dest-plain).
+	Identical bool `json:"identical_to_plain"`
+	// MedianSpeedup is dest-plain median / this profile's median (only
+	// set on the dest-ch row).
+	MedianSpeedup float64 `json:"median_speedup_vs_plain,omitempty"`
+	// LegLBRuns totals the CH bound queries the profile ran (zero unless
+	// dest-ch).
+	LegLBRuns int64 `json:"leg_lb_runs,omitempty"`
+}
+
+// CHReport is the machine-readable record of the CH experiment
+// (BENCH_PR10.json).
+type CHReport struct {
+	GeneratedAt string  `json:"generated_at"`
+	Scale       float64 `json:"scale"`
+	Seed        int64   `json:"seed"`
+	Dataset     string  `json:"dataset"`
+
+	Rows []CHRow `json:"rows"`
+
+	// Preprocessing.
+	CHBuildMillis float64 `json:"ch_build_ms"`
+	Shortcuts     int     `json:"ch_shortcuts"`
+	CHBytes       int64   `json:"ch_bytes"`
+
+	// Leg microbenchmark.
+	LegQueries         int     `json:"leg_queries"`
+	LegPlainMedianUS   float64 `json:"leg_plain_median_us"`
+	LegCHMedianUS      float64 `json:"leg_ch_median_us"`
+	LegSpeedup         float64 `json:"leg_speedup"`
+	LegBoundMaxRelErr  float64 `json:"leg_bound_max_rel_err"`
+	LegBoundViolations int     `json:"leg_bound_violations"`
+
+	// Dataset open: text parse versus binary mmap of the same dataset.
+	TextBytes   int64   `json:"text_bytes"`
+	BinaryBytes int64   `json:"binary_bytes"`
+	TextParseMS float64 `json:"text_parse_ms"`
+	MmapOpenMS  float64 `json:"mmap_open_ms"`
+	OpenSpeedup float64 `json:"open_speedup"`
+}
+
+// CH runs the contraction-hierarchy experiment on the first configured
+// dataset (the -ch CLI mode configures the osm preset).
+func (h *Harness) CH() (*CHReport, error) {
+	name := h.cfg.Datasets[0]
+	d, err := h.Dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	g := d.Graph
+	rep := &CHReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       h.cfg.Scale,
+		Seed:        h.cfg.Seed,
+		Dataset:     d.Name,
+	}
+
+	began := time.Now()
+	ov, err := graph.BuildCH(context.Background(), g, nil)
+	if err != nil {
+		return nil, err
+	}
+	rep.CHBuildMillis = float64(time.Since(began).Microseconds()) / 1000
+	rep.Shortcuts = ov.NumShortcuts()
+	rep.CHBytes = ov.MemoryFootprintBytes()
+
+	if err := h.chLegBench(d, ov, rep); err != nil {
+		return nil, err
+	}
+	if err := h.chQueryBench(d, ov, rep); err != nil {
+		return nil, err
+	}
+	if err := h.chOpenBench(d, ov, rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// chLegBench times the destination-leg primitive both ways on identical
+// vertex pairs and cross-checks every CH bound against the exact
+// distance.
+func (h *Harness) chLegBench(d *dataset.Dataset, ov *graph.CHOverlay, rep *CHReport) error {
+	g := d.Graph
+	n := g.NumVertices()
+	legN := h.cfg.Queries * 5
+	if legN < 50 {
+		legN = 50
+	}
+	rng := rand.New(rand.NewSource(h.cfg.Seed + 577))
+	ws := dijkstra.New(g)
+	chws := dijkstra.NewCH(ov)
+	plainTimes := make([]float64, legN)
+	chTimes := make([]float64, legN)
+	for i := 0; i < legN; i++ {
+		s := graph.VertexID(rng.Intn(n))
+		t := graph.VertexID(rng.Intn(n))
+
+		t0 := time.Now()
+		ws.Run(dijkstra.Options{Sources: []graph.VertexID{t}})
+		plainTimes[i] = float64(time.Since(t0).Nanoseconds()) / 1000
+		dist, settled := ws.Dist(s)
+
+		t1 := time.Now()
+		bound := chws.Bound(s, t)
+		chTimes[i] = float64(time.Since(t1).Nanoseconds()) / 1000
+
+		if !settled || math.IsInf(dist, 1) {
+			if !math.IsInf(bound, 1) {
+				rep.LegBoundViolations++
+			}
+			continue
+		}
+		lb := float64(dijkstra.LowerBound32(bound))
+		if lb > dist {
+			rep.LegBoundViolations++
+		} else if dist > 0 {
+			if rel := (dist - lb) / dist; rel > rep.LegBoundMaxRelErr {
+				rep.LegBoundMaxRelErr = rel
+			}
+		}
+	}
+	rep.LegQueries = legN
+	rep.LegPlainMedianUS = medianOf(plainTimes)
+	rep.LegCHMedianUS = medianOf(chTimes)
+	if rep.LegCHMedianUS > 0 {
+		rep.LegSpeedup = rep.LegPlainMedianUS / rep.LegCHMedianUS
+	}
+	return nil
+}
+
+// chQueryBench measures the three full-query profiles.
+func (h *Harness) chQueryBench(d *dataset.Dataset, ov *graph.CHOverlay, rep *CHReport) error {
+	const size = 3
+	qs, err := h.Workload(h.cfg.Datasets[0], size)
+	if err != nil {
+		return err
+	}
+	n := d.Graph.NumVertices()
+	rng := rand.New(rand.NewSource(h.cfg.Seed + 733))
+	dests := make([]graph.VertexID, len(qs))
+	for i := range dests {
+		dests[i] = graph.VertexID(rng.Intn(n))
+	}
+
+	var plainAnswers []latencyAnswer
+	var plainMedian float64
+	for _, profile := range []string{CHProfileBaseline, CHProfilePlain, CHProfileCH} {
+		row, answers, err := h.runCHProfile(d, ov, qs, dests, profile, size)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", d.Name, profile, err)
+		}
+		switch profile {
+		case CHProfileBaseline:
+			row.Identical = true
+		case CHProfilePlain:
+			plainAnswers, plainMedian = answers, row.MedianMicros
+			row.Identical = true
+		case CHProfileCH:
+			row.Identical = sameAnswers(answers, plainAnswers)
+			if row.MedianMicros > 0 {
+				row.MedianSpeedup = plainMedian / row.MedianMicros
+			}
+		}
+		rep.Rows = append(rep.Rows, *row)
+	}
+	return nil
+}
+
+// runCHProfile times one profile over the workload with a single serial
+// searcher.
+func (h *Harness) runCHProfile(d *dataset.Dataset, ov *graph.CHOverlay, qs []gen.Query, dests []graph.VertexID, profile string, size int) (*CHRow, []latencyAnswer, error) {
+	opts := core.DefaultOptions()
+	row := &CHRow{Dataset: d.Name, Profile: profile, SeqSize: size, Queries: len(qs)}
+
+	if profile != CHProfileBaseline {
+		ci := index.New(d, 0)
+		ci.EnsureRoots()
+		if profile == CHProfileCH {
+			opts.CH = ov
+			ci.SetCH(ov) // rows build via the PHAST sweep, as the engine serves them
+		}
+		opts.Index = ci
+		opts.IndexCategories = true
+		seen := map[taxonomy.CategoryID]bool{}
+		for _, q := range qs {
+			for _, c := range q.Categories {
+				if !seen[c] {
+					seen[c] = true
+					ci.Prewarm(c)
+				}
+			}
+		}
+	}
+
+	seqs := compileSequences(d, qs)
+	s := core.NewSearcher(d, d.Forest.WuPalmer, opts)
+	answers := make([]latencyAnswer, len(qs))
+	times := make([]float64, len(qs))
+	for i, q := range qs {
+		var res *core.Result
+		var err error
+		qBegan := time.Now()
+		if profile == CHProfileBaseline {
+			res, err = s.Query(q.Start, seqs[i])
+		} else {
+			res, err = s.QueryWithDestination(q.Start, seqs[i], dests[i])
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		times[i] = float64(time.Since(qBegan).Nanoseconds()) / 1000
+		answers[i] = answerOf(res)
+		row.LegLBRuns += res.Stats.CHLegLBRuns
+	}
+
+	sum := stats.Summarize(times)
+	row.MedianMicros = sum.Median
+	row.P95Micros = sum.P95
+	return row, answers, nil
+}
+
+// chOpenBench writes the dataset in both on-disk formats and times a cold
+// open of each (best of three, so a stray page-cache miss does not decide
+// the gate).
+func (h *Harness) chOpenBench(d *dataset.Dataset, ov *graph.CHOverlay, rep *CHReport) error {
+	dir, err := os.MkdirTemp("", "skysr-chbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	textPath := filepath.Join(dir, "d.skysr")
+	binPath := filepath.Join(dir, "d.skysrb")
+	if err := dataset.WriteFile(textPath, d); err != nil {
+		return err
+	}
+	if err := dataset.WriteBinaryFile(binPath, d, ov); err != nil {
+		return err
+	}
+	if st, err := os.Stat(textPath); err == nil {
+		rep.TextBytes = st.Size()
+	}
+	if st, err := os.Stat(binPath); err == nil {
+		rep.BinaryBytes = st.Size()
+	}
+
+	rep.TextParseMS, err = bestOfMillis(3, func() error {
+		_, err := dataset.ReadFile(textPath)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	rep.MmapOpenMS, err = bestOfMillis(3, func() error {
+		_, _, err := dataset.OpenBinary(binPath)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if rep.MmapOpenMS > 0 {
+		rep.OpenSpeedup = rep.TextParseMS / rep.MmapOpenMS
+	}
+	return nil
+}
+
+func bestOfMillis(n int, fn func() error) (float64, error) {
+	best := math.Inf(1)
+	for i := 0; i < n; i++ {
+		began := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if ms := float64(time.Since(began).Microseconds()) / 1000; ms < best {
+			best = ms
+		}
+	}
+	return best, nil
+}
+
+func medianOf(times []float64) float64 {
+	sorted := append([]float64(nil), times...)
+	sort.Float64s(sorted)
+	return stats.Percentile(sorted, 50)
+}
+
+// RenderCH writes the report as text.
+func RenderCH(w io.Writer, rep *CHReport) {
+	writeln(w, "CH: contraction-hierarchy leg acceleration and binary datasets (%s, scale %g)", rep.Dataset, rep.Scale)
+	writeln(w, "preprocess: build %.0fms, %d shortcuts, %.1f MiB overlay",
+		rep.CHBuildMillis, rep.Shortcuts, float64(rep.CHBytes)/(1<<20))
+	writeln(w, "leg (n=%d): plain %.0fµs vs CH %.1fµs — %.1fx; bound max rel err %.2g, violations %d",
+		rep.LegQueries, rep.LegPlainMedianUS, rep.LegCHMedianUS, rep.LegSpeedup,
+		rep.LegBoundMaxRelErr, rep.LegBoundViolations)
+	writeln(w, "open: text %.1fms (%d B) vs mmap %.2fms (%d B) — %.0fx",
+		rep.TextParseMS, rep.TextBytes, rep.MmapOpenMS, rep.BinaryBytes, rep.OpenSpeedup)
+	writeln(w, "%-8s %-12s %8s %10s %10s %9s %10s %8s", "Dataset", "Profile", "queries", "median", "p95", "speedup", "identical", "lb-runs")
+	for _, r := range rep.Rows {
+		speedup := "—"
+		if r.MedianSpeedup > 0 {
+			speedup = fmt.Sprintf("%.2fx", r.MedianSpeedup)
+		}
+		writeln(w, "%-8s %-12s %8d %9.0fµs %9.0fµs %9s %10v %8d",
+			r.Dataset, r.Profile, r.Queries, r.MedianMicros, r.P95Micros,
+			speedup, r.Identical, r.LegLBRuns)
+	}
+}
+
+// WriteCHJSON writes the report to path.
+func WriteCHJSON(path string, rep *CHReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CheckCH enforces the PR10 gates. Exactness gates are unconditional:
+// identical answers, admissible leg bounds within float32 rounding, and
+// the CH profile actually exercising the overlay. Speedup gates scale
+// with the run: the full OSM-scale run (scale ≥ 4) must show the headline
+// ≥3× leg and ≥50× open improvements; smaller smoke runs enforce looser
+// floors so CI stays meaningful without the full build cost.
+func CheckCH(rep *CHReport) error {
+	legMin, openMin := 1.5, 5.0
+	if rep.Scale >= 4 {
+		legMin, openMin = 3, 50
+	}
+	var ch, plain *CHRow
+	for i := range rep.Rows {
+		switch rep.Rows[i].Profile {
+		case CHProfileCH:
+			ch = &rep.Rows[i]
+		case CHProfilePlain:
+			plain = &rep.Rows[i]
+		}
+	}
+	if ch == nil || plain == nil {
+		return fmt.Errorf("ch check: report is missing the dest-plain/dest-ch rows")
+	}
+	if !ch.Identical {
+		return fmt.Errorf("ch check: %s dest-ch answers differ from dest-plain", rep.Dataset)
+	}
+	if ch.LegLBRuns == 0 {
+		return fmt.Errorf("ch check: dest-ch profile never exercised the CH leg bound")
+	}
+	if rep.LegBoundViolations > 0 {
+		return fmt.Errorf("ch check: %d CH leg bounds exceeded the exact distance", rep.LegBoundViolations)
+	}
+	// LowerBound32 rounds down to the previous float32, so a bound can sit
+	// a full float32 ulp (2^-23 ≈ 1.19e-7 relative) below the exact
+	// distance; allow double that for float64 accumulation differences.
+	if rep.LegBoundMaxRelErr > 2.5e-7 {
+		return fmt.Errorf("ch check: CH leg bound slack %.3g exceeds 2.5e-7", rep.LegBoundMaxRelErr)
+	}
+	if rep.LegSpeedup < legMin {
+		return fmt.Errorf("ch check: leg speedup %.2fx below the %.1fx floor (plain %.0fµs, ch %.1fµs)",
+			rep.LegSpeedup, legMin, rep.LegPlainMedianUS, rep.LegCHMedianUS)
+	}
+	if rep.OpenSpeedup < openMin {
+		return fmt.Errorf("ch check: open speedup %.1fx below the %.0fx floor (text %.1fms, mmap %.2fms)",
+			rep.OpenSpeedup, openMin, rep.TextParseMS, rep.MmapOpenMS)
+	}
+	return nil
+}

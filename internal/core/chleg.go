@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"skysr/internal/dijkstra"
+	"skysr/internal/faults"
+	"skysr/internal/graph"
+	"skysr/internal/route"
+)
+
+// Contraction-hierarchy destination-leg pricing (Options.CH, the UseCH
+// serving profile).
+//
+// The plain destination path pays one full-graph reverse Dijkstra per
+// query (computeDestDistances) before the search even starts. Under an
+// attached CH overlay that sweep disappears: each completed route is
+// first bounded by a bidirectional CH query — microseconds, memoized per
+// end vertex — and only completions the bound cannot condemn pay an
+// exact bounded search for the leg.
+//
+// Per-leg bounds stop amortizing when one query completes through many
+// distinct end vertices, so chDestLB escalates: after chLegSweepAfter
+// distinct bidirectional bounds it pays a single PHAST one-to-many sweep
+// from the destination and serves every further leg from the resulting
+// row. The two bound sources may differ by float ulps (different
+// association order along the same up–down path), but both are
+// admissible lower bounds, and the pre-drop below only ever drops
+// completions the plain path provably drops too — answers are identical
+// whichever source priced the bound.
+//
+// Exactness is preserved comparison-for-comparison with the plain path:
+//
+//   - The CH bound is rounded down to float32 (dijkstra.LowerBound32)
+//     before any comparison, so it never exceeds the plain reverse-table
+//     value; a bound that already fails the threshold proves the plain
+//     path would have dropped the same route one line later.
+//   - CH unreachability (+Inf) is exact — the overlay preserves the
+//     graph's connectivity — matching the plain table's +Inf drop.
+//   - Surviving static legs are priced by a label-setting Dijkstra from
+//     the destination on the reversed graph: settled values are bit-
+//     identical to the plain full table (same algorithm, same tie-break,
+//     same association order; a bound only skips relaxations beyond any
+//     settled value). The bound is padded one ulp above the threshold
+//     budget so every leg the plain path would keep settles here, and an
+//     unsettled run proves the real leg is ≥ the budget's real value —
+//     where the plain path's post-add threshold check drops the route
+//     too.
+//   - Surviving time-dependent legs run the same exact forward
+//     cost-at-arrival search as the plain path (destLeg), with the same
+//     budget, so values are identical by construction.
+func (s *Searcher) completeToDestCH(rt *route.Route) (*route.Route, bool) {
+	v := rt.Last()
+	lb := s.chDestLB(v)
+	if math.IsInf(lb, 1) {
+		return nil, false // destination unreachable from this PoI
+	}
+	if !s.td {
+		// Mirror of the plain path's post-AddLength threshold test: the
+		// exact leg is at least lb, and fl(L+·) is monotone, so a failing
+		// sum here fails there.
+		if rt.Length()+lb >= s.sky.Threshold(rt.Semantic()) {
+			s.stats.CHLegPruned++
+			return nil, false
+		}
+		leg := s.destLegStatic(v, s.sky.Threshold(rt.Semantic())-rt.Length())
+		if math.IsInf(leg, 1) {
+			return nil, false
+		}
+		return rt.AddLength(leg), true
+	}
+	budget := s.sky.Threshold(rt.Semantic()) - rt.Length()
+	if lb >= budget {
+		s.stats.CHLegPruned++
+		return nil, false
+	}
+	leg := s.destLeg(v, s.depart+rt.Length(), budget)
+	if math.IsInf(leg, 1) {
+		return nil, false
+	}
+	return rt.AddLength(leg), true
+}
+
+// chUsable reports that the CH destination path can serve this query,
+// (re)building the query workspace when the attached overlay changed
+// identity since the last use. The Matches check is defensive: engines
+// only attach overlays built for the exact snapshot graph.
+func (s *Searcher) chUsable() bool {
+	ov := s.opts.CH
+	if ov == nil || !ov.Matches(s.d.Graph) {
+		return false
+	}
+	if s.chws == nil || s.chws.Overlay() != ov {
+		s.chws = dijkstra.NewCH(ov)
+	}
+	return true
+}
+
+// chLegSweepAfter is the number of distinct bidirectional bound queries
+// one search may run before chDestLB escalates to a single PHAST sweep.
+// A bound costs a bidirectional upward search; the sweep costs one
+// linear pass over the overlay — a handful of bounds is the break-even.
+const chLegSweepAfter = 8
+
+// chDestLB returns the memoized CH lower bound of the v→dest leg,
+// rounded down to float32 so it never exceeds the plain reverse-table
+// value; +Inf means provably unreachable. The first few distinct end
+// vertices are priced by bidirectional bound queries; past
+// chLegSweepAfter of them, one PHAST sweep fills a full row and serves
+// the rest of the query (see the file comment for why mixing the two
+// bound sources is safe).
+func (s *Searcher) chDestLB(v graph.VertexID) float64 {
+	if s.chRowSet {
+		return float64(s.chRow[v])
+	}
+	if lb, ok := s.chLB[v]; ok {
+		return lb
+	}
+	if len(s.chLB) >= chLegSweepAfter {
+		s.stats.CHLegSweeps++
+		n := s.d.Graph.NumVertices()
+		if cap(s.chRow) < n {
+			s.chRow = make([]float32, n)
+		}
+		s.chRow = s.chRow[:n]
+		s.chws.ToAll([]graph.VertexID{s.dest}, s.chRow)
+		s.chRowSet = true
+		return float64(s.chRow[v])
+	}
+	s.stats.CHLegLBRuns++
+	lb := float64(dijkstra.LowerBound32(s.chws.Bound(v, s.dest)))
+	if s.chLB == nil {
+		s.chLB = make(map[graph.VertexID]float64)
+	}
+	s.chLB[v] = lb
+	return lb
+}
+
+// destLegStatic prices the exact static leg from v to the destination: a
+// bounded label-setting Dijkstra from the destination over the reversed
+// graph, stopping when v settles. Settled values are bit-identical to
+// the plain path's full reverse table (see the file comment); +Inf means
+// the leg provably fails the caller's threshold budget. Exact values are
+// memoized per query — completions through popular end vertices price
+// once.
+func (s *Searcher) destLegStatic(v graph.VertexID, budget float64) float64 {
+	if v == s.dest {
+		return 0
+	}
+	if d, ok := s.chLegMemo[v]; ok {
+		return d
+	}
+	s.stats.DestLegRuns++
+	began := time.Now()
+	defer func() { s.stats.DestLegTime += time.Since(began) }()
+	if s.revLegWS == nil {
+		s.revLegWS = dijkstra.New(s.reversedGraph())
+	}
+	faults.Fire(faults.DestLeg)
+	if s.cc.checkpoint() {
+		return math.Inf(1)
+	}
+	// One ulp of padding: the plain path keeps a completion only when
+	// fl(L+D) < T, which forces D < T−L ≤ budget + ulp(budget)/2 ≤
+	// nextafter(budget) — so every leg plain would keep settles within
+	// this bound, and an unsettled run proves D ≥ T−L, where the plain
+	// path's threshold check drops the route as well.
+	bound := math.Nextafter(budget, math.Inf(1))
+	if math.IsInf(bound, 1) {
+		bound = 0 // unbounded
+	}
+	found := math.Inf(1)
+	settled := s.revLegWS.Run(dijkstra.Options{
+		Sources: []graph.VertexID{s.dest},
+		Bound:   bound,
+		Halt:    s.cc.halt(),
+		OnSettle: func(x graph.VertexID, d float64) dijkstra.Control {
+			if x == v {
+				found = d
+				return dijkstra.Stop
+			}
+			return dijkstra.Continue
+		},
+	})
+	s.chargeSettleStats(settled)
+	if !math.IsInf(found, 1) {
+		if s.chLegMemo == nil {
+			s.chLegMemo = make(map[graph.VertexID]float64)
+		}
+		s.chLegMemo[v] = found
+	}
+	return found
+}

@@ -98,6 +98,20 @@ type Options struct {
 	// only latency changes.
 	IndexCategories bool
 
+	// CH, when non-nil, supplies the contraction-hierarchy overlay of the
+	// dataset's graph (graph.BuildCH) — the serving profile the engine
+	// calls UseCH. The overlay accelerates destination-leg pricing: each
+	// completion's leg is first bounded by the bidirectional CH query
+	// (chleg.go), and only survivors pay an exact bounded search, so
+	// destination queries skip the full-graph reverse sweep entirely.
+	// Overlay distances are admissible lower bounds over the weight
+	// column (the same argument as Index rows), and every consumption
+	// site rounds them down before comparing against exact sums, so
+	// answers are byte-identical with or without the field. The overlay
+	// must belong to the dataset's graph (same vertices and weights);
+	// engines guarantee this by rebuilding it per snapshot epoch.
+	CH *graph.CHOverlay
+
 	// TopK selects ranked top-k enumeration (package topk): the answer is
 	// the k-skyband of the achieved score points — the k shortest
 	// score-distinct routes per similarity level — instead of the single
@@ -240,6 +254,24 @@ type Searcher struct {
 	metric graph.Metric
 	dest   graph.VertexID
 	legWS  *dijkstra.Workspace
+
+	// Contraction-hierarchy state (chleg.go). chws is the reusable CH
+	// query workspace, rebuilt only when Options.CH changes identity;
+	// revG/revLegWS serve exact static destination-leg pricing on the
+	// reversed graph. chDest marks the current query as running the CH
+	// destination path; chLB and chLegMemo memoize per-vertex CH lower
+	// bounds and exact leg lengths within one query. chRow is the reusable
+	// PHAST row the hybrid escalation fills once a query touches enough
+	// distinct end vertices (chleg.go); chRowSet marks it valid for the
+	// current query.
+	chws      *dijkstra.CH
+	revG      *graph.Graph
+	revLegWS  *dijkstra.Workspace
+	chDest    bool
+	chLB      map[graph.VertexID]float64
+	chLegMemo map[graph.VertexID]float64
+	chRow     []float32
+	chRowSet  bool
 
 	// cc is the per-query cancellation state (cancel.go); inert unless
 	// Options.Context or Options.Deadline is set.
@@ -438,6 +470,10 @@ func (s *Searcher) query(start graph.VertexID, seq route.Sequence, dest graph.Ve
 	}
 	s.bounds = nil
 	s.destDist = nil
+	s.chDest = false
+	s.chLB = nil
+	s.chLegMemo = nil
+	s.chRowSet = false
 	s.posTree = make([]taxonomy.TreeID, len(seq))
 	for i, m := range seq {
 		s.posTree[i] = -1
@@ -450,7 +486,14 @@ func (s *Searcher) query(start graph.VertexID, seq route.Sequence, dest graph.Ve
 	s.ws.ResetStats()
 	if dest != graph.NoVertex {
 		s.dest = dest
-		s.computeDestDistances(dest)
+		if s.chUsable() {
+			// CH destination path: no full-graph reverse sweep. Each
+			// completion is bounded by the bidirectional CH query and
+			// priced exactly on demand (chleg.go).
+			s.chDest = true
+		} else {
+			s.computeDestDistances(dest)
+		}
 	}
 
 	// Optimization 1: seed the upper bound with NNinit (§5.3.1).
@@ -595,7 +638,7 @@ func (s *Searcher) expand(r *route.Route, from graph.VertexID, qb *pq.Heap[*rout
 		}
 		rt := r.Extend(s.scorer, c.v, c.dist, c.sim)
 		complete := rt.Size() == k
-		if complete && s.destDist != nil {
+		if complete && s.hasDest() {
 			var ok bool
 			if rt, ok = s.completeToDest(rt); !ok {
 				continue // destination unreachable, or leg provably too long
@@ -664,6 +707,9 @@ func (s *Searcher) pruneByIndex(r *route.Route) bool {
 // only be longer), and the survivors price the leg exactly with a
 // forward cost-at-arrival search departing at the route's arrival time.
 func (s *Searcher) completeToDest(rt *route.Route) (*route.Route, bool) {
+	if s.chDest {
+		return s.completeToDestCH(rt)
+	}
 	lb := s.destDist[rt.Last()]
 	if math.IsInf(lb, 1) {
 		return nil, false // destination unreachable from this PoI
@@ -727,19 +773,35 @@ func (s *Searcher) destLeg(v graph.VertexID, depart, budget float64) float64 {
 	return found
 }
 
+// hasDest reports that the current query carries a destination (§6).
+// initMetric resets dest at the start of every query, so this is safe to
+// consult anywhere inside a run.
+func (s *Searcher) hasDest() bool { return s.dest != graph.NoVertex }
+
+// reversedGraph returns the graph to search destination legs on —
+// arc-reversed for directed networks — built once per searcher and kept
+// across pooled reuse (the dataset is immutable for the searcher's
+// lifetime).
+func (s *Searcher) reversedGraph() *graph.Graph {
+	if s.revG == nil {
+		s.revG = s.d.Graph.Reversed()
+	}
+	return s.revG
+}
+
 // computeDestDistances fills destDist with D(v, dest) for every vertex,
 // searching the reverse graph so directed networks are handled correctly.
 // The reverse graph carries no time table, so on time-dependent datasets
 // the table holds lower-bound distances (see completeToDest).
 func (s *Searcher) computeDestDistances(dest graph.VertexID) {
 	g := s.d.Graph
-	rg := g
-	if g.Directed() {
-		rg = g.Reversed()
-	}
+	rg := s.reversedGraph()
 	ws := s.ws
 	if rg != g {
-		ws = dijkstra.New(rg)
+		if s.revLegWS == nil {
+			s.revLegWS = dijkstra.New(rg)
+		}
+		ws = s.revLegWS
 	}
 	ws.Run(dijkstra.Options{Sources: []graph.VertexID{dest}, Halt: s.cc.halt()})
 	s.destDist = make([]float64, g.NumVertices())

@@ -26,7 +26,7 @@ func (s *Searcher) runNNinit(start graph.VertexID) {
 	var maxSemRoute *route.Route // seed with the largest semantic score
 
 	update := func(cand *route.Route) {
-		if s.destDist != nil {
+		if s.hasDest() {
 			var ok bool
 			if cand, ok = s.completeToDest(cand); !ok {
 				return

@@ -56,6 +56,11 @@ type Stats struct {
 	DestLegRuns int64
 	DestLegTime time.Duration
 
+	// Contraction-hierarchy destination path (Options.CH; chleg.go).
+	CHLegLBRuns int64 // bidirectional CH bound queries run
+	CHLegPruned int64 // completions the CH lower bound dropped pre-pricing
+	CHLegSweeps int64 // PHAST one-to-many sweeps replacing per-leg bounds
+
 	// Queue and memory accounting (Table 6).
 	RoutesEnqueued int64
 	RoutesPopped   int64

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package dataset
+
+import "os"
+
+// mmapFile falls back to reading the whole file on platforms without
+// mmap support; the zero-copy section views alias the heap buffer
+// instead of mapped pages, which is equally safe.
+func mmapFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -1,0 +1,30 @@
+//go:build unix
+
+package dataset
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only. The mapping is never released — binary
+// datasets alias it for the life of the process (see OpenBinary).
+func mmapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() == 0 {
+		return nil, binFail("empty file")
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}

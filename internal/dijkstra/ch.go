@@ -1,0 +1,245 @@
+package dijkstra
+
+import (
+	"math"
+
+	"skysr/internal/graph"
+	"skysr/internal/pq"
+)
+
+// CH answers distance queries over a contraction-hierarchy overlay
+// (graph.CHOverlay): Bound runs the bidirectional point-to-point query,
+// ToAll the reverse PHAST-style one-to-many sweep. Like Workspace, a CH
+// amortizes its arrays across runs with epoch stamps and is not safe for
+// concurrent use; unlike Workspace it never consults the underlying graph
+// — the overlay's two CSR halves are the whole search space.
+//
+// Every value a CH returns is a lower bound of the true shortest-path
+// distance over the graph's weight column (query sums accumulate with
+// graph.AddDown), and is exactly that distance when the involved sums are
+// exactly representable. Consumers that compare a bound against a
+// sequentially-summed float64 route length must round it down to float32
+// first (LowerBound32) to absorb association slack, exactly as the
+// category-index rows do.
+type CH struct {
+	ov *graph.CHOverlay
+
+	distF  []float64
+	stampF []uint32
+	distB  []float64
+	stampB []uint32
+	gen    uint32
+
+	heapF *pq.Heap[chQueueItem]
+	heapB *pq.Heap[chQueueItem]
+
+	settledCount int64
+	runCount     int64
+}
+
+type chQueueItem struct {
+	v int32
+	d float64
+}
+
+func chQueueLess(a, b chQueueItem) bool {
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	return a.v < b.v
+}
+
+// NewCH returns a query workspace over ov.
+func NewCH(ov *graph.CHOverlay) *CH {
+	n := ov.NumV
+	return &CH{
+		ov:     ov,
+		distF:  make([]float64, n),
+		stampF: make([]uint32, n),
+		distB:  make([]float64, n),
+		stampB: make([]uint32, n),
+		heapF:  pq.NewHeap(chQueueLess),
+		heapB:  pq.NewHeap(chQueueLess),
+	}
+}
+
+// Overlay returns the overlay the workspace queries.
+func (c *CH) Overlay() *graph.CHOverlay { return c.ov }
+
+// SettledCount returns the total vertices settled across all queries.
+func (c *CH) SettledCount() int64 { return c.settledCount }
+
+// RunCount returns the number of Bound/ToAll invocations.
+func (c *CH) RunCount() int64 { return c.runCount }
+
+// nextGen advances the epoch stamp, clearing stamps on wrap.
+func (c *CH) nextGen() {
+	c.gen++
+	if c.gen == 0 {
+		clear(c.stampF)
+		clear(c.stampB)
+		c.gen = 1
+	}
+}
+
+// Bound returns a lower bound of the shortest-path distance from s to t
+// over the weight column, +Inf when t is unreachable from s. The bound is
+// never above the exact real-valued distance, and equals the plain
+// Dijkstra distance bit for bit when all partial sums are exactly
+// representable (see graph.AddDown).
+func (c *CH) Bound(s, t graph.VertexID) float64 {
+	if s == t {
+		return 0
+	}
+	c.runCount++
+	c.nextGen()
+	ov := c.ov
+	best := math.Inf(1)
+
+	fh, bh := c.heapF, c.heapB
+	fh.Reset()
+	bh.Reset()
+	c.distF[s] = 0
+	c.stampF[s] = c.gen
+	fh.Push(chQueueItem{v: int32(s), d: 0})
+	c.distB[t] = 0
+	c.stampB[t] = c.gen
+	bh.Push(chQueueItem{v: int32(t), d: 0})
+
+	// Alternate the two upward searches; a direction stops once its queue
+	// minimum can no longer improve the best meeting. The forward search
+	// climbs Up; the backward search climbs the reversed graph's upward
+	// half, which is exactly DownIn.
+	fDone, bDone := false, false
+	for (!fDone && fh.Len() > 0) || (!bDone && bh.Len() > 0) {
+		if !fDone && fh.Len() > 0 {
+			it := fh.Pop()
+			if it.d >= best {
+				// Everything still queued is at least this far: this
+				// direction can no longer improve the meeting.
+				fDone = true
+			} else if it.d == c.distF[it.v] {
+				// Equality filters superseded queue entries (no decrease-key
+				// in the pairs heap; a shorter path re-pushed the vertex).
+				c.settledCount++
+				if c.stampB[it.v] == c.gen {
+					if m := graph.AddDown(it.d, c.distB[it.v]); m < best {
+						best = m
+					}
+				}
+				for i := ov.UpOff[it.v]; i < ov.UpOff[it.v+1]; i++ {
+					to := ov.UpTo[i]
+					nd := graph.AddDown(it.d, ov.UpW[i])
+					if c.stampF[to] != c.gen || nd < c.distF[to] {
+						c.distF[to] = nd
+						c.stampF[to] = c.gen
+						fh.Push(chQueueItem{v: to, d: nd})
+					}
+				}
+			}
+		} else {
+			fDone = true
+		}
+		if !bDone && bh.Len() > 0 {
+			it := bh.Pop()
+			if it.d >= best {
+				bDone = true
+			} else if it.d == c.distB[it.v] {
+				c.settledCount++
+				if c.stampF[it.v] == c.gen {
+					if m := graph.AddDown(it.d, c.distF[it.v]); m < best {
+						best = m
+					}
+				}
+				for i := ov.DownOff[it.v]; i < ov.DownOff[it.v+1]; i++ {
+					from := ov.DownFrom[i]
+					nd := graph.AddDown(it.d, ov.DownW[i])
+					if c.stampB[from] != c.gen || nd < c.distB[from] {
+						c.distB[from] = nd
+						c.stampB[from] = c.gen
+						bh.Push(chQueueItem{v: from, d: nd})
+					}
+				}
+			}
+		} else {
+			bDone = true
+		}
+	}
+	return best
+}
+
+// ToAll computes, for every vertex v, a lower bound of the distance from
+// v to the nearest source (the reverse one-to-many problem NNinit and the
+// category-index rows ask), writing LowerBound32 values into out
+// (float32, +Inf for unreachable). len(out) must be the vertex count.
+//
+// Phase 1 runs a multi-source upward search in the reversed graph (over
+// DownIn); phase 2 sweeps vertices by descending rank, relaxing each
+// vertex's upward arcs backwards — the PHAST linear pass that replaces a
+// priority queue for the all-targets case.
+func (c *CH) ToAll(sources []graph.VertexID, out []float32) {
+	ov := c.ov
+	c.runCount++
+	c.nextGen()
+	bh := c.heapB
+	bh.Reset()
+	for _, s := range sources {
+		c.distB[s] = 0
+		c.stampB[s] = c.gen
+		bh.Push(chQueueItem{v: int32(s), d: 0})
+	}
+	for bh.Len() > 0 {
+		it := bh.Pop()
+		if it.d > c.distB[it.v] {
+			continue
+		}
+		c.settledCount++
+		for i := ov.DownOff[it.v]; i < ov.DownOff[it.v+1]; i++ {
+			from := ov.DownFrom[i]
+			nd := graph.AddDown(it.d, ov.DownW[i])
+			if c.stampB[from] != c.gen || nd < c.distB[from] {
+				c.distB[from] = nd
+				c.stampB[from] = c.gen
+				bh.Push(chQueueItem{v: from, d: nd})
+			}
+		}
+	}
+	// Descending-rank sweep: when v's upward arc v→y is reversed it is a
+	// downward arc y→v, so dist(v → sources) can improve through y, whose
+	// final value is already known (rank[y] > rank[v]).
+	inf := float32(math.Inf(1))
+	for i := ov.NumV - 1; i >= 0; i-- {
+		v := ov.Order[i]
+		d := math.Inf(1)
+		if c.stampB[v] == c.gen {
+			d = c.distB[v]
+		}
+		for j := ov.UpOff[v]; j < ov.UpOff[v+1]; j++ {
+			y := ov.UpTo[j]
+			if c.stampB[y] != c.gen {
+				continue
+			}
+			if nd := graph.AddDown(c.distB[y], ov.UpW[j]); nd < d {
+				d = nd
+			}
+		}
+		if math.IsInf(d, 1) {
+			out[v] = inf
+			continue
+		}
+		c.distB[v] = d
+		c.stampB[v] = c.gen
+		out[v] = LowerBound32(d)
+	}
+}
+
+// LowerBound32 narrows a float64 lower bound to float32 without ever
+// rounding up, so the result stays a valid lower bound. It is the same
+// discipline the category-index rows use for their stored values.
+func LowerBound32(d float64) float32 {
+	f := float32(d)
+	if float64(f) > d {
+		f = math.Nextafter32(f, float32(math.Inf(-1)))
+	}
+	return f
+}

@@ -1,0 +1,174 @@
+package dijkstra
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"skysr/internal/geo"
+	"skysr/internal/graph"
+)
+
+// randomGraph builds a random graph with dyadic weights (exactly
+// representable sums), possibly disconnected, directed or not.
+func randomGraph(rng *rand.Rand, n int, directed bool, arcFactor float64) *graph.Graph {
+	b := graph.NewBuilder(directed)
+	for i := 0; i < n; i++ {
+		b.AddVertex(geo.Point{Lon: rng.Float64(), Lat: rng.Float64()})
+	}
+	arcs := int(float64(n) * arcFactor)
+	for i := 0; i < arcs; i++ {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		// Dyadic weights in [0.25, 64): k/2^8 with k in [64, 16384).
+		w := float64(64+rng.Intn(16320)) / 256.0
+		b.AddEdge(u, v, w)
+	}
+	return b.Build()
+}
+
+// TestCHBoundMatchesDijkstra is the exactness property test: over random
+// directed and undirected graphs with dyadic weights — where AddDown is
+// exact — the CH bound must equal the plain Dijkstra distance bit for
+// bit, including +Inf for disconnected pairs.
+func TestCHBoundMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 12; trial++ {
+		directed := trial%2 == 0
+		n := 20 + rng.Intn(120)
+		// Sparse arc factors leave some pairs disconnected on purpose.
+		g := randomGraph(rng, n, directed, 1.0+3.0*rng.Float64())
+		ov, err := graph.BuildCH(context.Background(), g, nil)
+		if err != nil {
+			t.Fatalf("trial %d: BuildCH: %v", trial, err)
+		}
+		ch := NewCH(ov)
+		ws := New(g)
+		pairs := 60
+		disconnected := 0
+		for p := 0; p < pairs; p++ {
+			s := graph.VertexID(rng.Intn(n))
+			d := graph.VertexID(rng.Intn(n))
+			want := ws.Distance(s, d)
+			got := ch.Bound(s, d)
+			if math.IsInf(want, 1) {
+				disconnected++
+				if !math.IsInf(got, 1) {
+					t.Fatalf("trial %d (directed=%v): %d->%d disconnected but CH bound %v", trial, directed, s, d, got)
+				}
+				continue
+			}
+			if got != want {
+				t.Fatalf("trial %d (directed=%v): %d->%d CH bound %v != Dijkstra %v", trial, directed, s, d, got, want)
+			}
+		}
+		_ = disconnected
+	}
+}
+
+// TestCHToAllMatchesReverseDijkstra checks the one-to-many sweep against
+// a multi-source Dijkstra on the reversed graph: ToAll must produce the
+// same (rounded-down) nearest-source distances for every vertex.
+func TestCHToAllMatchesReverseDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		directed := trial%2 == 0
+		n := 30 + rng.Intn(100)
+		g := randomGraph(rng, n, directed, 1.5+2.5*rng.Float64())
+		ov, err := graph.BuildCH(context.Background(), g, nil)
+		if err != nil {
+			t.Fatalf("trial %d: BuildCH: %v", trial, err)
+		}
+		ch := NewCH(ov)
+		numSrc := 1 + rng.Intn(5)
+		srcs := make([]graph.VertexID, 0, numSrc)
+		for i := 0; i < numSrc; i++ {
+			srcs = append(srcs, graph.VertexID(rng.Intn(n)))
+		}
+		out := make([]float32, n)
+		ch.ToAll(srcs, out)
+
+		rev := New(g.Reversed())
+		rev.Run(Options{Sources: srcs})
+		for v := 0; v < n; v++ {
+			want := math.Inf(1)
+			if d, ok := rev.Dist(graph.VertexID(v)); ok {
+				want = d
+			}
+			if math.IsInf(want, 1) {
+				if !math.IsInf(float64(out[v]), 1) {
+					t.Fatalf("trial %d: vertex %d unreachable but ToAll %v", trial, v, out[v])
+				}
+				continue
+			}
+			if out[v] != LowerBound32(want) {
+				t.Fatalf("trial %d: vertex %d ToAll %v != reverse Dijkstra %v (rounded %v)", trial, v, out[v], want, LowerBound32(want))
+			}
+		}
+	}
+}
+
+// TestCHBoundIsLowerBound uses non-dyadic weights. The f64 bound and the
+// plain Dijkstra distance may then differ by association error in either
+// direction (plain's sequential sum can round below the real distance
+// while the CH sum lands nearer it), so the invariant consumers rely on
+// is at float32: LowerBound32(bound) never exceeds the plain distance —
+// the 2^-24 slack dominates f64 association error. The f64 values must
+// still agree to within a tight relative band.
+func TestCHBoundIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	b := graph.NewBuilder(true)
+	n := 150
+	for i := 0; i < n; i++ {
+		b.AddVertex(geo.Point{Lon: rng.Float64(), Lat: rng.Float64()})
+	}
+	for i := 0; i < 600; i++ {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		if u != v {
+			b.AddEdge(u, v, 0.1+rng.Float64()) // arbitrary mantissas
+		}
+	}
+	g := b.Build()
+	ov, err := graph.BuildCH(context.Background(), g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := NewCH(ov)
+	ws := New(g)
+	for p := 0; p < 100; p++ {
+		s := graph.VertexID(rng.Intn(n))
+		d := graph.VertexID(rng.Intn(n))
+		want := ws.Distance(s, d)
+		got := ch.Bound(s, d)
+		if math.IsInf(want, 1) {
+			if !math.IsInf(got, 1) {
+				t.Fatalf("%d->%d disconnected but bound %v", s, d, got)
+			}
+			continue
+		}
+		if lb := float64(LowerBound32(got)); lb > want {
+			t.Fatalf("%d->%d rounded bound %v exceeds distance %v", s, d, lb, want)
+		}
+		if got > want*(1+1e-12) {
+			t.Fatalf("%d->%d bound %v far above distance %v", s, d, got, want)
+		}
+		if got < want*(1-1e-9) {
+			t.Fatalf("%d->%d bound %v too loose for distance %v", s, d, got, want)
+		}
+	}
+}
+
+func TestLowerBound32(t *testing.T) {
+	cases := []float64{0, 1, 1.5, math.Pi, 1e-30, 12345.6789, math.Inf(1)}
+	for _, d := range cases {
+		f := LowerBound32(d)
+		if float64(f) > d {
+			t.Fatalf("LowerBound32(%v) = %v rounds up", d, f)
+		}
+	}
+}

@@ -53,6 +53,14 @@ type Config struct {
 	// ShortcutFrac adds this fraction of |V| long-range arterial edges.
 	ShortcutFrac float64
 
+	// HighwayTiers, for GridModel, assigns road-class weight multipliers:
+	// every eighth lattice row/column becomes a secondary arterial (weight
+	// ×0.7) and the ShortcutFrac long-range edges become highways (weight
+	// ×0.4). The resulting weight hierarchy mimics OSM road classes and is
+	// what makes contraction hierarchies effective at scale; presets
+	// without the flag are bit-identical to their pre-tier output.
+	HighwayTiers bool
+
 	// PoIs is the number of PoIs to embed.
 	PoIs int
 
@@ -197,13 +205,28 @@ func buildGrid(rng *rand.Rand, cfg Config, metric geo.DistanceFunc) *graph.Build
 		}
 	}
 	uf := newUnionFind(rows * cols)
-	addEdge := func(u, v graph.VertexID) {
-		w := metric(b.Point(u), b.Point(v))
+	addTiered := func(u, v graph.VertexID, mult float64) {
+		w := metric(b.Point(u), b.Point(v)) * mult
 		b.AddEdge(u, v, w)
 		if cfg.Directed {
 			b.AddEdge(v, u, w) // directed road networks still carry both carriageways
 		}
 		uf.union(int(u), int(v))
+	}
+	addEdge := func(u, v graph.VertexID) { addTiered(u, v, 1) }
+	// Road-class multipliers under HighwayTiers: every eighth lattice line
+	// is a faster secondary arterial, long-range shortcuts are highways.
+	const (
+		arterialStride = 8
+		arterialMult   = 0.7
+		highwayMult    = 0.4
+	)
+	lattice := func(u, v graph.VertexID, line int) {
+		if cfg.HighwayTiers && line%arterialStride == 0 {
+			addTiered(u, v, arterialMult)
+		} else {
+			addEdge(u, v)
+		}
 	}
 	dropProb := cfg.Irregularity * 0.25
 	for r := 0; r < rows; r++ {
@@ -211,13 +234,13 @@ func buildGrid(rng *rand.Rand, cfg Config, metric geo.DistanceFunc) *graph.Build
 			// Horizontal neighbour: row 0 is a guaranteed spine.
 			if c+1 < cols {
 				if r == 0 || rng.Float64() >= dropProb {
-					addEdge(idx(r, c), idx(r, c+1))
+					lattice(idx(r, c), idx(r, c+1), r)
 				}
 			}
 			// Vertical neighbour: column 0 is a guaranteed spine.
 			if r+1 < rows {
 				if c == 0 || rng.Float64() >= dropProb {
-					addEdge(idx(r, c), idx(r+1, c))
+					lattice(idx(r, c), idx(r+1, c), c)
 				}
 			}
 		}
@@ -240,13 +263,17 @@ func buildGrid(rng *rand.Rand, cfg Config, metric geo.DistanceFunc) *graph.Build
 		}
 	}
 	// Arterial shortcuts between random vertices, weight = direct metric
-	// distance (expressways).
+	// distance (expressways) — under HighwayTiers, discounted highways.
 	n := rows * cols
 	for s := 0; s < int(cfg.ShortcutFrac*float64(n)); s++ {
 		u := graph.VertexID(rng.Intn(n))
 		v := graph.VertexID(rng.Intn(n))
 		if u != v {
-			addEdge(u, v)
+			if cfg.HighwayTiers {
+				addTiered(u, v, highwayMult)
+			} else {
+				addEdge(u, v)
+			}
 		}
 	}
 	return b

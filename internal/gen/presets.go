@@ -73,13 +73,35 @@ func Preset(name string, scale float64, seed int64) (Config, error) {
 			Hotspots:     8,
 			Ratings:      true,
 		}, nil
+	case "osm":
+		// OSM-scale stress preset: not one of the paper's Table 5 datasets
+		// but the serving-tier target — a metropolitan grid with OSM-style
+		// road-class weight tiers (see Config.HighwayTiers). scale = 4
+		// yields the ~60k-vertex network the PR10 latency gates run on.
+		return Config{
+			Name:         "OSM",
+			Seed:         seed,
+			Model:        GridModel,
+			Vertices:     iscale(15000, scale),
+			Bounds:       geo.NewRect(139.30, 35.40, 140.10, 36.00), // greater Tokyo
+			Irregularity: 0.25,
+			ShortcutFrac: 0.03,
+			HighwayTiers: true,
+			PoIs:         iscale(2250, scale),
+			Forest:       taxonomy.FoursquareLike(),
+			CategorySkew: 0.8,
+			Clustering:   0.5,
+			Hotspots:     12,
+			Ratings:      true,
+		}, nil
 	default:
-		return Config{}, fmt.Errorf("gen: unknown preset %q (want tokyo, nyc or cal)", name)
+		return Config{}, fmt.Errorf("gen: unknown preset %q (want tokyo, nyc, cal or osm)", name)
 	}
 }
 
-// PresetNames lists the available presets in the paper's Table 5 order.
-func PresetNames() []string { return []string{"tokyo", "nyc", "cal"} }
+// PresetNames lists the available presets: the paper's Table 5 datasets in
+// order, then the OSM-scale serving preset.
+func PresetNames() []string { return []string{"tokyo", "nyc", "cal", "osm"} }
 
 // BuildPreset generates a preset dataset directly.
 func BuildPreset(name string, scale float64, seed int64) (*dataset.Dataset, error) {

@@ -1,0 +1,504 @@
+// Contraction hierarchies over the lower-bound weight column.
+//
+// BuildCH preprocesses a graph into a CHOverlay: vertices are contracted
+// one by one in edge-difference order, each contraction inserting the
+// shortcuts that preserve shortest-path distances among the vertices not
+// yet contracted, and the surviving arc set (original arcs plus shortcuts)
+// is split into an upward half (arcs toward higher contraction ranks) and
+// a downward half (arcs toward lower ranks). A bidirectional search that
+// only ever climbs ranks (dijkstra.CH) then answers point-to-point
+// distance queries by meeting at a peak vertex, and a PHAST-style linear
+// sweep answers one-to-many queries without a priority queue.
+//
+// The overlay is built over the graph's weight column — each arc's
+// lower-bound cost under the PR5 metric seam — so every overlay distance
+// is an admissible lower bound of the corresponding time-dependent travel
+// time, by the same argument that keeps the §5.3.3 bounds and the
+// category-index rows exact (see graph/metric.go).
+//
+// Floating-point discipline: shortcut weights and query sums accumulate
+// with addDown, which never rounds a partial sum upward. An overlay
+// distance is therefore ≤ the exact real-valued shortest-path length
+// regardless of association order; consumers that compare overlay values
+// against sequentially-summed float64 route lengths additionally round
+// the final value down to float32 (dijkstra.LowerBound32), absorbing the
+// association slack the same way the category-index rows do. On weights
+// whose sums are exactly representable (the property-test regime) addDown
+// is exact and overlay distances equal plain Dijkstra distances bit for
+// bit.
+package graph
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"skysr/internal/pq"
+)
+
+// CHOverlay is the immutable contraction-hierarchy overlay of one graph.
+// All slices are read-only after BuildCH (or a binary-dataset load) and
+// may alias a memory-mapped file; consumers must not mutate them.
+//
+// The two CSR halves cover the search graph G∪S (original arcs plus
+// shortcuts, parallel arcs reduced to their minimum weight):
+//
+//   - Up, indexed by u, holds the out-arcs u→v with Rank[v] > Rank[u];
+//   - DownIn, indexed by v, holds the in-arcs u→v with Rank[u] > Rank[v],
+//     storing the source u.
+//
+// This pair serves both directions: in the reversed graph the roles of Up
+// and DownIn swap exactly (the reversal of an upward arc is a downward
+// arc and vice versa), so forward and reverse queries need no additional
+// storage.
+type CHOverlay struct {
+	NumV     int
+	Directed bool
+	// Rank[v] is v's contraction position (0 = contracted first); ranks
+	// are a permutation of [0, NumV).
+	Rank []int32
+	// Order[i] is the vertex with rank i (the inverse permutation).
+	Order []int32
+
+	UpOff []int32 // len NumV+1
+	UpTo  []int32
+	UpW   []float64
+
+	DownOff  []int32 // len NumV+1
+	DownFrom []int32
+	DownW    []float64
+
+	// Shortcuts counts the inserted shortcut arcs (diagnostics only).
+	Shortcuts int
+}
+
+// NumVertices returns the vertex count the overlay was built for.
+func (ov *CHOverlay) NumVertices() int { return ov.NumV }
+
+// NumShortcuts returns the number of shortcut arcs the build inserted.
+func (ov *CHOverlay) NumShortcuts() int { return ov.Shortcuts }
+
+// MemoryFootprintBytes estimates the overlay's resident size.
+func (ov *CHOverlay) MemoryFootprintBytes() int64 {
+	return int64(len(ov.Rank)+len(ov.Order)+len(ov.UpOff)+len(ov.UpTo)+len(ov.DownOff)+len(ov.DownFrom))*4 +
+		int64(len(ov.UpW)+len(ov.DownW))*8
+}
+
+// Matches reports whether the overlay plausibly belongs to g: same vertex
+// count and directedness. It cannot prove the weights match — binary
+// datasets pair the two under one checksum instead.
+func (ov *CHOverlay) Matches(g *Graph) bool {
+	return ov != nil && ov.NumV == g.NumVertices() && ov.Directed == g.Directed()
+}
+
+// AddDown returns a+b rounded so the result never exceeds the exact real
+// sum: the error term of the TwoSum transformation detects an upward
+// rounding and steps the sum down one ulp. Sums that are exactly
+// representable are returned exactly, so overlay distances over dyadic
+// weights equal plain Dijkstra distances bit for bit.
+func AddDown(a, b float64) float64 {
+	s := a + b
+	if math.IsInf(s, 1) {
+		return s
+	}
+	bp := s - a
+	if (a-(s-bp))+(b-bp) < 0 {
+		s = math.Nextafter(s, math.Inf(-1))
+	}
+	return s
+}
+
+// chArc is one arc of the mutable core graph during contraction.
+type chArc struct {
+	to int32
+	w  float64
+}
+
+// chBuilder holds the contraction state. The out/in mirrors hold only
+// arcs between live (not yet contracted) vertices: contracting v removes
+// the mirror entries from its neighbours' lists, freezing each arc in the
+// lists of its lower-ranked endpoint — which is exactly the partition the
+// overlay needs, so assemble reads it off directly.
+type chBuilder struct {
+	g          *Graph
+	n          int
+	out        [][]chArc // live out-arcs (originals + shortcuts)
+	in         [][]chArc // live in-arcs (mirror of out)
+	contracted []bool
+	rank       []int32
+	order      []int32
+	deleted    []int32 // contracted-neighbours heuristic term
+	shortcuts  int
+
+	// Witness-search workspace (bounded local Dijkstra) and the
+	// shortcut-target scratch list of one contraction simulation.
+	// tstamp[x] == wgen marks x as a still-unwitnessed target with
+	// candidate weight tcand[x].
+	wdist   []float64
+	wstamp  []uint32
+	tcand   []float64
+	tstamp  []uint32
+	wgen    uint32
+	wheap   *pq.Heap[chHeapItem]
+	targets []chTarget
+}
+
+// chTarget is one prospective shortcut head during the simulation of a
+// contraction: the u→v→target candidate weight to beat.
+type chTarget struct {
+	w    int32
+	cand float64
+}
+
+type chHeapItem struct {
+	v int32
+	d float64
+}
+
+func chLess(a, b chHeapItem) bool {
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	return a.v < b.v
+}
+
+// The witness-search settle budgets. Contractions use a budget scaled by
+// how many shortcut heads the search must try to witness: giving up too
+// early is safe but inserts redundant shortcuts, and on dense late-stage
+// cores those feed back into even denser cores, so the budget grows with
+// the fan. Priority estimation uses a small flat budget — a conservative
+// overestimate of the edge difference only perturbs the contraction
+// order, never the overlay's correctness, and the estimate runs far more
+// often than the contraction itself. A search that gives up errs toward
+// inserting a shortcut the witness would have made redundant — always
+// safe, never wrong.
+const (
+	witnessSettleLimit = 256
+	witnessSettlePer   = 64
+	prioritySettleCap  = 32
+)
+
+// chCancelStride is how many contractions happen between context checks.
+const chCancelStride = 1024
+
+// BuildCH builds the contraction-hierarchy overlay of g over its weight
+// column. progress, when non-nil, is called periodically with the number
+// of contracted vertices and the total. The build observes ctx and
+// returns its error when cancelled; a nil ctx means context.Background().
+func BuildCH(ctx context.Context, g *Graph, progress func(done, total int)) (*CHOverlay, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, fmt.Errorf("graph: BuildCH on empty graph")
+	}
+	b := &chBuilder{
+		g:          g,
+		n:          n,
+		out:        make([][]chArc, n),
+		in:         make([][]chArc, n),
+		contracted: make([]bool, n),
+		rank:       make([]int32, n),
+		order:      make([]int32, n),
+		deleted:    make([]int32, n),
+		wdist:      make([]float64, n),
+		wstamp:     make([]uint32, n),
+		tcand:      make([]float64, n),
+		tstamp:     make([]uint32, n),
+		wheap:      pq.NewHeap(chLess),
+	}
+	b.loadArcs()
+
+	// Contract in lazy edge-difference order: pop the cheapest candidate,
+	// recompute its priority if its neighbourhood changed since the cached
+	// value (neighbour contractions or shortcut insertions), and reinsert
+	// unless it is still no worse than the next candidate.
+	type cand struct {
+		v     int32
+		prio  int32
+		stamp int64
+	}
+	h := pq.NewHeap(func(a, b cand) bool {
+		if a.prio != b.prio {
+			return a.prio < b.prio
+		}
+		return a.v < b.v
+	})
+	for v := 0; v < n; v++ {
+		h.Push(cand{v: int32(v), prio: b.priority(int32(v)), stamp: b.neighborhoodStamp(int32(v))})
+	}
+	next := int32(0)
+	for h.Len() > 0 {
+		c := h.Pop()
+		if b.contracted[c.v] {
+			continue
+		}
+		if c.stamp != b.neighborhoodStamp(c.v) {
+			p := b.priority(c.v)
+			if h.Len() > 0 && p > h.Peek().prio {
+				h.Push(cand{v: c.v, prio: p, stamp: b.neighborhoodStamp(c.v)})
+				continue
+			}
+		}
+		b.contract(c.v)
+		b.rank[c.v] = next
+		b.order[next] = c.v
+		next++
+		if next%chCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if progress != nil {
+				progress(int(next), n)
+			}
+		}
+	}
+	if progress != nil {
+		progress(n, n)
+	}
+	return b.assemble(), nil
+}
+
+// loadArcs seeds the mutable core with the graph's arcs, reducing
+// parallel arcs to their minimum weight.
+func (b *chBuilder) loadArcs() {
+	g := b.g
+	for u := 0; u < b.n; u++ {
+		ts, ws := g.Neighbors(VertexID(u))
+		for i, t := range ts {
+			if int32(t) == int32(u) {
+				continue // self loops never lie on a shortest path
+			}
+			b.addArc(int32(u), int32(t), ws[i])
+		}
+	}
+}
+
+// addArc inserts or min-updates the arc u→v in both adjacency mirrors.
+func (b *chBuilder) addArc(u, v int32, w float64) bool {
+	for i := range b.out[u] {
+		if b.out[u][i].to == v {
+			if w < b.out[u][i].w {
+				b.out[u][i].w = w
+				for j := range b.in[v] {
+					if b.in[v][j].to == u {
+						b.in[v][j].w = w
+						break
+					}
+				}
+				return true
+			}
+			return false
+		}
+	}
+	b.out[u] = append(b.out[u], chArc{to: v, w: w})
+	b.in[v] = append(b.in[v], chArc{to: u, w: w})
+	return true
+}
+
+// priority is the lazy ordering heuristic: simulated edge difference
+// (shortcuts a contraction would insert minus arcs it removes) plus the
+// contracted-neighbours term that spreads contractions evenly. The
+// adjacency mirrors hold live vertices only, so the degrees read off
+// directly.
+func (b *chBuilder) priority(v int32) int32 {
+	added := b.neededShortcuts(v, nil)
+	return int32(added-len(b.in[v])-len(b.out[v])) + 2*b.deleted[v]
+}
+
+// neighborhoodStamp fingerprints v's live neighbourhood: a cached lazy
+// priority stays valid while neither a neighbour contraction nor a
+// shortcut insertion has touched v, which skips the witness simulation on
+// the overwhelmingly common pop-unchanged-contract path.
+func (b *chBuilder) neighborhoodStamp(v int32) int64 {
+	return int64(b.deleted[v])<<32 | int64(len(b.out[v])+len(b.in[v]))
+}
+
+// neededShortcuts simulates contracting v: for every in-neighbour u it
+// runs ONE bounded witness search covering all prospective shortcut heads
+// u→v→w at once, and counts the pairs no witness path covers. When emit is
+// non-nil it is called for each such pair (the contraction itself); with a
+// nil emit the call only counts (the priority heuristic).
+func (b *chBuilder) neededShortcuts(v int32, emit func(u, w int32, cand float64)) int {
+	added := 0
+	for _, ia := range b.in[v] {
+		u := ia.to
+		b.targets = b.targets[:0]
+		maxBound := 0.0
+		for _, oa := range b.out[v] {
+			w := oa.to
+			if w == u {
+				continue // zero-length u→u path beats any positive shortcut
+			}
+			cand := AddDown(ia.w, oa.w)
+			b.targets = append(b.targets, chTarget{w: w, cand: cand})
+			if cand > maxBound {
+				maxBound = cand
+			}
+		}
+		if len(b.targets) == 0 {
+			continue
+		}
+		limit := witnessSettleLimit + witnessSettlePer*len(b.targets)
+		if emit == nil && limit > prioritySettleCap {
+			limit = prioritySettleCap // estimating only: cheap and conservative
+		}
+		b.runWitness(u, v, maxBound, limit)
+		for _, tg := range b.targets {
+			if b.tstamp[tg.w] != b.wgen {
+				continue // witnessed: a u→w path no longer than cand exists
+			}
+			added++
+			if emit != nil {
+				emit(u, tg.w, tg.cand)
+			}
+		}
+	}
+	return added
+}
+
+// runWitness runs one bounded Dijkstra from u in the core minus `skip`,
+// trying to witness every target staged in b.targets: a target w is
+// witnessed the moment any discovered path reaches it within tcand[w]
+// (a tentative label is already a real path length, so settling is not
+// required). Targets still stamped with the current generation afterwards
+// found no witness. The search is bounded (weights and settle count), so
+// a missed witness is conservative; that only ever inserts redundant
+// shortcuts.
+func (b *chBuilder) runWitness(u, skip int32, maxBound float64, limit int) {
+	b.wgen++
+	if b.wgen == 0 { // stamp wrap: invalidate everything once
+		for i := range b.wstamp {
+			b.wstamp[i] = 0
+			b.tstamp[i] = 0
+		}
+		b.wgen = 1
+	}
+	remaining := 0
+	for _, tg := range b.targets {
+		if b.tstamp[tg.w] != b.wgen {
+			b.tstamp[tg.w] = b.wgen
+			b.tcand[tg.w] = tg.cand
+			remaining++
+		} else if tg.cand > b.tcand[tg.w] {
+			// Parallel candidates to one head: the loosest bound decides.
+			b.tcand[tg.w] = tg.cand
+		}
+	}
+	h := b.wheap
+	h.Reset()
+	b.wdist[u] = 0
+	b.wstamp[u] = b.wgen
+	h.Push(chHeapItem{v: u, d: 0})
+	settled := 0
+	for h.Len() > 0 && settled < limit && remaining > 0 {
+		it := h.Pop()
+		if it.d > b.wdist[it.v] {
+			continue
+		}
+		if it.d > maxBound {
+			return
+		}
+		settled++
+		for _, a := range b.out[it.v] {
+			t := a.to
+			if t == skip {
+				continue
+			}
+			// Plain addition, deliberately: a label computed with + is ≥
+			// the AddDown accumulation of the same path, so a witness
+			// claimed here also holds under query arithmetic — the error
+			// direction only ever misses witnesses (a redundant shortcut,
+			// never a wrong one) and on exactly-representable sums the two
+			// agree bit for bit.
+			nd := it.d + a.w
+			if nd > maxBound {
+				continue
+			}
+			if b.wstamp[t] != b.wgen || nd < b.wdist[t] {
+				b.wdist[t] = nd
+				b.wstamp[t] = b.wgen
+				if b.tstamp[t] == b.wgen && nd <= b.tcand[t] {
+					b.tstamp[t] = 0 // witnessed
+					remaining--
+				}
+				h.Push(chHeapItem{v: t, d: nd})
+			}
+		}
+	}
+}
+
+// contract removes v from the core, inserting the shortcuts that keep
+// distances among the remaining vertices intact, then freezes v's arcs by
+// deleting their mirror entries from the neighbours' live lists. Each arc
+// thereby survives in the lists of exactly its lower-ranked endpoint,
+// which is the partition assemble emits.
+func (b *chBuilder) contract(v int32) {
+	b.neededShortcuts(v, func(u, w int32, cand float64) {
+		if b.addArc(u, w, cand) {
+			b.shortcuts++
+		}
+	})
+	b.contracted[v] = true
+	for _, a := range b.out[v] {
+		removeMirror(&b.in[a.to], v)
+		b.deleted[a.to]++
+	}
+	for _, a := range b.in[v] {
+		removeMirror(&b.out[a.to], v)
+		b.deleted[a.to]++
+	}
+}
+
+// removeMirror swap-deletes the unique entry pointing at v.
+func removeMirror(list *[]chArc, v int32) {
+	s := *list
+	for i := range s {
+		if s[i].to == v {
+			s[i] = s[len(s)-1]
+			*list = s[:len(s)-1]
+			return
+		}
+	}
+}
+
+// assemble emits the upward and downward CSR halves. Contraction froze
+// every arc in the lists of its lower-ranked endpoint — out[u] holds
+// exactly u's up-arcs and in[v] exactly v's down-in-arcs — so the halves
+// read off without re-partitioning.
+func (b *chBuilder) assemble() *CHOverlay {
+	n := b.n
+	ov := &CHOverlay{
+		NumV:      n,
+		Directed:  b.g.Directed(),
+		Rank:      b.rank,
+		Order:     b.order,
+		Shortcuts: b.shortcuts,
+		UpOff:     make([]int32, n+1),
+		DownOff:   make([]int32, n+1),
+	}
+	for u := 0; u < n; u++ {
+		ov.UpOff[u+1] = ov.UpOff[u] + int32(len(b.out[u]))
+		ov.DownOff[u+1] = ov.DownOff[u] + int32(len(b.in[u]))
+	}
+	ov.UpTo = make([]int32, ov.UpOff[n])
+	ov.UpW = make([]float64, ov.UpOff[n])
+	ov.DownFrom = make([]int32, ov.DownOff[n])
+	ov.DownW = make([]float64, ov.DownOff[n])
+	for u := 0; u < n; u++ {
+		i := ov.UpOff[u]
+		for _, a := range b.out[u] {
+			ov.UpTo[i] = a.to
+			ov.UpW[i] = a.w
+			i++
+		}
+		j := ov.DownOff[u]
+		for _, a := range b.in[u] {
+			ov.DownFrom[j] = a.to
+			ov.DownW[j] = a.w
+			j++
+		}
+	}
+	return ov
+}

@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"skysr/internal/geo"
+)
+
+func buildLine(n int, directed bool) *Graph {
+	b := NewBuilder(directed)
+	for i := 0; i < n; i++ {
+		b.AddVertex(geo.Point{Lon: float64(i), Lat: 0})
+	}
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(VertexID(i), VertexID(i+1), 1)
+	}
+	return b.Build()
+}
+
+// TestCHOverlayInvariants checks the structural contract every consumer
+// relies on: ranks are a permutation with Order its inverse, every upward
+// arc strictly climbs ranks, every downward in-arc strictly descends into
+// its key, and weights are positive and finite.
+func TestCHOverlayInvariants(t *testing.T) {
+	g := buildLine(64, false)
+	ov, err := BuildCH(context.Background(), g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ov.NumV
+	if n != g.NumVertices() {
+		t.Fatalf("NumV %d != %d", n, g.NumVertices())
+	}
+	seen := make([]bool, n)
+	for v := 0; v < n; v++ {
+		r := ov.Rank[v]
+		if r < 0 || int(r) >= n || seen[r] {
+			t.Fatalf("rank of %d is %d: not a permutation", v, r)
+		}
+		seen[r] = true
+		if ov.Order[r] != int32(v) {
+			t.Fatalf("Order[%d] = %d, want %d", r, ov.Order[r], v)
+		}
+	}
+	if int(ov.UpOff[n]) != len(ov.UpTo) || len(ov.UpTo) != len(ov.UpW) {
+		t.Fatalf("up CSR inconsistent: off end %d, to %d, w %d", ov.UpOff[n], len(ov.UpTo), len(ov.UpW))
+	}
+	if int(ov.DownOff[n]) != len(ov.DownFrom) || len(ov.DownFrom) != len(ov.DownW) {
+		t.Fatalf("down CSR inconsistent")
+	}
+	for u := 0; u < n; u++ {
+		for i := ov.UpOff[u]; i < ov.UpOff[u+1]; i++ {
+			v := ov.UpTo[i]
+			if ov.Rank[v] <= ov.Rank[u] {
+				t.Fatalf("up arc %d->%d does not climb (ranks %d, %d)", u, v, ov.Rank[u], ov.Rank[v])
+			}
+			if w := ov.UpW[i]; !(w > 0) || math.IsInf(w, 1) {
+				t.Fatalf("up arc %d->%d weight %v", u, v, w)
+			}
+		}
+		for i := ov.DownOff[u]; i < ov.DownOff[u+1]; i++ {
+			f := ov.DownFrom[i]
+			if ov.Rank[f] <= ov.Rank[u] {
+				t.Fatalf("down in-arc %d->%d does not descend (ranks %d, %d)", f, u, ov.Rank[f], ov.Rank[u])
+			}
+			if w := ov.DownW[i]; !(w > 0) || math.IsInf(w, 1) {
+				t.Fatalf("down arc %d->%d weight %v", f, u, w)
+			}
+		}
+	}
+	if !ov.Matches(g) {
+		t.Fatal("overlay does not match its own graph")
+	}
+}
+
+// TestCHLineShortcuts: contracting a path graph in any order must insert
+// shortcuts that keep both endpoints connected through the hierarchy, and
+// total arcs stay O(n log n) — sanity, not a tight bound.
+func TestCHLineShortcuts(t *testing.T) {
+	g := buildLine(128, true)
+	ov, err := BuildCH(context.Background(), g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(ov.UpTo) + len(ov.DownFrom)
+	if total < g.NumVertices()-1 {
+		t.Fatalf("overlay lost arcs: %d", total)
+	}
+	if total > 20*g.NumVertices() {
+		t.Fatalf("overlay exploded: %d arcs for %d vertices", total, g.NumVertices())
+	}
+}
+
+func TestBuildCHCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Needs more than one cancellation stride of vertices to observe ctx.
+	g := buildLine(3000, false)
+	if _, err := BuildCH(ctx, g, nil); err == nil {
+		t.Fatal("BuildCH ignored cancelled context")
+	}
+}
+
+func TestBuildCHEmpty(t *testing.T) {
+	b := NewBuilder(false)
+	if _, err := BuildCH(context.Background(), b.Build(), nil); err == nil {
+		t.Fatal("BuildCH on empty graph should error")
+	}
+}
+
+func TestAddDown(t *testing.T) {
+	// Dyadic sums are exact.
+	if got := AddDown(0.5, 0.25); got != 0.75 {
+		t.Fatalf("AddDown(0.5, 0.25) = %v", got)
+	}
+	// Never above the float64 rounded-to-nearest sum.
+	cases := [][2]float64{{0.1, 0.2}, {1e16, 1}, {math.Pi, math.E}, {1.0000000000000002, 1e-18}}
+	for _, c := range cases {
+		s := AddDown(c[0], c[1])
+		if s > c[0]+c[1] {
+			t.Fatalf("AddDown(%v, %v) = %v above rounded sum %v", c[0], c[1], s, c[0]+c[1])
+		}
+		if s < math.Nextafter(c[0]+c[1], math.Inf(-1)) {
+			t.Fatalf("AddDown(%v, %v) = %v more than one ulp low", c[0], c[1], s)
+		}
+	}
+	if !math.IsInf(AddDown(math.Inf(1), 1), 1) {
+		t.Fatal("AddDown(+Inf, 1) should stay +Inf")
+	}
+}

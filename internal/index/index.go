@@ -69,8 +69,9 @@ type CategoryDistances struct {
 	repaired   atomic.Int64
 	needRepair []bool
 
-	buildMu sync.Mutex // serializes builds; guards ws and needRepair
+	buildMu sync.Mutex // serializes builds; guards ws, chws and needRepair
 	ws      *dijkstra.Workspace
+	chws    *dijkstra.CH // PHAST row builds when a CH overlay is attached
 
 	hopMu sync.RWMutex // guards hops
 	hops  map[hopKey]float64
@@ -169,17 +170,45 @@ func (ci *CategoryDistances) rowBytes() int64 {
 	return int64(ci.d.Graph.NumVertices()) * 4
 }
 
-// buildRowLocked runs the multi-source Dijkstra for c. Callers hold buildMu.
-func (ci *CategoryDistances) buildRowLocked(c taxonomy.CategoryID) Row {
-	if ci.ws == nil {
-		ci.ws = dijkstra.New(ci.search)
+// SetCH attaches a contraction-hierarchy overlay of the dataset's graph:
+// subsequent row builds run the PHAST one-to-many sweep (dijkstra.CH.ToAll)
+// instead of a multi-source Dijkstra — linear passes over the overlay's
+// CSR halves, no priority queue over the full graph. Swept values are
+// admissible lower bounds rounded down exactly like Dijkstra-built rows
+// (they may differ in final ulps, which no consumer can observe: any
+// valid lower bound preserves exactness). A nil overlay detaches.
+func (ci *CategoryDistances) SetCH(ov *graph.CHOverlay) {
+	ci.buildMu.Lock()
+	defer ci.buildMu.Unlock()
+	if ov == nil {
+		ci.chws = nil
+		return
 	}
+	if ci.chws == nil || ci.chws.Overlay() != ov {
+		ci.chws = dijkstra.NewCH(ov)
+	}
+}
+
+// buildRowLocked computes the row for c: the PHAST sweep when a CH
+// overlay is attached, a multi-source Dijkstra otherwise. Callers hold
+// buildMu.
+func (ci *CategoryDistances) buildRowLocked(c taxonomy.CategoryID) Row {
 	row := make(Row, ci.d.Graph.NumVertices())
+	sources := ci.d.PoIsAssociated(c)
+	if len(sources) > 0 && ci.chws != nil {
+		// ToAll answers exactly the row's question — dist(v → nearest
+		// source) for every v — and already writes rounded-down float32.
+		ci.chws.ToAll(sources, row)
+		return row
+	}
 	inf := float32(math.Inf(1))
 	for i := range row {
 		row[i] = inf
 	}
-	if sources := ci.d.PoIsAssociated(c); len(sources) > 0 {
+	if len(sources) > 0 {
+		if ci.ws == nil {
+			ci.ws = dijkstra.New(ci.search)
+		}
 		ci.ws.Run(dijkstra.Options{
 			Sources: sources,
 			OnSettle: func(v graph.VertexID, dd float64) dijkstra.Control {

@@ -253,6 +253,18 @@ type SearchOptions struct {
 	// Queries the index cannot cover (non-Category requirements, budget
 	// exhausted) transparently fall back to the per-query path.
 	UseCategoryIndex bool
+	// UseCH enables the contraction-hierarchy serving profile: once
+	// Engine.WarmCH built the overlay (or Open adopted one from a binary
+	// dataset), destination legs are bounded by microsecond bidirectional
+	// CH queries instead of a full-graph reverse Dijkstra per query, and
+	// the category-index rows UseCH also turns on (it implies
+	// UseCategoryIndex) are built by the PHAST one-to-many sweep instead
+	// of full Dijkstra passes. Every substituted bound is a proven lower
+	// bound and surviving legs are re-priced exactly, so answers are
+	// byte-identical to a plain Search. Without a fresh overlay (never
+	// warmed, or marked stale by a live update) the option transparently
+	// falls back to the plain path.
+	UseCH bool
 	// TopK asks for ranked alternatives: the answer is the k-skyband of
 	// the achievable score points — every route with fewer than k
 	// score-distinct routes at least as short and at least as similar —
@@ -524,6 +536,17 @@ func (e *Engine) searchOn(sn *snapshot, q Query, opts SearchOptions) (*Answer, e
 		if opts.UseIndex || opts.UseCategoryIndex {
 			copts.Index = e.categoryIndex(sn)
 			copts.IndexCategories = opts.UseCategoryIndex
+		}
+		if opts.UseCH {
+			if ov := e.chOverlay(sn); ov != nil {
+				copts.CH = ov
+				// The CH profile implies the category-index profile: the
+				// overlay accelerates the index's row builds (PHAST), and
+				// the rows in turn replace the per-query lower-bound and
+				// radius Dijkstras — the two halves of the speedup.
+				copts.Index = e.categoryIndex(sn)
+				copts.IndexCategories = true
+			}
 		}
 		if opts.ShareCache && opts.Algorithm == BSSR {
 			copts.Shared = e.shared[opts.Similarity]

@@ -95,8 +95,8 @@ func TestGenerateAndWorkload(t *testing.T) {
 	if _, err := Generate("atlantis", 1, 1); err == nil {
 		t.Error("unknown preset should fail")
 	}
-	if len(Presets()) != 3 {
-		t.Error("want 3 presets")
+	if len(Presets()) != 4 {
+		t.Error("want 4 presets")
 	}
 }
 
